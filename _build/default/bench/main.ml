@@ -1,0 +1,126 @@
+(* Benchmark harness.
+
+   Running this executable regenerates every table and figure of the
+   paper's evaluation (Sections 5; see DESIGN.md for the index) and then
+   times the analysis phases with Bechamel — one Test.make per
+   table/figure, plus ablation benches for the design knobs. *)
+
+open Bechamel
+open Toolkit
+
+let app_named name = Corpus.Gen.generate (Option.get (Corpus.Apps.by_name name))
+
+(* ------------------------------------------------------------------ *)
+(* Reproduction output: the rows/series the paper reports. *)
+
+let print_reproduction () =
+  let runs = Report.Experiments.run_corpus () in
+  print_endline (Report.Experiments.table1 runs);
+  print_newline ();
+  print_endline (Report.Experiments.table2 runs);
+  print_newline ();
+  print_endline (Report.Experiments.case_study ());
+  print_newline ();
+  print_endline (Report.Experiments.ablations ());
+  print_newline ();
+  print_endline (Report.Experiments.scalability ());
+  print_newline ();
+  (* figures: print the fact checklist, not the full dot graph *)
+  let figures = Report.Experiments.figures () in
+  (match String.index_opt figures '\n' with
+  | Some _ ->
+      String.split_on_char '\n' figures
+      |> List.filter (fun line ->
+             String.length line > 2 && (String.sub line 0 3 = "Fig" || String.sub line 2 1 = "["))
+      |> List.iter print_endline
+  | None -> ());
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks. *)
+
+let config_bench name config app =
+  Test.make ~name (Staged.stage (fun () -> Gator.Analysis.analyze ~config app))
+
+let tests () =
+  (* Pre-generate apps so the benches time analysis, not generation. *)
+  let connectbot = Corpus.Connectbot.app () in
+  let apv = app_named "APV" in
+  let mileage = app_named "Mileage" in
+  let xbmc = app_named "XBMC" in
+  let astrid = app_named "Astrid" in
+  let spec_notepad = Option.get (Corpus.Apps.by_name "NotePad") in
+  [
+    (* Table 1: population measurement = generation + extraction + metrics *)
+    Test.make ~name:"table1/generate+extract(NotePad)"
+      (Staged.stage (fun () ->
+           let app = Corpus.Gen.generate spec_notepad in
+           Gator.Extract.run Gator.Config.default app));
+    Test.make ~name:"table1/metrics(APV)"
+      (Staged.stage
+         (let r = Gator.Analysis.analyze apv in
+          fun () -> Gator.Metrics.table1 r));
+    (* Table 2: full analysis per representative app *)
+    Test.make ~name:"table2/analyze(APV)" (Staged.stage (fun () -> Gator.Analysis.analyze apv));
+    Test.make ~name:"table2/analyze(Mileage)"
+      (Staged.stage (fun () -> Gator.Analysis.analyze mileage));
+    Test.make ~name:"table2/analyze(XBMC)" (Staged.stage (fun () -> Gator.Analysis.analyze xbmc));
+    Test.make ~name:"table2/analyze(Astrid)"
+      (Staged.stage (fun () -> Gator.Analysis.analyze astrid));
+    (* Case study: dynamic oracle execution + coverage check *)
+    Test.make ~name:"casestudy/dynamic-oracle(APV)"
+      (Staged.stage
+         (let r = Gator.Analysis.analyze apv in
+          fun () -> Dynamic.Oracle.check r (Dynamic.Interp.run apv)));
+    (* Figures: the running example end to end *)
+    Test.make ~name:"figures/connectbot-analysis"
+      (Staged.stage (fun () -> Gator.Analysis.analyze connectbot));
+    Test.make ~name:"figures/connectbot-dot"
+      (Staged.stage
+         (let r = Gator.Analysis.analyze connectbot in
+          fun () -> Fmt.str "%a" Gator.Graph.pp_dot r.Gator.Analysis.graph));
+    (* Ablations: each knob on the XBMC outlier *)
+    config_bench "ablation/default(XBMC)" Gator.Config.default xbmc;
+    config_bench "ablation/no-cast-filter(XBMC)"
+      { Gator.Config.default with cast_filtering = false }
+      xbmc;
+    config_bench "ablation/no-findone-refinement(XBMC)"
+      { Gator.Config.default with findone_refinement = false }
+      xbmc;
+    config_bench "ablation/baseline(XBMC)" Gator.Config.baseline xbmc;
+    config_bench "ablation/context-sensitive-2(XBMC)"
+      { Gator.Config.default with inline_depth = 2 }
+      xbmc;
+  ]
+
+let run_benchmarks () =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let grouped = Test.make_grouped ~name:"gator" ~fmt:"%s %s" (tests ()) in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let nanos =
+          match Analyze.OLS.estimates ols with Some [ est ] -> est | _ -> Float.nan
+        in
+        (name, nanos) :: acc)
+      results []
+    |> List.sort compare
+  in
+  print_endline "Benchmarks (monotonic clock per run):";
+  List.iter
+    (fun (name, nanos) ->
+      let pretty =
+        if nanos >= 1e9 then Printf.sprintf "%8.3f s " (nanos /. 1e9)
+        else if nanos >= 1e6 then Printf.sprintf "%8.3f ms" (nanos /. 1e6)
+        else Printf.sprintf "%8.3f us" (nanos /. 1e3)
+      in
+      Printf.printf "  %-45s %s\n" name pretty)
+    rows
+
+let () =
+  print_reproduction ();
+  run_benchmarks ()

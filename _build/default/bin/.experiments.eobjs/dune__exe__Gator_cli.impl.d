@@ -1,0 +1,1 @@
+bin/gator_cli.ml: Arg Cmd Cmdliner Dynamic Filename Fmt Framework Fun Gator Jir List Project Sys Term

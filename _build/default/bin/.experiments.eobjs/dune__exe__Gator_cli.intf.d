@@ -1,0 +1,1 @@
+bin/gator_cli.mli:

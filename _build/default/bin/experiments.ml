@@ -1,0 +1,59 @@
+(* Regenerate the paper's tables and figures.  See DESIGN.md for the
+   experiment index. *)
+
+let run_table1 () =
+  let runs = Report.Experiments.run_corpus () in
+  print_endline (Report.Experiments.table1 runs)
+
+let run_table2 () =
+  let runs = Report.Experiments.run_corpus () in
+  print_endline (Report.Experiments.table2 runs)
+
+let run_casestudy () = print_endline (Report.Experiments.case_study ())
+
+let run_figures () = print_endline (Report.Experiments.figures ())
+
+let run_ablations () = print_endline (Report.Experiments.ablations ())
+
+let run_soundness apps seed = print_endline (Report.Experiments.soundness_sweep ~apps ~seed ())
+
+let run_scalability () = print_endline (Report.Experiments.scalability ())
+
+let run_all () =
+  let runs = Report.Experiments.run_corpus () in
+  print_endline (Report.Experiments.table1 runs);
+  print_newline ();
+  print_endline (Report.Experiments.table2 runs);
+  print_newline ();
+  print_endline (Report.Experiments.case_study ());
+  print_newline ();
+  print_endline (Report.Experiments.ablations ());
+  print_newline ();
+  print_endline (Report.Experiments.soundness_sweep ())
+
+open Cmdliner
+
+let simple name doc f = Cmd.v (Cmd.info name ~doc) Term.(const f $ const ())
+
+let soundness_cmd =
+  let apps = Arg.(value & opt int 25 & info [ "apps" ] ~doc:"Number of random apps to test.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
+  Cmd.v
+    (Cmd.info "soundness" ~doc:"Dynamic-oracle soundness sweep over random apps and the corpus.")
+    Term.(const run_soundness $ apps $ seed)
+
+let () =
+  let default = Term.(const run_all $ const ()) in
+  let info = Cmd.info "experiments" ~doc:"Regenerate the paper's tables and figures." in
+  let cmds =
+    [
+      simple "table1" "Table 1: app features and constraint-graph populations." run_table1;
+      simple "table2" "Table 2: analysis time and average solution sizes." run_table2;
+      simple "casestudy" "Section 5 precision case study against the dynamic oracle." run_casestudy;
+      simple "figures" "Figures 1/3/4: ConnectBot facts and constraint graph." run_figures;
+      simple "ablations" "Precision impact of disabling each refinement." run_ablations;
+      simple "scalability" "Analysis cost vs application size." run_scalability;
+      soundness_cmd;
+    ]
+  in
+  exit (Cmd.eval (Cmd.group ~default info cmds))

@@ -1,0 +1,104 @@
+(* Command-line frontend: analyze an ALite program with XML layouts and
+   print the computed GUI model. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let layout_name_of_path path = Filename.remove_extension (Filename.basename path)
+
+let run code_path layout_paths dump_dot show_interactions show_diagnostics run_dynamic json =
+  let loaded =
+    if Sys.is_directory code_path then Project.load code_path
+    else
+      let code = read_file code_path in
+      let layouts =
+        List.map (fun path -> (layout_name_of_path path, read_file path)) layout_paths
+      in
+      Framework.App.of_source ~name:(layout_name_of_path code_path) ~code ~layouts
+  in
+  match loaded with
+  | Error e ->
+      Fmt.epr "error: %s@." e;
+      exit 1
+  | Ok app ->
+      if show_diagnostics then begin
+        let diagnostics = Framework.App.diagnostics app in
+        List.iter (fun d -> Fmt.pr "%a@." Jir.Wellformed.pp_diagnostic d) diagnostics;
+        if not (Jir.Wellformed.is_clean diagnostics) then exit 1
+      end;
+      let r = Gator.Analysis.analyze app in
+      if json then begin
+        print_endline (Gator.Export.to_string ~pretty:true r);
+        exit 0
+      end;
+      Fmt.pr "%a@.@." Gator.Analysis.pp_summary r;
+      List.iter
+        (fun (op : Gator.Graph.op) ->
+          let views = Gator.Analysis.op_receiver_views r op in
+          let results = Gator.Analysis.op_result_views r op in
+          Fmt.pr "%a@." Gator.Node.pp_op_site op.site;
+          if views <> [] then
+            Fmt.pr "  receivers: %a@." (Fmt.list ~sep:Fmt.comma Gator.Node.pp_view) views;
+          if results <> [] then
+            Fmt.pr "  results:   %a@." (Fmt.list ~sep:Fmt.comma Gator.Node.pp_view) results)
+        (Gator.Analysis.ops r);
+      if show_interactions then begin
+        Fmt.pr "@.Interactions (activity, view, event, handler):@.";
+        List.iter
+          (fun ix -> Fmt.pr "  %a@." Gator.Analysis.pp_interaction ix)
+          (Gator.Analysis.interactions r);
+        match Gator.Analysis.transitions r with
+        | [] -> ()
+        | transitions ->
+            Fmt.pr "@.Activity transitions:@.";
+            List.iter (fun (a, b) -> Fmt.pr "  %s -> %s@." a b) transitions
+      end;
+      if run_dynamic then begin
+        let outcome = Dynamic.Interp.run app in
+        let coverage = Dynamic.Oracle.check r outcome in
+        Fmt.pr "@.Dynamic run: %d observations; %a@."
+          (List.length outcome.observations)
+          Dynamic.Oracle.pp_coverage coverage
+      end;
+      if dump_dot then Fmt.pr "@.%a@." Gator.Graph.pp_dot r.graph
+
+open Cmdliner
+
+let () =
+  let code =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"PROGRAM" ~doc:"ALite source file, or a project directory (src/*.alite + res/layout/*.xml).")
+  in
+  let layouts =
+    Arg.(
+      value & opt_all file []
+      & info [ "l"; "layout" ] ~docv:"XML"
+          ~doc:"Layout XML file; its basename (minus extension) is the layout name. Repeatable.")
+  in
+  let dot = Arg.(value & flag & info [ "dot" ] ~doc:"Dump the constraint graph in Graphviz form.") in
+  let interactions =
+    Arg.(value & flag & info [ "interactions" ] ~doc:"Print (activity, view, event, handler) tuples.")
+  in
+  let diagnostics =
+    Arg.(value & flag & info [ "check" ] ~doc:"Run well-formedness diagnostics first.")
+  in
+  let dynamic =
+    Arg.(
+      value & flag
+      & info [ "dynamic" ] ~doc:"Also execute the dynamic semantics and check soundness coverage.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the full solution as JSON and exit.")
+  in
+  let term =
+    Term.(const run $ code $ layouts $ dot $ interactions $ diagnostics $ dynamic $ json)
+  in
+  let info =
+    Cmd.info "gator" ~doc:"Static reference analysis for GUI objects (CGO'14) on ALite programs."
+  in
+  exit (Cmd.eval (Cmd.v info term))

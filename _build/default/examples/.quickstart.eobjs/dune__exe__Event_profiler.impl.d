@@ -1,0 +1,1 @@
+examples/event_profiler.ml: Corpus Dynamic Fmt Gator List Printf String Sys

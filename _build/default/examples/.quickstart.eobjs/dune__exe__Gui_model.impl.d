@@ -1,0 +1,1 @@
+examples/gui_model.ml: Fmt Framework Gator Jir List String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Corpus Dynamic Fmt Gator List

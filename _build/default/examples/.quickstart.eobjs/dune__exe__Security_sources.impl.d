@@ -1,0 +1,1 @@
+examples/security_sources.ml: Fmt Framework Gator Jir Layouts List String

@@ -1,0 +1,1 @@
+examples/soundness_check.ml: Corpus Dynamic Fmt Gator List

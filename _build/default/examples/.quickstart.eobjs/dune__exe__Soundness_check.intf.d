@@ -1,0 +1,1 @@
+examples/soundness_check.mli:

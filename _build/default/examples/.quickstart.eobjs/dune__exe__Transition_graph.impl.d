@@ -1,0 +1,1 @@
+examples/transition_graph.ml: Dynamic Fmt Framework Gator List

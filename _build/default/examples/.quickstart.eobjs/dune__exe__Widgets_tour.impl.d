@@ -1,0 +1,1 @@
+examples/widgets_tour.ml: Dynamic Fmt Framework Gator List

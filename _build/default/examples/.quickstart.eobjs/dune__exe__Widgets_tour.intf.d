@@ -1,0 +1,1 @@
+examples/widgets_tour.mli:

@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Config Extract Fmt Framework Graph Jir Layouts List Node Solve Unix

@@ -1,0 +1,1 @@
+lib/core/diff.ml: Analysis Fmt Framework Graph List Map Node Stdlib

@@ -1,0 +1,1 @@
+lib/core/diff.mli: Analysis Fmt Node

@@ -1,0 +1,1 @@
+lib/core/export.ml: Analysis Config Framework Graph Jir Layouts List Node Option Util

@@ -1,0 +1,1 @@
+lib/core/export.mli: Analysis Graph Node Util

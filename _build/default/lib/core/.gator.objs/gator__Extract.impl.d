@@ -1,0 +1,1 @@
+lib/core/extract.ml: Config Framework Fun Graph Jir Layouts List Node Option Printf

@@ -1,0 +1,1 @@
+lib/core/graph.ml: Fmt Hashtbl Int List Node Option Queue Set Stdlib String

@@ -1,0 +1,1 @@
+lib/core/inflate.ml: Graph Hashtbl Layouts List Node

@@ -1,0 +1,1 @@
+lib/core/inflate.mli: Graph Layouts Node

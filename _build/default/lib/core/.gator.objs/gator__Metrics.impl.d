@@ -1,0 +1,1 @@
+lib/core/metrics.ml: Analysis Framework Graph Jir Layouts List Node

@@ -1,0 +1,1 @@
+lib/core/node.ml: Fmt Framework Hashtbl Jir List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/core/solve.ml: Config Framework Graph Inflate Jir Layouts List Logs Node Option Util

@@ -1,0 +1,1 @@
+lib/core/solve.mli: Config Framework Graph

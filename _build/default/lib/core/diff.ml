@@ -1,0 +1,132 @@
+type op_change = {
+  oc_site : Node.op_site;
+  oc_role : string;
+  oc_only_left : int;
+  oc_only_right : int;
+}
+
+type t = {
+  d_left : string;
+  d_right : string;
+  d_ops_only_left : Node.op_site list;
+  d_ops_only_right : Node.op_site list;
+  d_changed : op_change list;
+  d_transitions_only_left : (string * string) list;
+  d_transitions_only_right : (string * string) list;
+}
+
+module Site_map = Map.Make (struct
+  type t = Node.op_site
+
+  let compare = Stdlib.compare
+end)
+
+(* Clone records (context sensitivity) of the same site are merged:
+   the external meaning of a site's solution is the union. *)
+let op_solutions (r : Analysis.t) =
+  List.fold_left
+    (fun acc (op : Graph.op) ->
+      let views_of f = List.sort_uniq compare (f r op) in
+      let entry =
+        [
+          ("receivers", List.map (fun v -> Node.V_view v) (views_of Analysis.op_receiver_views));
+          ("arguments", List.map (fun v -> Node.V_view v) (views_of Analysis.op_child_views));
+          ("results", List.map (fun v -> Node.V_view v) (views_of Analysis.op_result_views));
+          ( "listeners",
+            List.sort_uniq compare
+              (List.map
+                 (function
+                   | Node.L_alloc site -> Node.V_obj site
+                   | Node.L_act a -> Node.V_act a)
+                 (Analysis.op_listeners r op)) );
+        ]
+      in
+      Site_map.update op.site
+        (function
+          | None -> Some entry
+          | Some existing ->
+              Some
+                (List.map2
+                   (fun (role, old_values) (_, new_values) ->
+                     (role, List.sort_uniq compare (old_values @ new_values)))
+                   existing entry))
+        acc)
+    Site_map.empty (Analysis.ops r)
+
+let diff_lists left right =
+  let only_left = List.filter (fun v -> not (List.mem v right)) left in
+  let only_right = List.filter (fun v -> not (List.mem v left)) right in
+  (only_left, only_right)
+
+let compare (left : Analysis.t) (right : Analysis.t) =
+  let sols_left = op_solutions left in
+  let sols_right = op_solutions right in
+  let ops_only_left =
+    Site_map.fold
+      (fun site _ acc -> if Site_map.mem site sols_right then acc else site :: acc)
+      sols_left []
+  in
+  let ops_only_right =
+    Site_map.fold
+      (fun site _ acc -> if Site_map.mem site sols_left then acc else site :: acc)
+      sols_right []
+  in
+  let changed =
+    Site_map.fold
+      (fun site entry_left acc ->
+        match Site_map.find_opt site sols_right with
+        | None -> acc
+        | Some entry_right ->
+            List.fold_left2
+              (fun acc (role, values_left) (_, values_right) ->
+                let only_left, only_right = diff_lists values_left values_right in
+                if only_left = [] && only_right = [] then acc
+                else
+                  {
+                    oc_site = site;
+                    oc_role = role;
+                    oc_only_left = List.length only_left;
+                    oc_only_right = List.length only_right;
+                  }
+                  :: acc)
+              acc entry_left entry_right)
+      sols_left []
+  in
+  let transitions_only_left, transitions_only_right =
+    diff_lists (Analysis.transitions left) (Analysis.transitions right)
+  in
+  {
+    d_left = left.app.Framework.App.name;
+    d_right = right.app.Framework.App.name;
+    d_ops_only_left = List.rev ops_only_left;
+    d_ops_only_right = List.rev ops_only_right;
+    d_changed = List.rev changed;
+    d_transitions_only_left = transitions_only_left;
+    d_transitions_only_right = transitions_only_right;
+  }
+
+let is_empty d =
+  d.d_ops_only_left = [] && d.d_ops_only_right = [] && d.d_changed = []
+  && d.d_transitions_only_left = [] && d.d_transitions_only_right = []
+
+let pp ppf d =
+  if is_empty d then Fmt.pf ppf "no differences between %s and %s" d.d_left d.d_right
+  else begin
+    Fmt.pf ppf "@[<v>diff %s vs %s:" d.d_left d.d_right;
+    List.iter (fun s -> Fmt.pf ppf "@,  op only in %s: %a" d.d_left Node.pp_op_site s) d.d_ops_only_left;
+    List.iter
+      (fun s -> Fmt.pf ppf "@,  op only in %s: %a" d.d_right Node.pp_op_site s)
+      d.d_ops_only_right;
+    List.iter
+      (fun c ->
+        Fmt.pf ppf "@,  %a %s: -%d +%d" Node.pp_op_site c.oc_site c.oc_role c.oc_only_left
+          c.oc_only_right)
+      d.d_changed;
+    List.iter
+      (fun (a, b) -> Fmt.pf ppf "@,  transition only in %s: %s -> %s" d.d_left a b)
+      d.d_transitions_only_left;
+    List.iter
+      (fun (a, b) -> Fmt.pf ppf "@,  transition only in %s: %s -> %s" d.d_right a b)
+      d.d_transitions_only_right;
+    Fmt.pf ppf "@]"
+  end

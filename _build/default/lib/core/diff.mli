@@ -1,0 +1,29 @@
+(** Solution diffing: compare two analysis results of the same (or an
+    edited) application — the regression-checking workflow of a team
+    adopting the analysis in CI.  Operations are matched by structural
+    site, so results are comparable across configurations and across
+    code edits that leave a site in place. *)
+
+type op_change = {
+  oc_site : Node.op_site;
+  oc_role : string;  (** "receivers" | "arguments" | "results" | "listeners" *)
+  oc_only_left : int;  (** values present only in the left solution *)
+  oc_only_right : int;
+}
+
+type t = {
+  d_left : string;
+  d_right : string;
+  d_ops_only_left : Node.op_site list;
+  d_ops_only_right : Node.op_site list;
+  d_changed : op_change list;
+  d_transitions_only_left : (string * string) list;
+  d_transitions_only_right : (string * string) list;
+}
+
+val compare : Analysis.t -> Analysis.t -> t
+
+val is_empty : t -> bool
+(** No differences. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,21 @@
+(** JSON export of the computed solution, for the downstream clients
+    Section 6 of the paper lists (test generation, security analysis,
+    profiling instrumentation, reverse engineering). *)
+
+val view : Node.view_abs -> Util.Json.t
+
+val value : Node.value -> Util.Json.t
+
+val op : Analysis.t -> Graph.op -> Util.Json.t
+(** Kind, site, and the receiver/argument/result/listener solution
+    sets. *)
+
+val interaction : Analysis.interaction -> Util.Json.t
+
+val solution : Analysis.t -> Util.Json.t
+(** The full document: app identity, configuration, operations with
+    their solutions, view hierarchy facts (ids, children, activity
+    roots), listener registrations, interaction tuples, and the
+    activity-transition relation. *)
+
+val to_string : ?pretty:bool -> Analysis.t -> string

@@ -1,0 +1,202 @@
+let var mid name = Node.N_var (mid, name)
+
+(* An integer constant that happens to be a registered resource id is
+   treated as that id, modeling constant propagation of the inlined
+   [R] fields real compilers perform. *)
+let value_of_int resources n =
+  if Layouts.Resource.is_layout_id n && Layouts.Resource.layout_name resources n <> None then
+    Some (Node.V_layout_id n)
+  else if Layouts.Resource.is_view_id n && Layouts.Resource.view_name resources n <> None then
+    Some (Node.V_view_id n)
+  else None
+
+(* Bound on the body size of callees cloned by inlining-based context
+   sensitivity (Config.inline_depth > 0). *)
+let inline_body_limit = 24
+
+type ctx = {
+  depth : int;  (** current inlining depth *)
+  rename : string -> string;  (** variable renaming for the current clone *)
+  ret_target : Node.t;  (** where [return x] flows *)
+  stack : Node.mid list;  (** methods on the inline chain, for cycle avoidance *)
+}
+
+let top_ctx mid = { depth = 0; rename = Fun.id; ret_target = Node.N_ret mid; stack = [ mid ] }
+
+(* Globally unique clone ids; '$' cannot occur in source identifiers,
+   so renamed variables never collide with real ones. *)
+let clone_counter = ref 0
+
+let fresh_clone_suffix () =
+  incr clone_counter;
+  Printf.sprintf "$%d" !clone_counter
+
+let rec extract_stmt config (app : Framework.App.t) graph ~ctx mid env ~index stmt =
+  let hierarchy = app.Framework.App.hierarchy in
+  let resources = Layouts.Package.resources app.package in
+  let is_view cls = Framework.Views.is_view_class hierarchy cls in
+  let site = { Node.s_in = mid; s_stmt = index } in
+  let v name = var mid (ctx.rename name) in
+  match stmt with
+  | Jir.Ast.New (x, cls) ->
+      let alloc = Graph.fresh_alloc graph ~cls ~site in
+      let value = if is_view cls then Node.V_view (Node.V_alloc alloc) else Node.V_obj alloc in
+      Graph.seed graph (v x) value
+  | Jir.Ast.Copy (x, y) -> Graph.add_edge graph (v y) (v x)
+  | Jir.Ast.Read_field (x, _, f) -> Graph.add_edge graph (Node.N_field f) (v x)
+  | Jir.Ast.Write_field (_, f, y) -> Graph.add_edge graph (v y) (Node.N_field f)
+  | Jir.Ast.Read_layout_id (x, name) ->
+      Graph.seed graph (v x) (Node.V_layout_id (Layouts.Resource.layout_id resources name))
+  | Jir.Ast.Read_view_id (x, name) ->
+      Graph.seed graph (v x) (Node.V_view_id (Layouts.Resource.view_id resources name))
+  | Jir.Ast.Const_int (x, n) -> (
+      match value_of_int resources n with
+      | Some value -> Graph.seed graph (v x) value
+      | None -> ())
+  | Jir.Ast.Const_null _ -> ()
+  | Jir.Ast.Cast (x, cls, y) ->
+      let kind = if config.Config.cast_filtering then Graph.E_cast cls else Graph.E_direct in
+      Graph.add_edge graph ~kind (v y) (v x)
+  | Jir.Ast.Return (Some x) -> Graph.add_edge graph (v x) ctx.ret_target
+  | Jir.Ast.Return None -> ()
+  | Jir.Ast.Invoke (lhs, recv, name, args) -> (
+      let arity = List.length args in
+      let key = { Jir.Ast.mk_name = name; mk_arity = arity } in
+      let recv_ty = Jir.Typing.class_of env recv in
+      let app_targets = Jir.Hierarchy.cha_targets hierarchy ~recv_ty key in
+      (* A call can reach the platform when the receiver's type is
+         unknown, or when some concrete class compatible with it has no
+         application definition of the method (dispatch then falls
+         through to platform code). *)
+      let may_reach_platform =
+        match recv_ty with
+        | None -> true
+        | Some ty ->
+            (not (Jir.Hierarchy.mem hierarchy ty))
+            || List.exists
+                 (fun sub ->
+                   Jir.Hierarchy.kind hierarchy sub = Some `Class
+                   && Jir.Hierarchy.resolve hierarchy sub key = None)
+                 (Jir.Hierarchy.subtypes hierarchy ty)
+      in
+      (* Inlining-based context sensitivity: clone a small, uniquely
+         resolved callee instead of sharing its locals across all call
+         sites.  Abstraction names (allocation/op/inflation sites) stay
+         structural, so clones of the same site denote the same
+         objects; only the local value flow is separated. *)
+      let inlinable =
+        config.Config.inline_depth > 0
+        && ctx.depth < config.Config.inline_depth
+        && (not may_reach_platform)
+        &&
+        match app_targets with
+        | [ (owner, target) ] ->
+            List.length target.m_body <= inline_body_limit
+            && not (List.mem (Node.mid_of_meth owner target) ctx.stack)
+        | _ -> false
+      in
+      match (inlinable, app_targets) with
+      | true, [ (owner, target) ] ->
+          let tmid = Node.mid_of_meth owner target in
+          let suffix = fresh_clone_suffix () in
+          let rename' name = name ^ suffix in
+          Graph.add_edge graph (v recv) (var tmid (rename' Jir.Ast.this_var));
+          List.iter2
+            (fun arg (param, _) -> Graph.add_edge graph (v arg) (var tmid (rename' param)))
+            args target.m_params;
+          let ret_target =
+            match lhs with
+            | Some z ->
+                let ret_var = var tmid (rename' "$ret") in
+                Graph.add_edge graph ret_var (v z);
+                ret_var
+            | None -> var tmid (rename' "$ret")
+          in
+          let ctx' =
+            { depth = ctx.depth + 1; rename = rename'; ret_target; stack = tmid :: ctx.stack }
+          in
+          let env' = Framework.App.typing_env app ~owner target in
+          List.iteri
+            (fun index stmt -> extract_stmt config app graph ~ctx:ctx' tmid env' ~index stmt)
+            target.m_body
+      | _ ->
+          List.iter
+            (fun (owner, (target : Jir.Ast.meth)) ->
+              let tmid = Node.mid_of_meth owner target in
+              Graph.add_edge graph (v recv) (var tmid Jir.Ast.this_var);
+              List.iter2
+                (fun arg (param, _) -> Graph.add_edge graph (v arg) (var tmid param))
+                args target.m_params;
+              Option.iter (fun z -> Graph.add_edge graph (Node.N_ret tmid) (v z)) lhs)
+            app_targets;
+          if may_reach_platform then (
+            match Framework.Api.classify ~name ~arity with
+            | Some kind ->
+                ignore
+                  (Graph.fresh_op graph ~kind ~site ~recv:(v recv)
+                     ~args:(List.map v args)
+                     ~out:(Option.map v lhs))
+            | None -> ()))
+
+let extract_meth config app graph ~owner (m : Jir.Ast.meth) =
+  let mid = Node.mid_of_meth owner m in
+  let env = Framework.App.typing_env app ~owner m in
+  let ctx = top_ctx mid in
+  List.iteri (fun index stmt -> extract_stmt config app graph ~ctx mid env ~index stmt) m.m_body
+
+(* Seed the implicit activity instance into [this] of every lifecycle
+   callback the class (or an application superclass) defines: the
+   paper's [t = new a(); t.m()] modeling. *)
+let seed_activity_callbacks (app : Framework.App.t) graph (cls : Jir.Ast.cls) =
+  List.iter
+    (fun (name, arity) ->
+      match Jir.Hierarchy.resolve app.hierarchy cls.c_name { Jir.Ast.mk_name = name; mk_arity = arity } with
+      | Some (owner, m) ->
+          Graph.seed graph (var (Node.mid_of_meth owner m) Jir.Ast.this_var) (Node.V_act cls.c_name)
+      | None -> ())
+    Framework.Lifecycle.activity_callbacks;
+  (* Menu extension: onCreateOptionsMenu receives the activity's
+     implicit menu object; onOptionsItemSelected runs on the activity
+     (its item parameter is fed by the solver at Menu_add sites). *)
+  let seed_menu_callback (name, arity) param_value =
+    match
+      Jir.Hierarchy.resolve app.hierarchy cls.c_name { Jir.Ast.mk_name = name; mk_arity = arity }
+    with
+    | Some (owner, m) ->
+        let tmid = Node.mid_of_meth owner m in
+        Graph.seed graph (var tmid Jir.Ast.this_var) (Node.V_act cls.c_name);
+        (match (param_value, m.m_params) with
+        | Some value, (param, _) :: _ -> Graph.seed graph (var tmid param) value
+        | _ -> ())
+    | None -> ()
+  in
+  seed_menu_callback Framework.Lifecycle.on_create_options_menu
+    (Some (Node.V_view (Node.V_alloc (Node.menu_site cls.c_name))));
+  seed_menu_callback Framework.Lifecycle.on_options_item_selected None
+
+(* Dialogs (extension): platform invokes lifecycle callbacks on dialog
+   objects created by the application. *)
+let seed_dialog_callbacks (app : Framework.App.t) graph =
+  List.iter
+    (fun (site : Node.alloc_site) ->
+      if Framework.Views.is_dialog_class app.hierarchy site.a_cls then
+        List.iter
+          (fun (name, arity) ->
+            match
+              Jir.Hierarchy.resolve app.hierarchy site.a_cls { Jir.Ast.mk_name = name; mk_arity = arity }
+            with
+            | Some (owner, m) ->
+                Graph.seed graph (var (Node.mid_of_meth owner m) Jir.Ast.this_var) (Node.V_obj site)
+            | None -> ())
+          Framework.Lifecycle.dialog_callbacks)
+    (Graph.allocs graph)
+
+let run config (app : Framework.App.t) =
+  let graph = Graph.create () in
+  List.iter
+    (fun (cls : Jir.Ast.cls) ->
+      List.iter (extract_meth config app graph ~owner:cls.c_name) cls.c_methods)
+    app.program.p_classes;
+  List.iter (seed_activity_callbacks app graph) (Framework.App.activity_classes app);
+  if config.Config.model_dialogs then seed_dialog_callbacks app graph;
+  graph

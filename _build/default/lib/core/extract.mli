@@ -1,0 +1,13 @@
+(** Construction of the constraint graph from an application
+    (the first phase of Section 4.3).
+
+    Every application method is considered executable; polymorphic
+    calls are resolved with CHA over static receiver types
+    ({!Jir.Typing} supplies them); calls that reach the platform are
+    recognized as operation nodes via {!Framework.Api.classify};
+    platform callbacks are modeled by seeding activity values into the
+    [this] of lifecycle callbacks. *)
+
+val run : Config.t -> Framework.App.t -> Graph.t
+(** Build the (unsolved) constraint graph: locations, flow edges,
+    operation nodes, allocation sites, and initial-value seeds. *)

@@ -1,0 +1,300 @@
+module VS = Set.Make (struct
+  type t = Node.value
+
+  let compare = Node.compare_value
+end)
+
+module View_set = Set.Make (struct
+  type t = Node.view_abs
+
+  let compare = Stdlib.compare
+end)
+
+module Listener_set = Set.Make (struct
+  type t = Node.listener_abs * string
+
+  let compare = Stdlib.compare
+end)
+
+module Int_set = Set.Make (Int)
+
+module String_set = Set.Make (String)
+
+type edge_kind = E_direct | E_cast of string
+
+type op = { site : Node.op_site; op_recv : Node.t; op_args : Node.t list; op_out : Node.t option }
+
+type t = {
+  edges : (Node.t, (edge_kind * Node.t) list) Hashtbl.t;
+  edge_seen : (Node.t * edge_kind * Node.t, unit) Hashtbl.t;
+  mutable edge_total : int;
+  seed_tbl : (Node.t, VS.t) Hashtbl.t;
+  sets : (Node.t, VS.t) Hashtbl.t;
+  mutable op_list : op list;  (** reversed creation order *)
+  mutable alloc_list : Node.alloc_site list;  (** reversed creation order *)
+  children_tbl : (Node.view_abs, View_set.t) Hashtbl.t;
+  parents_tbl : (Node.view_abs, View_set.t) Hashtbl.t;
+  ids_tbl : (Node.view_abs, Int_set.t) Hashtbl.t;
+  roots_tbl : (Node.holder, View_set.t) Hashtbl.t;
+  listeners_tbl : (Node.view_abs, Listener_set.t) Hashtbl.t;
+  root_layout_tbl : (Node.view_abs, Int_set.t) Hashtbl.t;
+  inflations : (Node.site * string, Node.view_abs list) Hashtbl.t;
+  transitions_tbl : (string * string, unit) Hashtbl.t;  (** activity transition edges *)
+  onclick_tbl : (Node.view_abs, String_set.t) Hashtbl.t;  (** android:onClick handler names *)
+  declared_fragments_tbl : (Node.view_abs, String_set.t) Hashtbl.t;  (** <fragment> classes *)
+}
+
+let create () =
+  {
+    edges = Hashtbl.create 256;
+    edge_seen = Hashtbl.create 256;
+    edge_total = 0;
+    seed_tbl = Hashtbl.create 128;
+    sets = Hashtbl.create 256;
+    op_list = [];
+    alloc_list = [];
+    children_tbl = Hashtbl.create 64;
+    parents_tbl = Hashtbl.create 64;
+    ids_tbl = Hashtbl.create 64;
+    roots_tbl = Hashtbl.create 16;
+    listeners_tbl = Hashtbl.create 32;
+    root_layout_tbl = Hashtbl.create 16;
+    inflations = Hashtbl.create 16;
+    transitions_tbl = Hashtbl.create 16;
+    onclick_tbl = Hashtbl.create 16;
+    declared_fragments_tbl = Hashtbl.create 16;
+  }
+
+(* Idempotent per site: inlined clones of a statement denote the same
+   allocation abstraction. *)
+let fresh_alloc t ~cls ~site =
+  let alloc = { Node.a_site = site; a_cls = cls } in
+  if not (List.mem alloc t.alloc_list) then t.alloc_list <- alloc :: t.alloc_list;
+  alloc
+
+let fresh_op t ~kind ~site ~recv ~args ~out =
+  let op = { site = { Node.o_site = site; o_kind = kind }; op_recv = recv; op_args = args; op_out = out } in
+  t.op_list <- op :: t.op_list;
+  op
+
+let add_edge t ?(kind = E_direct) src dst =
+  let key = (src, kind, dst) in
+  if not (Hashtbl.mem t.edge_seen key) then begin
+    Hashtbl.add t.edge_seen key ();
+    t.edge_total <- t.edge_total + 1;
+    let existing = Option.value (Hashtbl.find_opt t.edges src) ~default:[] in
+    Hashtbl.replace t.edges src ((kind, dst) :: existing)
+  end
+
+let seed t node value =
+  let existing = Option.value (Hashtbl.find_opt t.seed_tbl node) ~default:VS.empty in
+  Hashtbl.replace t.seed_tbl node (VS.add value existing)
+
+let set_of t node = Option.value (Hashtbl.find_opt t.sets node) ~default:VS.empty
+
+let add_value t node value =
+  let existing = set_of t node in
+  if VS.mem value existing then false
+  else begin
+    Hashtbl.replace t.sets node (VS.add value existing);
+    true
+  end
+
+let views_of t node =
+  VS.fold
+    (fun v acc -> match Node.view_of_value v with Some view -> view :: acc | None -> acc)
+    (set_of t node) []
+
+let succs t node = Option.value (Hashtbl.find_opt t.edges node) ~default:[]
+
+let seeds t = Hashtbl.fold (fun node vs acc -> (node, vs) :: acc) t.seed_tbl []
+
+let reset_sets t =
+  Hashtbl.reset t.sets;
+  Hashtbl.reset t.children_tbl;
+  Hashtbl.reset t.parents_tbl;
+  Hashtbl.reset t.ids_tbl;
+  Hashtbl.reset t.roots_tbl;
+  Hashtbl.reset t.listeners_tbl;
+  Hashtbl.reset t.root_layout_tbl;
+  Hashtbl.reset t.inflations;
+  Hashtbl.reset t.transitions_tbl;
+  Hashtbl.reset t.onclick_tbl;
+  Hashtbl.reset t.declared_fragments_tbl
+
+(* Generic set-valued relation update returning whether it grew. *)
+let add_to_set_tbl (type s elt) (module S : Set.S with type t = s and type elt = elt) tbl key v =
+  let existing = Option.value (Hashtbl.find_opt tbl key) ~default:S.empty in
+  if S.mem v existing then false
+  else begin
+    Hashtbl.replace tbl key (S.add v existing);
+    true
+  end
+
+let add_child t ~parent ~child =
+  let grew = add_to_set_tbl (module View_set) t.children_tbl parent child in
+  if grew then ignore (add_to_set_tbl (module View_set) t.parents_tbl child parent);
+  grew
+
+let children_of t view = Option.value (Hashtbl.find_opt t.children_tbl view) ~default:View_set.empty
+
+let parents_of t view = Option.value (Hashtbl.find_opt t.parents_tbl view) ~default:View_set.empty
+
+let descendants t ~include_self view =
+  let visited = ref (if include_self then View_set.singleton view else View_set.empty) in
+  let queue = Queue.create () in
+  Queue.add view queue;
+  while not (Queue.is_empty queue) do
+    let current = Queue.take queue in
+    View_set.iter
+      (fun child ->
+        if not (View_set.mem child !visited) then begin
+          visited := View_set.add child !visited;
+          Queue.add child queue
+        end)
+      (children_of t current)
+  done;
+  !visited
+
+let add_view_id t view id = add_to_set_tbl (module Int_set) t.ids_tbl view id
+
+let ids_of_view t view = Option.value (Hashtbl.find_opt t.ids_tbl view) ~default:Int_set.empty
+
+let add_holder_root t holder root = add_to_set_tbl (module View_set) t.roots_tbl holder root
+
+let roots_of_holder t holder = Option.value (Hashtbl.find_opt t.roots_tbl holder) ~default:View_set.empty
+
+let holders t = Hashtbl.fold (fun h _ acc -> h :: acc) t.roots_tbl []
+
+let add_view_listener t view listener ~iface =
+  add_to_set_tbl (module Listener_set) t.listeners_tbl view (listener, iface)
+
+let listeners_of_view t view =
+  Option.value (Hashtbl.find_opt t.listeners_tbl view) ~default:Listener_set.empty
+
+let views_with_listeners t = Hashtbl.fold (fun v _ acc -> v :: acc) t.listeners_tbl []
+
+let add_root_layout t view id = add_to_set_tbl (module Int_set) t.root_layout_tbl view id
+
+let layouts_of_root t view =
+  Option.value (Hashtbl.find_opt t.root_layout_tbl view) ~default:Int_set.empty
+
+let add_onclick t view handler = add_to_set_tbl (module String_set) t.onclick_tbl view handler
+
+let onclicks_of t view =
+  match Hashtbl.find_opt t.onclick_tbl view with
+  | Some s -> String_set.elements s
+  | None -> []
+
+let add_declared_fragment t view cls =
+  add_to_set_tbl (module String_set) t.declared_fragments_tbl view cls
+
+let declared_fragments_of t view =
+  match Hashtbl.find_opt t.declared_fragments_tbl view with
+  | Some s -> String_set.elements s
+  | None -> []
+
+let views_with_declared_fragments t =
+  Hashtbl.fold (fun v _ acc -> v :: acc) t.declared_fragments_tbl []
+
+let add_transition t ~from_ ~to_ =
+  if Hashtbl.mem t.transitions_tbl (from_, to_) then false
+  else begin
+    Hashtbl.add t.transitions_tbl (from_, to_) ();
+    true
+  end
+
+let transitions t = Hashtbl.fold (fun edge () acc -> edge :: acc) t.transitions_tbl []
+
+let find_inflation t ~site ~layout = Hashtbl.find_opt t.inflations (site, layout)
+
+let record_inflation t ~site ~layout views = Hashtbl.replace t.inflations (site, layout) views
+
+let inflated_views t = Hashtbl.fold (fun _ views acc -> views @ acc) t.inflations []
+
+let ops t = List.rev t.op_list
+
+let allocs t = List.rev t.alloc_list
+
+let locations t =
+  let seen = Hashtbl.create 256 in
+  let out = ref [] in
+  let add node =
+    if not (Hashtbl.mem seen node) then begin
+      Hashtbl.add seen node ();
+      out := node :: !out
+    end
+  in
+  Hashtbl.iter
+    (fun src targets ->
+      add src;
+      List.iter (fun (_, dst) -> add dst) targets)
+    t.edges;
+  Hashtbl.iter (fun node _ -> add node) t.seed_tbl;
+  Hashtbl.iter (fun node _ -> add node) t.sets;
+  List.iter
+    (fun op ->
+      add op.op_recv;
+      List.iter add op.op_args;
+      Option.iter add op.op_out)
+    t.op_list;
+  !out
+
+let edge_count t = t.edge_total
+
+(* Graphviz output: locations as ellipses, ops as boxes, views as gray
+   boxes (Figure 3/4 style). *)
+let pp_dot ppf t =
+  let location_id node = Fmt.str "%S" (Fmt.str "%a" Node.pp node) in
+  let view_id view = Fmt.str "%S" (Fmt.str "%a" Node.pp_view view) in
+  Fmt.pf ppf "digraph constraint_graph {@\n  rankdir=LR;@\n";
+  List.iter
+    (fun node -> Fmt.pf ppf "  %s [shape=ellipse];@\n" (location_id node))
+    (locations t);
+  List.iter
+    (fun op ->
+      let op_node = Fmt.str "%S" (Fmt.str "%a" Node.pp_op_site op.site) in
+      Fmt.pf ppf "  %s [shape=box,style=bold];@\n" op_node;
+      Fmt.pf ppf "  %s -> %s [label=recv];@\n" (location_id op.op_recv) op_node;
+      List.iteri
+        (fun i arg -> Fmt.pf ppf "  %s -> %s [label=\"arg%d\"];@\n" (location_id arg) op_node i)
+        op.op_args;
+      Option.iter (fun out -> Fmt.pf ppf "  %s -> %s;@\n" op_node (location_id out)) op.op_out)
+    (ops t);
+  Hashtbl.iter
+    (fun src targets ->
+      List.iter
+        (fun (kind, dst) ->
+          match kind with
+          | E_direct -> Fmt.pf ppf "  %s -> %s;@\n" (location_id src) (location_id dst)
+          | E_cast c -> Fmt.pf ppf "  %s -> %s [label=\"(%s)\"];@\n" (location_id src) (location_id dst) c)
+        targets)
+    t.edges;
+  Hashtbl.iter
+    (fun parent children ->
+      View_set.iter
+        (fun child ->
+          Fmt.pf ppf "  %s -> %s [style=dashed,label=child];@\n" (view_id parent) (view_id child))
+        children)
+    t.children_tbl;
+  Hashtbl.iter
+    (fun view ids ->
+      Int_set.iter (fun id -> Fmt.pf ppf "  %s -> \"id:0x%x\" [style=dashed];@\n" (view_id view) id) ids)
+    t.ids_tbl;
+  Hashtbl.iter
+    (fun holder roots ->
+      View_set.iter
+        (fun root ->
+          Fmt.pf ppf "  \"%a\" -> %s [style=dashed,label=root];@\n" Node.pp_holder holder
+            (view_id root))
+        roots)
+    t.roots_tbl;
+  Hashtbl.iter
+    (fun view listeners ->
+      Listener_set.iter
+        (fun (l, iface) ->
+          Fmt.pf ppf "  %s -> \"%a\" [style=dashed,label=\"listener:%s\"];@\n" (view_id view)
+            Node.pp_listener l iface)
+        listeners)
+    t.listeners_tbl;
+  Fmt.pf ppf "}@\n"

@@ -1,0 +1,145 @@
+(** The constraint graph (Section 4.1) and the relations computed over
+    it (Section 4.2).
+
+    Locations ({!Node.t}) carry points-to sets of abstract values; flow
+    edges ([->] in the paper) connect locations; the [=>] relationship
+    edges of the paper are stored as relations over abstract views:
+    parent-child, view=>id, holder=>root, view=>listener, and
+    root=>layout-id. *)
+
+module VS : Set.S with type elt = Node.value
+
+module View_set : Set.S with type elt = Node.view_abs
+
+module Listener_set : Set.S with type elt = Node.listener_abs * string
+(** Registrations: the listener together with the interface name it
+    was registered under. *)
+
+module Int_set : Set.S with type elt = int
+
+type edge_kind =
+  | E_direct
+  | E_cast of string  (** flow through [x = (C) y]; may filter *)
+
+(** An operation node with its connected locations. *)
+type op = {
+  site : Node.op_site;
+  op_recv : Node.t;
+  op_args : Node.t list;
+  op_out : Node.t option;
+}
+
+type t
+
+val create : unit -> t
+
+(** {1 Construction (used by {!Extract})} *)
+
+val fresh_alloc : t -> cls:string -> site:Node.site -> Node.alloc_site
+
+val fresh_op :
+  t ->
+  kind:Framework.Api.kind ->
+  site:Node.site ->
+  recv:Node.t ->
+  args:Node.t list ->
+  out:Node.t option ->
+  op
+
+val add_edge : t -> ?kind:edge_kind -> Node.t -> Node.t -> unit
+(** Idempotent. *)
+
+val seed : t -> Node.t -> Node.value -> unit
+(** Record an initial value for a location (allocation results, id
+    constants, implicit activity instances). *)
+
+(** {1 Points-to sets} *)
+
+val add_value : t -> Node.t -> Node.value -> bool
+(** [true] iff the set grew. *)
+
+val set_of : t -> Node.t -> VS.t
+
+val views_of : t -> Node.t -> Node.view_abs list
+
+val succs : t -> Node.t -> (edge_kind * Node.t) list
+
+val seeds : t -> (Node.t * VS.t) list
+
+val reset_sets : t -> unit
+(** Clear all points-to sets and relations back to the seeded state
+    (used to re-solve under a different configuration). *)
+
+(** {1 Relations} *)
+
+val add_child : t -> parent:Node.view_abs -> child:Node.view_abs -> bool
+
+val children_of : t -> Node.view_abs -> View_set.t
+
+val parents_of : t -> Node.view_abs -> View_set.t
+
+val descendants : t -> include_self:bool -> Node.view_abs -> View_set.t
+(** Reflexive-or-strict transitive closure of parent-child, by BFS. *)
+
+val add_view_id : t -> Node.view_abs -> int -> bool
+
+val ids_of_view : t -> Node.view_abs -> Int_set.t
+
+val add_holder_root : t -> Node.holder -> Node.view_abs -> bool
+
+val roots_of_holder : t -> Node.holder -> View_set.t
+
+val holders : t -> Node.holder list
+
+val add_view_listener : t -> Node.view_abs -> Node.listener_abs -> iface:string -> bool
+
+val listeners_of_view : t -> Node.view_abs -> Listener_set.t
+
+val views_with_listeners : t -> Node.view_abs list
+
+val add_root_layout : t -> Node.view_abs -> int -> bool
+
+val layouts_of_root : t -> Node.view_abs -> Int_set.t
+
+val add_onclick : t -> Node.view_abs -> string -> bool
+(** Declarative [android:onClick] handler name carried by an inflated
+    view. *)
+
+val onclicks_of : t -> Node.view_abs -> string list
+
+val add_declared_fragment : t -> Node.view_abs -> string -> bool
+(** Fragment class declared by a [<fragment>] placeholder node. *)
+
+val declared_fragments_of : t -> Node.view_abs -> string list
+
+val views_with_declared_fragments : t -> Node.view_abs list
+
+val add_transition : t -> from_:string -> to_:string -> bool
+(** Activity-transition edge (extension: STARTACTIVITY). *)
+
+val transitions : t -> (string * string) list
+
+(** {1 Inflation bookkeeping} *)
+
+val find_inflation : t -> site:Node.site -> layout:string -> Node.view_abs list option
+
+val record_inflation : t -> site:Node.site -> layout:string -> Node.view_abs list -> unit
+
+val inflated_views : t -> Node.view_abs list
+(** Every [V_infl] minted so far (Table 1's "views (I)"). *)
+
+(** {1 Inspection} *)
+
+val ops : t -> op list
+(** In creation order. *)
+
+val allocs : t -> Node.alloc_site list
+
+val locations : t -> Node.t list
+(** Every location mentioned by an edge, seed, set, or op. *)
+
+val edge_count : t -> int
+
+val pp_dot : t Fmt.t
+(** Graphviz rendering of the solved graph: locations, op nodes, flow
+    edges, and relationship edges (Figures 3-4 style). *)

@@ -1,0 +1,59 @@
+let instantiate graph ~resources ~site (def : Layouts.Layout.def) =
+  match Graph.find_inflation graph ~site ~layout:def.name with
+  | Some views -> views
+  | None ->
+      let abs_of_path =
+        let tbl = Hashtbl.create 16 in
+        fun path (node : Layouts.Layout.node) ->
+          match Hashtbl.find_opt tbl path with
+          | Some v -> v
+          | None ->
+              let v =
+                Node.V_infl
+                  {
+                    Node.v_site = site;
+                    v_layout = def.name;
+                    v_path = path;
+                    v_cls = node.view_class;
+                    v_vid = node.id;
+                  }
+              in
+              Hashtbl.add tbl path v;
+              v
+      in
+      let nodes = Layouts.Layout.nodes def in
+      let views =
+        List.map
+          (fun (path, (node : Layouts.Layout.node)) ->
+            let view = abs_of_path path node in
+            (match node.id with
+            | Some id_name ->
+                ignore (Graph.add_view_id graph view (Layouts.Resource.view_id resources id_name))
+            | None -> ());
+            (match node.onclick with
+            | Some handler -> ignore (Graph.add_onclick graph view handler)
+            | None -> ());
+            (match node.fragment_class with
+            | Some cls -> ignore (Graph.add_declared_fragment graph view cls)
+            | None -> ());
+            view)
+          nodes
+      in
+      List.iter
+        (fun (parent_path, child_path) ->
+          match
+            ( Layouts.Layout.find def parent_path,
+              Layouts.Layout.find def child_path )
+          with
+          | Some parent_node, Some child_node ->
+              let parent = abs_of_path parent_path parent_node in
+              let child = abs_of_path child_path child_node in
+              ignore (Graph.add_child graph ~parent ~child)
+          | _ -> assert false)
+        (Layouts.Layout.edges def);
+      Graph.record_inflation graph ~site ~layout:def.name views;
+      views
+
+let root = function
+  | [] -> invalid_arg "Inflate.root: empty inflation"
+  | r :: _ -> r

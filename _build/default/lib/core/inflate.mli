@@ -1,0 +1,15 @@
+(** Lazy layout inflation (rules INFLATE1/INFLATE2, Section 3.2.1 /
+    4.2): when a layout id reaches an inflation operation, mint one
+    inflated-view abstraction per layout node, with parent-child and
+    view=>id relationship edges.  Minting is memoized per
+    (operation, layout), making the solver's op transfers
+    idempotent. *)
+
+val instantiate :
+  Graph.t -> resources:Layouts.Resource.t -> site:Node.site -> Layouts.Layout.def -> Node.view_abs list
+(** Returns the minted views in preorder — the root first.  Subsequent
+    calls with the same (op, layout) return the same list. *)
+
+val root : Node.view_abs list -> Node.view_abs
+(** Head of a non-empty preorder list.  @raise Invalid_argument on
+    empty (a layout always has a root). *)

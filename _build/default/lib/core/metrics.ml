@@ -1,0 +1,130 @@
+type table1_row = {
+  t1_app : string;
+  t1_classes : int;
+  t1_methods : int;
+  t1_layout_ids : int;
+  t1_view_ids : int;
+  t1_views_inflated : int;
+  t1_views_allocated : int;
+  t1_listeners : int;
+  t1_activities : int;
+  t1_inflate_ops : int;
+  t1_findview_ops : int;
+  t1_addview_ops : int;
+  t1_setid_ops : int;
+  t1_setlistener_ops : int;
+}
+
+type table2_row = {
+  t2_app : string;
+  t2_seconds : float;
+  t2_receivers : float option;
+  t2_parameters : float option;
+  t2_results : float option;
+  t2_listeners : float option;
+}
+
+let avg sizes =
+  let positive = List.filter (fun n -> n > 0) sizes in
+  match positive with
+  | [] -> None
+  | _ ->
+      let total = List.fold_left ( + ) 0 positive in
+      Some (float_of_int total /. float_of_int (List.length positive))
+
+let count predicate xs = List.length (List.filter predicate xs)
+
+let table1 (r : Analysis.t) =
+  let app = r.app in
+  let hierarchy = app.Framework.App.hierarchy in
+  let classes, methods = Jir.Ast.program_size app.program in
+  let layout_ids, view_ids = Layouts.Resource.counts (Layouts.Package.resources app.package) in
+  let allocs = Graph.allocs r.graph in
+  let view_allocs =
+    count (fun (a : Node.alloc_site) -> Framework.Views.is_view_class hierarchy a.a_cls) allocs
+  in
+  let listener_allocs =
+    count (fun (a : Node.alloc_site) -> Framework.Listeners.is_listener_class hierarchy a.a_cls) allocs
+  in
+  (* Inlining-based context sensitivity clones operation records; the
+     population of Table 1 counts operation *sites*. *)
+  let ops =
+    List.sort_uniq
+      (fun (a : Graph.op) (b : Graph.op) -> compare a.site b.site)
+      (Graph.ops r.graph)
+  in
+  let count_kind predicate = count (fun (op : Graph.op) -> predicate op.site.o_kind) ops in
+  {
+    t1_app = app.name;
+    t1_classes = classes;
+    t1_methods = methods;
+    t1_layout_ids = layout_ids;
+    t1_view_ids = view_ids;
+    t1_views_inflated = List.length (Graph.inflated_views r.graph);
+    t1_views_allocated = view_allocs;
+    t1_listeners = listener_allocs;
+    t1_activities = List.length (Framework.App.activity_classes app);
+    t1_inflate_ops =
+      count_kind (function Framework.Api.Inflate | Framework.Api.Set_content -> true | _ -> false);
+    t1_findview_ops =
+      count_kind (function
+        | Framework.Api.Find_view | Framework.Api.Find_one _ | Framework.Api.Get_parent -> true
+        | _ -> false);
+    t1_addview_ops = count_kind (function Framework.Api.Add_view -> true | _ -> false);
+    t1_setid_ops = count_kind (function Framework.Api.Set_id -> true | _ -> false);
+    t1_setlistener_ops = count_kind (function Framework.Api.Set_listener _ -> true | _ -> false);
+  }
+
+(* Ops whose receiver position takes views. *)
+let takes_view_receiver = function
+  | Framework.Api.Find_view
+  | Framework.Api.Find_one _
+  | Framework.Api.Add_view
+  | Framework.Api.Set_id
+  | Framework.Api.Set_listener _
+  | Framework.Api.Get_parent ->
+      true
+  | Framework.Api.Inflate | Framework.Api.Set_content | Framework.Api.Start_activity
+  | Framework.Api.Pass_through | Framework.Api.Fragment_add | Framework.Api.Menu_add
+  | Framework.Api.Set_adapter ->
+      false
+
+(* Ops producing views. *)
+let produces_views = function
+  | Framework.Api.Find_view | Framework.Api.Find_one _ | Framework.Api.Inflate
+  | Framework.Api.Get_parent ->
+      true
+  | Framework.Api.Set_content | Framework.Api.Add_view | Framework.Api.Set_id
+  | Framework.Api.Set_listener _ | Framework.Api.Start_activity | Framework.Api.Pass_through
+  | Framework.Api.Fragment_add | Framework.Api.Menu_add | Framework.Api.Set_adapter ->
+      false
+
+let table2 (r : Analysis.t) =
+  let ops = Graph.ops r.graph in
+  let sizes_by predicate measure =
+    List.filter_map
+      (fun (op : Graph.op) -> if predicate op.site.o_kind then Some (measure op) else None)
+      ops
+  in
+  let receivers =
+    sizes_by takes_view_receiver (fun op -> List.length (Analysis.op_receiver_views r op))
+  in
+  let parameters =
+    sizes_by
+      (function Framework.Api.Add_view -> true | _ -> false)
+      (fun op -> List.length (Analysis.op_child_views r op))
+  in
+  let results = sizes_by produces_views (fun op -> List.length (Analysis.op_result_views r op)) in
+  let listeners =
+    sizes_by
+      (function Framework.Api.Set_listener _ -> true | _ -> false)
+      (fun op -> List.length (Analysis.op_listeners r op))
+  in
+  {
+    t2_app = r.app.Framework.App.name;
+    t2_seconds = r.solve_seconds;
+    t2_receivers = avg receivers;
+    t2_parameters = avg parameters;
+    t2_results = avg results;
+    t2_listeners = avg listeners;
+  }

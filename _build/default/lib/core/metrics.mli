@@ -1,0 +1,42 @@
+(** Measurements of the analyzed apps and their solutions — the
+    quantities reported in Table 1 and Table 2 of the paper. *)
+
+(** One row of Table 1: application size and constraint-graph node
+    populations. *)
+type table1_row = {
+  t1_app : string;
+  t1_classes : int;
+  t1_methods : int;
+  t1_layout_ids : int;  (** "ids (L)" *)
+  t1_view_ids : int;  (** "ids (V)" *)
+  t1_views_inflated : int;  (** "views (I)" — inflated view nodes *)
+  t1_views_allocated : int;  (** "views (A)" — view allocation sites *)
+  t1_listeners : int;  (** listener allocation sites *)
+  t1_activities : int;
+  t1_inflate_ops : int;  (** Inflate + SetContent(int) operation nodes *)
+  t1_findview_ops : int;  (** FindView + FindOne operation nodes *)
+  t1_addview_ops : int;
+  t1_setid_ops : int;
+  t1_setlistener_ops : int;
+}
+
+(** One row of Table 2: running time and average solution-set sizes.
+    [None] encodes the paper's "-" (no such operations). *)
+type table2_row = {
+  t2_app : string;
+  t2_seconds : float;
+  t2_receivers : float option;
+      (** avg views reaching an operation's receiver position *)
+  t2_parameters : float option;  (** avg views reaching AddView as the child *)
+  t2_results : float option;  (** avg views output from view-producing ops *)
+  t2_listeners : float option;  (** avg listeners reaching a SetListener op *)
+}
+
+val table1 : Analysis.t -> table1_row
+
+val table2 : Analysis.t -> table2_row
+
+val avg : int list -> float option
+(** Mean of the positive entries; [None] when there are none.
+    Operations whose solution set is empty (unreachable/uninstantiated
+    code) do not dilute the average. *)

@@ -1,0 +1,120 @@
+type mid = { mid_cls : string; mid_name : string; mid_arity : int }
+
+let mid cls (key : Jir.Ast.meth_key) =
+  { mid_cls = cls; mid_name = key.mk_name; mid_arity = key.mk_arity }
+
+let mid_of_meth cls m = mid cls (Jir.Ast.key_of_meth m)
+
+let pp_mid ppf m = Fmt.pf ppf "%s.%s/%d" m.mid_cls m.mid_name m.mid_arity
+
+type site = { s_in : mid; s_stmt : int }
+
+let pp_site ppf s = Fmt.pf ppf "%a@@%d" pp_mid s.s_in s.s_stmt
+
+type alloc_site = { a_site : site; a_cls : string }
+
+type op_site = { o_site : site; o_kind : Framework.Api.kind }
+
+type infl_site = {
+  v_site : site;
+  v_layout : string;
+  v_path : int list;
+  v_cls : string;
+  v_vid : string option;
+}
+
+type view_abs = V_infl of infl_site | V_alloc of alloc_site
+
+type value =
+  | V_view of view_abs
+  | V_act of string
+  | V_obj of alloc_site
+  | V_layout_id of int
+  | V_view_id of int
+
+type listener_abs = L_alloc of alloc_site | L_act of string
+
+type holder = H_act of string | H_dialog of alloc_site
+
+type t = N_var of mid * string | N_field of string | N_ret of mid
+
+let class_of_view = function V_infl i -> i.v_cls | V_alloc a -> a.a_cls
+
+(* The implicit options-menu object of an activity (menu extension).
+   Both the static analysis and the dynamic semantics construct this
+   same structural site, keeping abstractions aligned; "<options-menu>"
+   cannot collide with source method names. *)
+let menu_site activity =
+  {
+    a_site = { s_in = { mid_cls = activity; mid_name = "<options-menu>"; mid_arity = 0 }; s_stmt = 0 };
+    a_cls = "Menu";
+  }
+
+let menu_owner (a : alloc_site) =
+  if a.a_site.s_in.mid_name = "<options-menu>" then Some a.a_site.s_in.mid_cls else None
+
+let menu_item_site (op : site) = { a_site = op; a_cls = "MenuItem" }
+
+(* The implicit instance of a declaratively placed fragment
+   (<fragment android:name="F"/>): identified by the fragment class and
+   the placeholder's inflated-view identity, so the static analysis and
+   the dynamic semantics agree. *)
+let declared_fragment_site cls (i : infl_site) =
+  let path = String.concat "." (List.map string_of_int i.v_path) in
+  {
+    a_site =
+      {
+        s_in =
+          {
+            mid_cls = cls;
+            mid_name =
+              Printf.sprintf "<fragment>@%s[%s]#%s.%s/%d@%d" i.v_layout path i.v_site.s_in.mid_cls
+                i.v_site.s_in.mid_name i.v_site.s_in.mid_arity i.v_site.s_stmt;
+            mid_arity = 0;
+          };
+        s_stmt = 0;
+      };
+    a_cls = cls;
+  }
+
+let view_of_value = function V_view v -> Some v | _ -> None
+
+let compare = Stdlib.compare
+
+let equal a b = compare a b = 0
+
+let hash = Hashtbl.hash
+
+let compare_value : value -> value -> int = Stdlib.compare
+
+let pp ppf = function
+  | N_var (m, v) -> Fmt.pf ppf "%a:%s" pp_mid m v
+  | N_field f -> Fmt.pf ppf "field:%s" f
+  | N_ret m -> Fmt.pf ppf "ret(%a)" pp_mid m
+
+let pp_path ppf path = Fmt.pf ppf "%a" (Fmt.list ~sep:(Fmt.any ".") Fmt.int) path
+
+let pp_alloc ppf a = Fmt.pf ppf "%s@@%a" a.a_cls pp_site a.a_site
+
+let pp_view ppf = function
+  | V_infl i ->
+      Fmt.pf ppf "%s@@%s[%a]#%a" i.v_cls i.v_layout pp_path i.v_path pp_site i.v_site;
+      (match i.v_vid with Some vid -> Fmt.pf ppf "(id=%s)" vid | None -> ())
+  | V_alloc a -> pp_alloc ppf a
+
+let pp_value ppf = function
+  | V_view v -> pp_view ppf v
+  | V_act a -> Fmt.pf ppf "activity:%s" a
+  | V_obj a -> pp_alloc ppf a
+  | V_layout_id id -> Fmt.pf ppf "layout:0x%x" id
+  | V_view_id id -> Fmt.pf ppf "id:0x%x" id
+
+let pp_listener ppf = function
+  | L_alloc a -> pp_alloc ppf a
+  | L_act a -> Fmt.pf ppf "activity:%s" a
+
+let pp_holder ppf = function
+  | H_act a -> Fmt.pf ppf "activity:%s" a
+  | H_dialog a -> Fmt.pf ppf "dialog:%a" pp_alloc a
+
+let pp_op_site ppf o = Fmt.pf ppf "%a@@%a" Framework.Api.pp_kind o.o_kind pp_site o.o_site

@@ -1,0 +1,528 @@
+type stats = { iterations : int; propagations : int }
+
+(* Can a value pass through a cast to [cls]?  Sound filtering: the
+   abstract object's dynamic class is known exactly, so the cast
+   succeeds iff it is a subtype of [cls].  Unknown classes pass. *)
+let passes_cast hierarchy cls value =
+  let compatible c = (not (Jir.Hierarchy.mem hierarchy c)) || Jir.Hierarchy.subtype hierarchy c cls in
+  if not (Jir.Hierarchy.mem hierarchy cls) then true
+  else
+    match value with
+    | Node.V_view v -> compatible (Node.class_of_view v)
+    | Node.V_obj a -> compatible a.a_cls
+    | Node.V_act a -> compatible a
+    | Node.V_layout_id _ | Node.V_view_id _ -> false
+
+type state = {
+  config : Config.t;
+  app : Framework.App.t;
+  graph : Graph.t;
+  worklist : Node.t Util.Worklist.t;
+  mutable propagations : int;
+  mutable dirty : bool;  (** a set or relation grew during the current op pass *)
+}
+
+let push_value state node value =
+  if Graph.add_value state.graph node value then begin
+    Util.Worklist.add state.worklist node;
+    state.dirty <- true
+  end
+
+let mark state changed = if changed then state.dirty <- true
+
+(* Worklist propagation of points-to sets along flow edges. *)
+let propagate state =
+  let hierarchy = state.app.Framework.App.hierarchy in
+  Util.Worklist.drain state.worklist (fun node ->
+      state.propagations <- state.propagations + 1;
+      let values = Graph.set_of state.graph node in
+      List.iter
+        (fun (kind, dst) ->
+          Graph.VS.iter
+            (fun value ->
+              let passes =
+                match kind with
+                | Graph.E_direct -> true
+                | Graph.E_cast cls -> passes_cast hierarchy cls value
+              in
+              if passes && Graph.add_value state.graph dst value then
+                Util.Worklist.add state.worklist dst)
+            values)
+        (Graph.succs state.graph node))
+
+(* Values at the argument location of an op, view-id constants only. *)
+let view_ids_at state node =
+  Graph.VS.fold
+    (fun v acc -> match v with Node.V_view_id id -> id :: acc | _ -> acc)
+    (Graph.set_of state.graph node) []
+
+let layout_ids_at state node =
+  Graph.VS.fold
+    (fun v acc -> match v with Node.V_layout_id id -> id :: acc | _ -> acc)
+    (Graph.set_of state.graph node) []
+
+let views_at state node = Graph.views_of state.graph node
+
+(* Content holders among the values at a location: activities, plus
+   dialog objects when the extension is enabled. *)
+let holders_at state node =
+  Graph.VS.fold
+    (fun v acc ->
+      match v with
+      | Node.V_act a -> Node.H_act a :: acc
+      | Node.V_obj site
+        when state.config.Config.model_dialogs
+             && Framework.Views.is_dialog_class state.app.hierarchy site.a_cls ->
+          Node.H_dialog site :: acc
+      | _ -> acc)
+    (Graph.set_of state.graph node) []
+
+(* Listener objects among the values at a location, restricted to
+   those actually implementing the interface being registered. *)
+let listeners_at state iface node =
+  let implements cls =
+    Jir.Hierarchy.subtype state.app.Framework.App.hierarchy cls iface.Framework.Listeners.i_name
+  in
+  Graph.VS.fold
+    (fun v acc ->
+      match v with
+      | Node.V_obj site when implements site.a_cls -> Node.L_alloc site :: acc
+      | Node.V_view view when implements (Node.class_of_view view) ->
+          (* custom view classes can be their own listeners *)
+          (match view with
+          | Node.V_alloc site -> Node.L_alloc site :: acc
+          | Node.V_infl _ -> acc)
+      | Node.V_act a when implements a -> Node.L_act a :: acc
+      | _ -> acc)
+    (Graph.set_of state.graph node) []
+
+let inflate_at state ~site lid =
+  let package = state.app.Framework.App.package in
+  match Layouts.Package.find_by_layout_id package lid with
+  | None -> None
+  | Some def ->
+      let already = Graph.find_inflation state.graph ~site ~layout:def.name <> None in
+      let views =
+        Inflate.instantiate state.graph
+          ~resources:(Layouts.Package.resources package)
+          ~site def
+      in
+      if not already then state.dirty <- true;
+      Some (Inflate.root views)
+
+(* The implicit callback of SETLISTENER: for handler [n] of the
+   listener's class, inject listener -> this_n and view -> view-param_n
+   (the [y.n(x)] modeling at the end of Section 3). *)
+let inject_handler_flows state view listener iface =
+  let hierarchy = state.app.Framework.App.hierarchy in
+  let cls, listener_value =
+    match listener with
+    | Node.L_alloc site -> (site.Node.a_cls, Node.V_obj site)
+    | Node.L_act a -> (a, Node.V_act a)
+  in
+  List.iter
+    (fun (h : Framework.Listeners.handler) ->
+      match
+        Jir.Hierarchy.resolve hierarchy cls { Jir.Ast.mk_name = h.h_name; mk_arity = h.h_arity }
+      with
+      | Some (owner, m) ->
+          let tmid = Node.mid_of_meth owner m in
+          push_value state (Node.N_var (tmid, Jir.Ast.this_var)) listener_value;
+          (match h.h_view_param with
+          | Some k -> (
+              match List.nth_opt m.m_params k with
+              | Some (param, _) -> push_value state (Node.N_var (tmid, param)) (Node.V_view view)
+              | None -> ())
+          | None -> ());
+          (* adapter-view events: the item parameter receives the
+             registered view's children (item views) *)
+          (match h.h_item_param with
+          | Some k -> (
+              match List.nth_opt m.m_params k with
+              | Some (param, _) ->
+                  Graph.View_set.iter
+                    (fun child ->
+                      push_value state (Node.N_var (tmid, param)) (Node.V_view child))
+                    (Graph.children_of state.graph view)
+              | None -> ())
+          | None -> ())
+      | None -> ())
+    iface.Framework.Listeners.i_handlers
+
+(* find(view, id): descendants (reflexively) of the receiver carrying
+   the id — rule FINDVIEW1's [ancestorOf] + [=> id] conditions. *)
+let find_in_hierarchy state root id =
+  Graph.View_set.filter
+    (fun w -> Graph.Int_set.mem id (Graph.ids_of_view state.graph w))
+    (Graph.descendants state.graph ~include_self:true root)
+
+let apply_op state (op : Graph.op) =
+  let g = state.graph in
+  let out value = Option.iter (fun node -> push_value state node value) op.op_out in
+  let out_view view = out (Node.V_view view) in
+  match op.site.o_kind with
+  | Framework.Api.Inflate ->
+      let arg0 = List.nth_opt op.op_args 0 in
+      Option.iter
+        (fun arg ->
+          List.iter
+            (fun lid ->
+              match inflate_at state ~site:op.site.o_site lid with
+              | Some root ->
+                  mark state (Graph.add_root_layout g root lid);
+                  out_view root;
+                  (* inflate(id, parent): the new hierarchy may be
+                     attached to the given container. *)
+                  (match List.nth_opt op.op_args 1 with
+                  | Some parent_arg ->
+                      List.iter
+                        (fun parent -> mark state (Graph.add_child g ~parent ~child:root))
+                        (views_at state parent_arg)
+                  | None -> ())
+              | None -> ())
+            (layout_ids_at state arg))
+        arg0
+  | Framework.Api.Set_content ->
+      let holders = holders_at state op.op_recv in
+      Option.iter
+        (fun arg ->
+          (* setContentView(int): rule INFLATE2 *)
+          List.iter
+            (fun lid ->
+              match inflate_at state ~site:op.site.o_site lid with
+              | Some root ->
+                  mark state (Graph.add_root_layout g root lid);
+                  List.iter (fun h -> mark state (Graph.add_holder_root g h root)) holders
+              | None -> ())
+            (layout_ids_at state arg);
+          (* setContentView(View): rule ADDVIEW1 *)
+          List.iter
+            (fun view -> List.iter (fun h -> mark state (Graph.add_holder_root g h view)) holders)
+            (views_at state arg))
+        (List.nth_opt op.op_args 0)
+  | Framework.Api.Add_view ->
+      Option.iter
+        (fun arg ->
+          List.iter
+            (fun parent ->
+              List.iter
+                (fun child -> mark state (Graph.add_child g ~parent ~child))
+                (views_at state arg))
+            (views_at state op.op_recv))
+        (List.nth_opt op.op_args 0)
+  | Framework.Api.Set_id ->
+      Option.iter
+        (fun arg ->
+          List.iter
+            (fun view ->
+              List.iter (fun id -> mark state (Graph.add_view_id g view id)) (view_ids_at state arg))
+            (views_at state op.op_recv))
+        (List.nth_opt op.op_args 0)
+  | Framework.Api.Set_listener iface ->
+      Option.iter
+        (fun arg ->
+          List.iter
+            (fun view ->
+              List.iter
+                (fun listener ->
+                  mark state
+                    (Graph.add_view_listener g view listener ~iface:iface.Framework.Listeners.i_name);
+                  if state.config.Config.listener_callbacks then
+                    inject_handler_flows state view listener iface)
+                (listeners_at state iface arg))
+            (views_at state op.op_recv))
+        (List.nth_opt op.op_args 0)
+  | Framework.Api.Find_view ->
+      Option.iter
+        (fun arg ->
+          List.iter
+            (fun id ->
+              (* FINDVIEW1: receiver is a view *)
+              List.iter
+                (fun v ->
+                  Graph.View_set.iter out_view (find_in_hierarchy state v id))
+                (views_at state op.op_recv);
+              (* FINDVIEW2: receiver is an activity/dialog; search its roots *)
+              List.iter
+                (fun h ->
+                  Graph.View_set.iter
+                    (fun root -> Graph.View_set.iter out_view (find_in_hierarchy state root id))
+                    (Graph.roots_of_holder g h))
+                (holders_at state op.op_recv))
+            (view_ids_at state arg))
+        (List.nth_opt op.op_args 0)
+  | Framework.Api.Find_one scope ->
+      List.iter
+        (fun v ->
+          let results =
+            match scope with
+            | Framework.Api.Children when state.config.Config.findone_refinement ->
+                Graph.children_of g v
+            | Framework.Api.Children | Framework.Api.Descendants ->
+                Graph.descendants g ~include_self:false v
+          in
+          Graph.View_set.iter out_view results)
+        (views_at state op.op_recv)
+  | Framework.Api.Get_parent ->
+      List.iter
+        (fun v -> Graph.View_set.iter out_view (Graph.parents_of g v))
+        (views_at state op.op_recv)
+  | Framework.Api.Pass_through ->
+      (* the result stands for the receiver (e.g. a fragment manager
+         for its activity) *)
+      Graph.VS.iter (fun value -> out value) (Graph.set_of g op.op_recv)
+  | Framework.Api.Fragment_add ->
+      (* Fragment extension: the fragment's onCreateView callback runs
+         and its resulting views are attached under the views carrying
+         the container id in the activity's hierarchy. *)
+      let hierarchy = state.app.Framework.App.hierarchy in
+      let fragments =
+        match op.op_args with
+        | _ :: frag_arg :: _ ->
+            Graph.VS.fold
+              (fun v acc ->
+                match v with
+                | Node.V_obj site when Framework.Views.is_fragment_class hierarchy site.a_cls ->
+                    site :: acc
+                | _ -> acc)
+              (Graph.set_of g frag_arg) []
+        | _ -> []
+      in
+      let container_ids =
+        match op.op_args with id_arg :: _ -> view_ids_at state id_arg | [] -> []
+      in
+      let containers =
+        List.concat_map
+          (fun h ->
+            Graph.View_set.fold
+              (fun root acc ->
+                List.fold_left
+                  (fun acc id -> Graph.View_set.elements (find_in_hierarchy state root id) @ acc)
+                  acc container_ids)
+              (Graph.roots_of_holder g h) [])
+          (holders_at state op.op_recv)
+      in
+      List.iter
+        (fun (fragment : Node.alloc_site) ->
+          match
+            Jir.Hierarchy.resolve hierarchy fragment.a_cls
+              { Jir.Ast.mk_name = "onCreateView"; mk_arity = 0 }
+          with
+          | Some (owner, m) ->
+              let tmid = Node.mid_of_meth owner m in
+              push_value state (Node.N_var (tmid, Jir.Ast.this_var)) (Node.V_obj fragment);
+              let created = Graph.views_of g (Node.N_ret tmid) in
+              List.iter
+                (fun parent ->
+                  List.iter
+                    (fun child -> mark state (Graph.add_child g ~parent ~child))
+                    created)
+                containers
+          | None -> ())
+        fragments
+  | Framework.Api.Menu_add ->
+      (* Menu extension: mint a MenuItem per site, attach it under each
+         receiver menu, and feed the owning activity's
+         onOptionsItemSelected callback with it. *)
+      let hierarchy = state.app.Framework.App.hierarchy in
+      let item = Node.V_alloc (Node.menu_item_site op.site.o_site) in
+      List.iter
+        (fun menu ->
+          if Jir.Hierarchy.subtype hierarchy (Node.class_of_view menu) "Menu" then begin
+            mark state (Graph.add_child g ~parent:menu ~child:item);
+            out_view item;
+            (* add(group, itemId, order, title): the item id *)
+            (match op.op_args with
+            | _ :: id_arg :: _ ->
+                List.iter
+                  (fun id -> mark state (Graph.add_view_id g item id))
+                  (view_ids_at state id_arg)
+            | _ -> ());
+            match menu with
+            | Node.V_alloc site -> (
+                match Node.menu_owner site with
+                | Some activity -> (
+                    match
+                      Jir.Hierarchy.resolve hierarchy activity
+                        {
+                          Jir.Ast.mk_name = fst Framework.Lifecycle.on_options_item_selected;
+                          mk_arity = snd Framework.Lifecycle.on_options_item_selected;
+                        }
+                    with
+                    | Some (owner, m) -> (
+                        let tmid = Node.mid_of_meth owner m in
+                        match m.m_params with
+                        | (param, _) :: _ ->
+                            push_value state (Node.N_var (tmid, param)) (Node.V_view item)
+                        | [] -> ())
+                    | None -> ())
+                | None -> ())
+            | Node.V_infl _ -> ()
+          end)
+        (views_at state op.op_recv)
+  | Framework.Api.Set_adapter ->
+      (* Adapter extension: run the adapter's getView callback and make
+         its returned views children of the adapter view. *)
+      let hierarchy = state.app.Framework.App.hierarchy in
+      let adapters =
+        match op.op_args with
+        | arg :: _ ->
+            Graph.VS.fold
+              (fun v acc ->
+                match v with
+                | Node.V_obj site when Jir.Hierarchy.subtype hierarchy site.a_cls "Adapter" ->
+                    site :: acc
+                | _ -> acc)
+              (Graph.set_of g arg) []
+        | [] -> []
+      in
+      List.iter
+        (fun view ->
+          List.iter
+            (fun (adapter : Node.alloc_site) ->
+              match
+                Jir.Hierarchy.resolve hierarchy adapter.a_cls
+                  { Jir.Ast.mk_name = "getView"; mk_arity = 3 }
+              with
+              | Some (owner, m) ->
+                  let tmid = Node.mid_of_meth owner m in
+                  push_value state (Node.N_var (tmid, Jir.Ast.this_var)) (Node.V_obj adapter);
+                  (* parent parameter is the adapter view *)
+                  (match List.nth_opt m.m_params 2 with
+                  | Some (param, _) ->
+                      push_value state (Node.N_var (tmid, param)) (Node.V_view view)
+                  | None -> ());
+                  List.iter
+                    (fun child -> mark state (Graph.add_child g ~parent:view ~child))
+                    (Graph.views_of g (Node.N_ret tmid))
+              | None -> ())
+            adapters)
+        (views_at state op.op_recv)
+  | Framework.Api.Start_activity ->
+      (* Extension: inter-component control flow.  Sources are the
+         activities the call may execute on; targets are the activity
+         tokens reaching the argument. *)
+      let hierarchy = state.app.Framework.App.hierarchy in
+      let sources =
+        Graph.VS.fold
+          (fun v acc -> match v with Node.V_act a -> a :: acc | _ -> acc)
+          (Graph.set_of g op.op_recv) []
+      in
+      let targets =
+        match op.op_args with
+        | [] -> []
+        | arg :: _ ->
+            Graph.VS.fold
+              (fun v acc ->
+                match v with
+                | Node.V_obj site when Framework.Views.is_activity_class hierarchy site.a_cls ->
+                    site.a_cls :: acc
+                | Node.V_act a -> a :: acc
+                | _ -> acc)
+              (Graph.set_of g arg) []
+      in
+      List.iter
+        (fun from_ ->
+          List.iter (fun to_ -> mark state (Graph.add_transition g ~from_ ~to_)) targets)
+        sources
+
+(* Declarative listeners (android:onClick): views in a holder's
+   hierarchy carrying an onClick handler name behave as if the holder
+   registered itself as an OnClickListener whose handler is that
+   method. *)
+let apply_declarative_handlers state =
+  let g = state.graph in
+  let hierarchy = state.app.Framework.App.hierarchy in
+  List.iter
+    (fun holder ->
+      let label =
+        match holder with Node.H_act a -> a | Node.H_dialog site -> site.Node.a_cls
+      in
+      Graph.View_set.iter
+        (fun root ->
+          Graph.View_set.iter
+            (fun view ->
+              List.iter
+                (fun handler_name ->
+                  match
+                    Jir.Hierarchy.resolve hierarchy label
+                      { Jir.Ast.mk_name = handler_name; mk_arity = 1 }
+                  with
+                  | Some (owner, m) ->
+                      let listener =
+                        match holder with
+                        | Node.H_act a -> Node.L_act a
+                        | Node.H_dialog site -> Node.L_alloc site
+                      in
+                      mark state
+                        (Graph.add_view_listener g view listener ~iface:"OnClickListener");
+                      if state.config.Config.listener_callbacks then begin
+                        let tmid = Node.mid_of_meth owner m in
+                        push_value state
+                          (Node.N_var (tmid, Jir.Ast.this_var))
+                          (match holder with
+                          | Node.H_act a -> Node.V_act a
+                          | Node.H_dialog site -> Node.V_obj site);
+                        match m.m_params with
+                        | (param, _) :: _ ->
+                            push_value state (Node.N_var (tmid, param)) (Node.V_view view)
+                        | [] -> ()
+                      end
+                  | None -> ())
+                (Graph.onclicks_of g view))
+            (Graph.descendants g ~include_self:true root))
+        (Graph.roots_of_holder g holder))
+    (Graph.holders g)
+
+(* Declaratively placed fragments (<fragment android:name="F"/>): the
+   platform instantiates F during inflation and attaches the views
+   returned by F.onCreateView under the placeholder node. *)
+let apply_declared_fragments state =
+  let g = state.graph in
+  let hierarchy = state.app.Framework.App.hierarchy in
+  List.iter
+    (fun view ->
+      match view with
+      | Node.V_infl infl ->
+          List.iter
+            (fun cls ->
+              match
+                Jir.Hierarchy.resolve hierarchy cls
+                  { Jir.Ast.mk_name = "onCreateView"; mk_arity = 0 }
+              with
+              | Some (owner, m) ->
+                  let fragment = Node.declared_fragment_site cls infl in
+                  let tmid = Node.mid_of_meth owner m in
+                  push_value state (Node.N_var (tmid, Jir.Ast.this_var)) (Node.V_obj fragment);
+                  List.iter
+                    (fun child -> mark state (Graph.add_child g ~parent:view ~child))
+                    (Graph.views_of g (Node.N_ret tmid))
+              | None -> ())
+            (Graph.declared_fragments_of g view)
+      | Node.V_alloc _ -> ())
+    (Graph.views_with_declared_fragments g)
+
+let run config (app : Framework.App.t) graph =
+  Graph.reset_sets graph;
+  let state =
+    { config; app; graph; worklist = Util.Worklist.create (); propagations = 0; dirty = false }
+  in
+  List.iter
+    (fun (node, values) -> Graph.VS.iter (fun v -> push_value state node v) values)
+    (Graph.seeds graph);
+  propagate state;
+  let ops = Graph.ops graph in
+  let iterations = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !iterations < config.Config.max_iterations do
+    incr iterations;
+    state.dirty <- false;
+    List.iter (apply_op state) ops;
+    apply_declarative_handlers state;
+    apply_declared_fragments state;
+    propagate state;
+    continue_ := state.dirty
+  done;
+  if !continue_ then
+    Logs.warn (fun m -> m "solver hit the iteration cap (%d); result may be partial" !iterations);
+  { iterations = !iterations; propagations = state.propagations }

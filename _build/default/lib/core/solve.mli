@@ -1,0 +1,14 @@
+(** The constraint solver (Section 4.2/4.3): graph reachability to
+    propagate values, plus a fixed-point loop applying the inference
+    rules at operation nodes — INFLATE1/2, ADDVIEW1/2, SETID,
+    SETLISTENER, FINDVIEW1/2/3 — until no points-to set and no
+    relationship edge changes. *)
+
+type stats = {
+  iterations : int;  (** operation-pass rounds until fixpoint *)
+  propagations : int;  (** total worklist pops *)
+}
+
+val run : Config.t -> Framework.App.t -> Graph.t -> stats
+(** Mutates the graph's points-to sets and relations.  Safe to re-run:
+    sets are reset from the seeds first. *)

@@ -1,0 +1,1 @@
+lib/corpus/apps.ml: Gen List Spec

@@ -1,0 +1,1 @@
+lib/corpus/apps.mli: Framework Spec

@@ -1,0 +1,1 @@
+lib/corpus/connectbot.ml: Framework

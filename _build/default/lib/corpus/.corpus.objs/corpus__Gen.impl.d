@@ -1,0 +1,1 @@
+lib/corpus/gen.ml: Array Float Framework Int64 Jir Layouts List Option Printf Spec Util

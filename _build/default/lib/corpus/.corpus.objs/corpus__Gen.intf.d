@@ -1,0 +1,1 @@
+lib/corpus/gen.mli: Framework Spec Util

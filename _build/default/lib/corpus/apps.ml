@@ -1,0 +1,58 @@
+(* One spec per Table 1 row.  Field order:
+   name seed classes methods activities layouts(L) view_ids(V)
+   inflated(I) view_allocs(A) listener_classes listener_allocs
+   findview addview setid setlistener id_sharing receiver_merge *)
+let spec name seed classes methods activities layouts view_ids inflated view_allocs
+    listener_classes listener_allocs findview addview setid setlistener id_sharing receiver_merge
+    =
+  {
+    Spec.sp_name = name;
+    sp_seed = seed;
+    sp_classes = classes;
+    sp_methods = methods;
+    sp_activities = activities;
+    sp_layouts = layouts;
+    sp_view_ids = view_ids;
+    sp_inflated_nodes = inflated;
+    sp_view_allocs = view_allocs;
+    sp_listener_classes = listener_classes;
+    sp_listener_allocs = listener_allocs;
+    sp_findview_ops = findview;
+    sp_addview_ops = addview;
+    sp_setid_ops = setid;
+    sp_setlistener_ops = setlistener;
+    sp_id_sharing = id_sharing;
+    sp_receiver_merge = receiver_merge;
+  }
+
+let specs =
+  [
+    spec "APV" 101 68 415 3 3 12 16 2 3 5 16 2 0 8 0.0 0.0;
+    spec "Astrid" 102 1228 5782 25 95 230 300 46 20 40 150 40 6 46 0.25 0.35;
+    spec "BarcodeScanner" 103 126 1224 5 9 33 31 0 6 12 40 0 0 14 0.0 0.0;
+    spec "Beem" 104 284 1883 10 12 17 50 6 10 20 60 6 0 22 0.0 0.03;
+    spec "ConnectBot" 105 371 2366 10 19 45 140 7 12 26 80 12 2 30 0.0 0.0;
+    spec "FBReader" 106 954 5452 12 23 111 201 9 20 43 120 15 3 50 0.1 0.12;
+    spec "K9" 107 815 5311 20 33 153 385 8 25 54 160 10 4 60 0.05 0.06;
+    spec "KeePassDroid" 108 465 2784 12 19 70 213 12 14 29 90 15 2 35 0.15 0.18;
+    spec "Mileage" 109 221 1223 10 25 64 150 30 12 30 80 25 3 40 0.3 0.3;
+    spec "MyTracks" 110 485 2680 10 35 118 120 40 12 30 90 30 4 35 0.05 0.05;
+    spec "NPR" 111 249 1359 8 15 88 90 9 8 17 60 12 2 25 0.2 0.22;
+    spec "NotePad" 112 89 394 4 8 12 18 4 4 9 18 4 1 9 0.0 0.0;
+    spec "OpenManager" 113 60 252 3 8 46 60 0 6 20 46 0 0 20 0.1 0.08;
+    spec "OpenSudoku" 114 140 728 6 10 31 80 6 8 16 50 8 2 20 0.15 0.1;
+    spec "SipDroid" 115 351 2683 8 12 36 75 4 6 11 50 6 1 15 0.0 0.0;
+    spec "SuperGenPass" 116 65 268 2 3 9 37 0 4 12 20 0 0 12 0.1 0.15;
+    spec "TippyTipper" 117 57 241 4 6 42 90 22 8 27 40 25 3 27 0.05 0.05;
+    spec "VLC" 118 242 1374 8 10 91 150 11 15 45 80 15 5 45 0.05 0.05;
+    spec "VuDroid" 119 69 385 2 5 8 11 6 2 4 8 6 1 4 0.0 0.0;
+    spec "XBMC" 120 568 3012 15 24 151 350 23 20 88 180 25 8 88 0.3 0.95;
+  ]
+
+let names = List.map (fun s -> s.Spec.sp_name) specs
+
+let by_name name = List.find_opt (fun s -> s.Spec.sp_name = name) specs
+
+let generate = Gen.generate
+
+let case_study_names = [ "APV"; "BarcodeScanner"; "SuperGenPass"; "XBMC" ]

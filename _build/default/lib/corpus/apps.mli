@@ -1,0 +1,22 @@
+(** The 20-application corpus of the paper's evaluation (Table 1).
+
+    The specs reconstruct each app's feature population (classes,
+    methods, resource ids, views, listeners, operation counts) and its
+    precision profile (id sharing and helper-merging intensity chosen
+    so the Table 2 shape — near-1 averages for most apps, elevated
+    receivers for Astrid/Mileage/SuperGenPass, the XBMC outlier —
+    reproduces).  EXPERIMENTS.md records paper-vs-measured values. *)
+
+val specs : Spec.t list
+(** In the paper's (alphabetical) order; exactly 20. *)
+
+val names : string list
+
+val by_name : string -> Spec.t option
+
+val generate : Spec.t -> Framework.App.t
+(** Alias of {!Gen.generate}. *)
+
+val case_study_names : string list
+(** APV, BarcodeScanner, SuperGenPass, XBMC — the Section 5 precision
+    case study. *)

@@ -1,0 +1,91 @@
+let source =
+  {|
+// Figure 1 of the paper, in ALite concrete syntax.
+class ConsoleActivity extends Activity {
+  field flip: ViewFlipper;
+
+  // lines 3-7: helper querying the currently visible terminal
+  method findCurrentView(a: int): View {
+    b = this.flip;
+    c = b.getCurrentView();     // FindOne (children)
+    d = c.findViewById(a);      // FindView1
+    return d;
+  }
+
+  // lines 8-16
+  method onCreate(): void {
+    lid = R.layout.act_console;
+    this.setContentView(lid);   // Inflate2
+    vid1 = R.id.console_flip;
+    e = this.findViewById(vid1);  // FindView2 (activity hierarchy)
+    f = (ViewFlipper) e;
+    this.flip = f;
+    vid2 = R.id.button_esc;
+    g = this.findViewById(vid2);  // FindView2
+    h = (ImageView) g;
+    j = new EscapeButtonListener();
+    j.init(this);
+    h.setOnClickListener(j);    // SetListener
+    this.addNewTerminalView();
+  }
+
+  // lines 17-25
+  method addNewTerminalView(): void {
+    inflater = this.getLayoutInflater();
+    lid2 = R.layout.item_terminal;
+    k = inflater.inflate(lid2); // Inflate1
+    n = (RelativeLayout) k;
+    m = new TerminalView();
+    vid3 = R.id.console_flip;
+    m.setId(vid3);              // SetId
+    n.addView(m);               // AddView2: m becomes a child of n
+    p = this.flip;
+    p.addView(n);               // AddView2: n becomes a child of the flipper
+  }
+}
+
+// lines 26-34
+class EscapeButtonListener implements OnClickListener {
+  field cact: ConsoleActivity;
+
+  method init(q: ConsoleActivity): void {
+    this.cact = q;
+  }
+
+  method onClick(r: View): void {
+    s = this.cact;
+    vid = R.id.console_flip;
+    t = s.findCurrentView(vid); // application helper, not the platform API
+    v = (TerminalView) t;
+    // send ESC key to the terminal associated with v
+  }
+}
+
+// application-defined view class providing the SSH terminal GUI
+class TerminalView extends View {
+}
+|}
+
+let act_console_xml =
+  {|<RelativeLayout>
+  <ViewFlipper android:id="@+id/console_flip" />
+  <RelativeLayout android:id="@+id/keyboard_group">
+    <ImageView android:id="@+id/button_esc" />
+    <ImageView android:id="@+id/button_ctrl" />
+    <ImageView android:id="@+id/button_up" />
+    <ImageView android:id="@+id/button_down" />
+  </RelativeLayout>
+</RelativeLayout>|}
+
+let item_terminal_xml =
+  {|<RelativeLayout>
+  <TextView android:id="@+id/terminal_overlay" />
+</RelativeLayout>|}
+
+let app () =
+  match
+    Framework.App.of_source ~name:"ConnectBot" ~code:source
+      ~layouts:[ ("act_console", act_console_xml); ("item_terminal", item_terminal_xml) ]
+  with
+  | Ok app -> app
+  | Error e -> failwith ("Connectbot.app: " ^ e)

@@ -1,0 +1,20 @@
+(** The running example of the paper (Figure 1), derived from
+    ConnectBot: [ConsoleActivity] with its XML layouts [act_console]
+    and [item_terminal], the [EscapeButtonListener], and the
+    application-defined [TerminalView].
+
+    Note on names: in the paper's narration the helper that queries the
+    flipper is [findCurrentView(int)] (Section 2, "Event handlers");
+    the activity-wide searches at lines 10/13 reach the platform's
+    [findViewById].  We follow the narration. *)
+
+val source : string
+(** The ALite source text. *)
+
+val act_console_xml : string
+
+val item_terminal_xml : string
+
+val app : unit -> Framework.App.t
+(** Freshly parsed app.  @raise Failure if the embedded sources fail to
+    parse (a programming error caught by the test suite). *)

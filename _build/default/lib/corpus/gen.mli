@@ -1,0 +1,25 @@
+(** Deterministic synthetic-application generator.
+
+    Given a {!Spec.t}, emits a complete {!Framework.App.t}: XML-style
+    layouts, activity classes whose lifecycle methods exercise the
+    Android operations (inflation, find-view, add-view, set-id,
+    set-listener), listener classes with real handlers, a shared
+    view-helper class used to reproduce context-insensitivity receiver
+    merging, and padding helper classes to reach the class/method
+    totals.  Generation is a pure function of the spec (including its
+    seed).
+
+    Structural guarantees (relied on by tests):
+    - the number of operation statements of each kind equals the
+      spec's quota exactly;
+    - every activity's [onCreate] starts with [setContentView] of its
+      own layout, whose root carries a view id (so the generated app
+      is actually runnable by the dynamic semantics);
+    - every view-id name in the pool is referenced at least once, so
+      the resource table has exactly [sp_view_ids] entries. *)
+
+val generate : Spec.t -> Framework.App.t
+(** @raise Invalid_argument when {!Spec.validate} rejects the spec. *)
+
+val random_spec : ?name:string -> Util.Prng.t -> Spec.t
+(** A small well-formed random spec, for property-based testing. *)

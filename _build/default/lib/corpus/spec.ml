@@ -1,0 +1,62 @@
+type t = {
+  sp_name : string;
+  sp_seed : int;
+  sp_classes : int;
+  sp_methods : int;
+  sp_activities : int;
+  sp_layouts : int;
+  sp_view_ids : int;
+  sp_inflated_nodes : int;
+  sp_view_allocs : int;
+  sp_listener_classes : int;
+  sp_listener_allocs : int;
+  sp_findview_ops : int;
+  sp_addview_ops : int;
+  sp_setid_ops : int;
+  sp_setlistener_ops : int;
+  sp_id_sharing : float;
+  sp_receiver_merge : float;
+}
+
+let default =
+  {
+    sp_name = "Sample";
+    sp_seed = 1;
+    sp_classes = 10;
+    sp_methods = 40;
+    sp_activities = 2;
+    sp_layouts = 3;
+    sp_view_ids = 8;
+    sp_inflated_nodes = 12;
+    sp_view_allocs = 3;
+    sp_listener_classes = 2;
+    sp_listener_allocs = 3;
+    sp_findview_ops = 6;
+    sp_addview_ops = 3;
+    sp_setid_ops = 2;
+    sp_setlistener_ops = 3;
+    sp_id_sharing = 0.0;
+    sp_receiver_merge = 0.0;
+  }
+
+let validate spec =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  if spec.sp_activities < 1 then err "%s: at least one activity required" spec.sp_name
+  else if spec.sp_layouts < spec.sp_activities then
+    err "%s: each activity needs its own content layout (layouts >= activities)" spec.sp_name
+  else if spec.sp_view_ids < 1 then err "%s: need a non-empty view-id pool" spec.sp_name
+  else if spec.sp_inflated_nodes < spec.sp_layouts then
+    err "%s: each layout has at least a root node (inflated nodes >= layouts)" spec.sp_name
+  else if spec.sp_listener_allocs > 0 && spec.sp_listener_classes < 1 then
+    err "%s: listener allocations need at least one listener class" spec.sp_name
+  else if spec.sp_setlistener_ops > 0 && spec.sp_listener_allocs < 1 then
+    err "%s: set-listener operations need at least one listener object" spec.sp_name
+  else if spec.sp_id_sharing < 0.0 || spec.sp_id_sharing > 1.0 then
+    err "%s: id sharing must be a probability" spec.sp_name
+  else if spec.sp_receiver_merge < 0.0 || spec.sp_receiver_merge > 1.0 then
+    err "%s: receiver merge must be a probability" spec.sp_name
+  else if spec.sp_classes < spec.sp_activities + spec.sp_listener_classes then
+    err "%s: class budget smaller than activities + listener classes" spec.sp_name
+  else if spec.sp_findview_ops < spec.sp_activities then
+    err "%s: each activity performs a root find-view (findview ops >= activities)" spec.sp_name
+  else Ok ()

@@ -1,0 +1,39 @@
+(** Generation parameters for a synthetic corpus application.
+
+    The fields mirror the columns of Table 1 of the paper: the
+    generator emits exactly the requested population of classes,
+    methods, resource ids, view allocations, listeners, and operation
+    nodes, so the regenerated Table 1 matches the paper by
+    construction.  Two {e shape} knobs control the precision profile
+    measured in Table 2: [sp_id_sharing] (how often distinct layout
+    nodes reuse a view id, diluting find-view results) and
+    [sp_receiver_merge] (how many operations sit in shared helper
+    methods whose receivers merge under context insensitivity — the
+    effect behind the paper's XBMC outlier). *)
+
+type t = {
+  sp_name : string;
+  sp_seed : int;
+  sp_classes : int;  (** total application classes (Table 1 "classes") *)
+  sp_methods : int;  (** total application methods (Table 1 "methods") *)
+  sp_activities : int;
+  sp_layouts : int;  (** layout ids (Table 1 "ids L"); also the Inflate op count *)
+  sp_view_ids : int;  (** view id pool size (Table 1 "ids V") *)
+  sp_inflated_nodes : int;  (** total layout-tree nodes (Table 1 "views I") *)
+  sp_view_allocs : int;  (** programmatic view allocations (Table 1 "views A") *)
+  sp_listener_classes : int;
+  sp_listener_allocs : int;  (** Table 1 "listeners" *)
+  sp_findview_ops : int;
+  sp_addview_ops : int;
+  sp_setid_ops : int;
+  sp_setlistener_ops : int;
+  sp_id_sharing : float;  (** probability a layout node reuses an already-used id *)
+  sp_receiver_merge : float;  (** fraction of find-view ops routed through shared helpers *)
+}
+
+val default : t
+(** A small, precise app ("Sample"): useful as a template. *)
+
+val validate : t -> (unit, string) result
+(** Internal consistency: activities <= layouts, listener allocs need a
+    listener class, op quotas representable, etc. *)

@@ -1,0 +1,1 @@
+lib/dynamic/heap.ml: Gator Hashtbl List Option Printf

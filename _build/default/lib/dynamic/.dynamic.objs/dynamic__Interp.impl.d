@@ -1,0 +1,1 @@
+lib/dynamic/interp.ml: Fmt Framework Gator Hashtbl Heap Jir Layouts List Option

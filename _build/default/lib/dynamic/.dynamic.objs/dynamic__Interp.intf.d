@@ -1,0 +1,1 @@
+lib/dynamic/interp.mli: Fmt Framework Gator Heap

@@ -1,0 +1,1 @@
+lib/dynamic/oracle.ml: Fmt Framework Gator Hashtbl Interp List Map Option Set Stdlib

@@ -1,0 +1,1 @@
+lib/dynamic/oracle.mli: Fmt Gator Interp

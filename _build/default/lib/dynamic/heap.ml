@@ -1,0 +1,127 @@
+type obj_id = int
+
+type value = V_null | V_int of int | V_ref of obj_id
+
+type provenance =
+  | P_alloc of Gator.Node.alloc_site
+  | P_infl of Gator.Node.infl_site
+  | P_activity of string
+  | P_internal of string
+
+type obj = {
+  id : obj_id;
+  cls : string;
+  provenance : provenance;
+  fields : (string, value) Hashtbl.t;
+  mutable vid : int option;
+  mutable children : obj_id list;
+  mutable parent : obj_id option;
+  mutable listeners : (string * obj_id) list;
+  mutable root : obj_id option;
+  mutable displayed : int;
+  mutable onclick : string option;  (** android:onClick handler name *)
+}
+
+type t = { table : (obj_id, obj) Hashtbl.t; mutable next : obj_id }
+
+let create () = { table = Hashtbl.create 128; next = 0 }
+
+let alloc t ~cls provenance =
+  let obj =
+    {
+      id = t.next;
+      cls;
+      provenance;
+      fields = Hashtbl.create 8;
+      vid = None;
+      children = [];
+      parent = None;
+      listeners = [];
+      root = None;
+      displayed = 0;
+      onclick = None;
+    }
+  in
+  Hashtbl.add t.table obj.id obj;
+  t.next <- t.next + 1;
+  obj
+
+let get t id =
+  match Hashtbl.find_opt t.table id with
+  | Some obj -> obj
+  | None -> invalid_arg (Printf.sprintf "Heap.get: dangling object id %d" id)
+
+let deref t = function V_ref id -> Some (get t id) | V_null | V_int _ -> None
+
+let objects t =
+  List.init t.next (fun id -> Hashtbl.find_opt t.table id)
+  |> List.filter_map (fun o -> o)
+
+let read_field obj f = Option.value (Hashtbl.find_opt obj.fields f) ~default:V_null
+
+let write_field obj f v = Hashtbl.replace obj.fields f v
+
+let detach t child =
+  match child.parent with
+  | None -> ()
+  | Some pid ->
+      let parent = get t pid in
+      parent.children <- List.filter (fun id -> id <> child.id) parent.children;
+      child.parent <- None
+
+(* The platform guarantees the view hierarchy stays a tree (Section
+   3.2.2: "the parent-child relation corresponds to a tree"); adding a
+   view under its own descendant would create a cycle and throws in
+   real Android.  We model the throw as a no-op. *)
+let creates_cycle t ~parent ~child =
+  let rec ancestor o = o.id = child.id || (match o.parent with Some pid -> ancestor (get t pid) | None -> false) in
+  ancestor parent
+
+let add_child t ~parent ~child =
+  if parent.id = child.id || creates_cycle t ~parent ~child then ()
+  else begin
+    detach t child;
+    parent.children <- parent.children @ [ child.id ];
+    child.parent <- Some parent.id
+  end
+
+let descendants t ?(include_self = true) obj =
+  (* The heap keeps parent-child a forest, so plain preorder recursion
+     terminates; a visited set guards against corruption anyway. *)
+  let seen = Hashtbl.create 16 in
+  let rec go acc o =
+    if Hashtbl.mem seen o.id then acc
+    else begin
+      Hashtbl.add seen o.id ();
+      List.fold_left (fun acc cid -> go acc (get t cid)) (o :: acc) o.children
+    end
+  in
+  let all = List.rev (go [] obj) in
+  if include_self then all else List.filter (fun o -> o.id <> obj.id) all
+
+let find_by_vid t obj target =
+  let rec dfs o =
+    if o.vid = Some target then Some o
+    else
+      let rec first = function
+        | [] -> None
+        | cid :: rest -> ( match dfs (get t cid) with Some r -> Some r | None -> first rest)
+      in
+      first o.children
+  in
+  dfs obj
+
+let abstraction ~is_view obj =
+  match obj.provenance with
+  | P_alloc site ->
+      if is_view site.Gator.Node.a_cls then Some (Gator.Node.V_view (Gator.Node.V_alloc site))
+      else Some (Gator.Node.V_obj site)
+  | P_infl site -> Some (Gator.Node.V_view (Gator.Node.V_infl site))
+  | P_activity a -> Some (Gator.Node.V_act a)
+  | P_internal _ -> None
+
+let view_abstraction obj =
+  match obj.provenance with
+  | P_alloc site -> Some (Gator.Node.V_alloc site)
+  | P_infl site -> Some (Gator.Node.V_infl site)
+  | P_activity _ | P_internal _ -> None

@@ -1,0 +1,75 @@
+(** Concrete runtime state for the dynamic semantics of Section 3.
+
+    Objects carry the artificial fields of the paper's heap model:
+    views have [vid], [children] (ordered), [listeners]; activities and
+    dialogs have [root].  Every object records its {e provenance} — the
+    static abstraction that describes it — so soundness of the static
+    analysis can be checked mechanically: the provenance of every
+    concrete object observed at an operation must appear in the static
+    solution for that operation. *)
+
+type obj_id = int
+
+type value = V_null | V_int of int | V_ref of obj_id
+
+(** Where an object came from; provenances are exactly the static
+    abstractions of {!Gator.Node}. *)
+type provenance =
+  | P_alloc of Gator.Node.alloc_site  (** [new C()] in application code *)
+  | P_infl of Gator.Node.infl_site  (** created by layout inflation *)
+  | P_activity of string  (** implicit platform-created activity *)
+  | P_internal of string  (** platform helper (e.g. the LayoutInflater); never GUI-relevant *)
+
+type obj = {
+  id : obj_id;
+  cls : string;
+  provenance : provenance;
+  fields : (string, value) Hashtbl.t;
+  (* view state *)
+  mutable vid : int option;
+  mutable children : obj_id list;  (** in attachment order *)
+  mutable parent : obj_id option;
+  mutable listeners : (string * obj_id) list;  (** (interface name, listener), registration order *)
+  (* content-holder state *)
+  mutable root : obj_id option;
+  mutable displayed : int;  (** index of the currently visible child (ViewFlipper-style) *)
+  mutable onclick : string option;  (** declarative android:onClick handler *)
+}
+
+type t
+
+val create : unit -> t
+
+val alloc : t -> cls:string -> provenance -> obj
+
+val get : t -> obj_id -> obj
+
+val deref : t -> value -> obj option
+(** [None] for null/int values. *)
+
+val objects : t -> obj list
+(** In allocation order. *)
+
+val read_field : obj -> string -> value
+(** Unset fields read as null. *)
+
+val write_field : obj -> string -> value -> unit
+
+val add_child : t -> parent:obj -> child:obj -> unit
+(** Appends; re-parenting detaches from the old parent first, keeping
+    the forest well-formed (the platform invariant the paper notes). *)
+
+val descendants : t -> ?include_self:bool -> obj -> obj list
+(** Preorder. *)
+
+val find_by_vid : t -> obj -> int -> obj option
+(** Depth-first search from the view (inclusive) for the first
+    descendant with the given view id — Android's [findViewById]
+    order. *)
+
+val abstraction : is_view:(string -> bool) -> obj -> Gator.Node.value option
+(** The static abstract value describing this object; [None] for
+    internal platform helpers.  [is_view] decides whether an allocated
+    class is a view class (ask {!Framework.Views.is_view_class}). *)
+
+val view_abstraction : obj -> Gator.Node.view_abs option

@@ -1,0 +1,688 @@
+type role = R_receiver | R_child | R_result | R_listener
+
+type observation = { ob_op : Gator.Node.op_site; ob_role : role; ob_value : Gator.Node.value }
+
+type firing = {
+  f_view : Gator.Node.view_abs;
+  f_event : Framework.Listeners.event;
+  f_handler : Gator.Node.mid;
+  f_activities : string list;
+}
+
+type outcome = {
+  heap : Heap.t;
+  observations : observation list;
+  registrations : (Gator.Node.view_abs * Gator.Node.listener_abs * string) list;
+  firings : firing list;
+  transitions : (string * string) list;  (** activity launches that executed *)
+  truncated : bool;
+}
+
+type options = { event_rounds : int; max_depth : int; max_steps : int }
+
+let default_options = { event_rounds = 3; max_depth = 64; max_steps = 200_000 }
+
+let pp_role ppf = function
+  | R_receiver -> Fmt.string ppf "receiver"
+  | R_child -> Fmt.string ppf "child"
+  | R_result -> Fmt.string ppf "result"
+  | R_listener -> Fmt.string ppf "listener"
+
+let pp_observation ppf ob =
+  Fmt.pf ppf "%a %a = %a" Gator.Node.pp_op_site ob.ob_op pp_role ob.ob_role Gator.Node.pp_value
+    ob.ob_value
+
+exception Out_of_fuel
+
+type state = {
+  app : Framework.App.t;
+  opts : options;
+  heap : Heap.t;
+  mutable steps : int;
+  mutable truncated : bool;
+  mutable observations : observation list;  (** reversed *)
+  mutable registrations : (Gator.Node.view_abs * Gator.Node.listener_abs * string) list;
+  mutable firings : firing list;
+  mutable transitions : (string * string) list;
+  mutable pick : int;  (** round-robin source for findFocus-style choices *)
+  mutable inflater : Heap.obj option;
+  mutable pending_fragments : (Heap.obj * string * Gator.Node.infl_site) list;
+      (** <fragment> placeholders awaiting instantiation *)
+}
+
+let is_view state cls = Framework.Views.is_view_class state.app.Framework.App.hierarchy cls
+
+let observe state op role value = state.observations <- { ob_op = op; ob_role = role; ob_value = value } :: state.observations
+
+let observe_view state op role obj =
+  match Heap.view_abstraction obj with
+  | Some va -> observe state op role (Gator.Node.V_view va)
+  | None -> ()
+
+let fuel state =
+  state.steps <- state.steps + 1;
+  if state.steps > state.opts.max_steps then begin
+    state.truncated <- true;
+    raise Out_of_fuel
+  end
+
+let inflater_obj state =
+  match state.inflater with
+  | Some obj -> obj
+  | None ->
+      let obj = Heap.alloc state.heap ~cls:"LayoutInflater" (Heap.P_internal "inflater") in
+      state.inflater <- Some obj;
+      obj
+
+(* Inflate a layout at the given site: build the concrete object tree
+   mirroring Inflate.instantiate's abstract one. *)
+let inflate_layout state ~site (def : Layouts.Layout.def) =
+  let resources = Layouts.Package.resources state.app.Framework.App.package in
+  let objects = Hashtbl.create 16 in
+  List.iter
+    (fun (path, (node : Layouts.Layout.node)) ->
+      let provenance =
+        Heap.P_infl
+          {
+            Gator.Node.v_site = site;
+            v_layout = def.name;
+            v_path = path;
+            v_cls = node.view_class;
+            v_vid = node.id;
+          }
+      in
+      let obj = Heap.alloc state.heap ~cls:node.view_class provenance in
+      (match node.id with
+      | Some id_name -> obj.Heap.vid <- Some (Layouts.Resource.view_id resources id_name)
+      | None -> ());
+      obj.Heap.onclick <- node.onclick;
+      (match (node.fragment_class, provenance) with
+      | Some cls, Heap.P_infl infl ->
+          state.pending_fragments <- (obj, cls, infl) :: state.pending_fragments
+      | _ -> ());
+      Hashtbl.add objects path obj)
+    (Layouts.Layout.nodes def);
+  List.iter
+    (fun (parent_path, child_path) ->
+      Heap.add_child state.heap ~parent:(Hashtbl.find objects parent_path)
+        ~child:(Hashtbl.find objects child_path))
+    (Layouts.Layout.edges def);
+  Hashtbl.find objects []
+
+let listener_abstraction (obj : Heap.obj) =
+  match obj.provenance with
+  | Heap.P_alloc site -> Some (Gator.Node.L_alloc site)
+  | Heap.P_activity a -> Some (Gator.Node.L_act a)
+  | Heap.P_infl _ | Heap.P_internal _ -> None
+
+let runtime_class (obj : Heap.obj) = obj.Heap.cls
+
+(* Platform operation semantics (Section 3.2.2). *)
+let rec instantiate_pending_fragments state ~depth =
+  match state.pending_fragments with
+  | [] -> ()
+  | (placeholder, cls, infl) :: rest ->
+      state.pending_fragments <- rest;
+      let hierarchy = state.app.Framework.App.hierarchy in
+      (match
+         Jir.Hierarchy.resolve hierarchy cls { Jir.Ast.mk_name = "onCreateView"; mk_arity = 0 }
+       with
+      | Some (owner, m) -> (
+          let fragment =
+            Heap.alloc state.heap ~cls
+              (Heap.P_alloc (Gator.Node.declared_fragment_site cls infl))
+          in
+          match
+            exec_meth state ~depth:(depth + 1) ~owner m (Heap.V_ref fragment.Heap.id) []
+          with
+          | Heap.V_ref vid ->
+              let view = Heap.get state.heap vid in
+              if is_view state view.Heap.cls then
+                Heap.add_child state.heap ~parent:placeholder ~child:view
+          | Heap.V_null | Heap.V_int _ -> ())
+      | None -> ());
+      instantiate_pending_fragments state ~depth
+
+and exec_op state ~depth ~site ~kind (recv : Heap.obj) (args : Heap.value list) =
+  let op = { Gator.Node.o_site = site; o_kind = kind } in
+  let arg n = List.nth_opt args n in
+  let arg_obj n = Option.bind (arg n) (Heap.deref state.heap) in
+  let arg_int n = match arg n with Some (Heap.V_int i) -> Some i | _ -> None in
+  let hierarchy = state.app.Framework.App.hierarchy in
+  let result_of_obj obj =
+    observe_view state op R_result obj;
+    Heap.V_ref obj.Heap.id
+  in
+  let is_holder (o : Heap.obj) =
+    match o.provenance with
+    | Heap.P_activity _ -> true
+    | _ -> Framework.Views.is_dialog_class hierarchy o.cls
+  in
+  match kind with
+  | Framework.Api.Inflate -> (
+      match Option.bind (arg_int 0) (Layouts.Package.find_by_layout_id state.app.package) with
+      | Some def ->
+          let root = inflate_layout state ~site def in
+          instantiate_pending_fragments state ~depth;
+          (match arg_obj 1 with
+          | Some parent when is_view state parent.cls ->
+              Heap.add_child state.heap ~parent ~child:root
+          | Some _ | None -> ());
+          result_of_obj root
+      | None -> Heap.V_null)
+  | Framework.Api.Set_content ->
+      if is_holder recv then begin
+        (match Option.bind (arg_int 0) (Layouts.Package.find_by_layout_id state.app.package) with
+        | Some def ->
+            let root = inflate_layout state ~site def in
+            instantiate_pending_fragments state ~depth;
+            recv.Heap.root <- Some root.Heap.id
+        | None -> ());
+        match arg_obj 0 with
+        | Some view when is_view state view.cls ->
+            observe_view state op R_child view;
+            recv.Heap.root <- Some view.Heap.id
+        | Some _ | None -> ()
+      end;
+      Heap.V_null
+  | Framework.Api.Add_view ->
+      observe_view state op R_receiver recv;
+      (match arg_obj 0 with
+      | Some child when is_view state child.cls ->
+          observe_view state op R_child child;
+          Heap.add_child state.heap ~parent:recv ~child
+      | Some _ | None -> ());
+      Heap.V_null
+  | Framework.Api.Set_id ->
+      observe_view state op R_receiver recv;
+      (match arg_int 0 with Some id -> recv.Heap.vid <- Some id | None -> ());
+      Heap.V_null
+  | Framework.Api.Set_listener iface -> (
+      observe_view state op R_receiver recv;
+      match arg_obj 0 with
+      | Some l when Jir.Hierarchy.subtype hierarchy l.cls iface.Framework.Listeners.i_name ->
+          (match listener_abstraction l with
+          | Some la ->
+              (match Heap.abstraction ~is_view:(is_view state) l with
+              | Some v -> observe state op R_listener v
+              | None -> ());
+              (match Heap.view_abstraction recv with
+              | Some va ->
+                  state.registrations <-
+                    (va, la, iface.Framework.Listeners.i_name) :: state.registrations
+              | None -> ())
+          | None -> ());
+          recv.Heap.listeners <- recv.Heap.listeners @ [ (iface.Framework.Listeners.i_name, l.Heap.id) ];
+          Heap.V_null
+      | Some _ | None -> Heap.V_null)
+  | Framework.Api.Find_view -> (
+      let start =
+        if is_holder recv then Option.map (Heap.get state.heap) recv.Heap.root
+        else begin
+          observe_view state op R_receiver recv;
+          Some recv
+        end
+      in
+      match (start, arg_int 0) with
+      | Some from, Some id -> (
+          match Heap.find_by_vid state.heap from id with
+          | Some found -> result_of_obj found
+          | None -> Heap.V_null)
+      | _ -> Heap.V_null)
+  | Framework.Api.Find_one scope -> (
+      observe_view state op R_receiver recv;
+      let candidates =
+        match scope with
+        | Framework.Api.Children -> List.map (Heap.get state.heap) recv.Heap.children
+        | Framework.Api.Descendants -> Heap.descendants state.heap ~include_self:false recv
+      in
+      match candidates with
+      | [] -> Heap.V_null
+      | _ ->
+          let index =
+            match (kind, arg_int 0) with
+            | Framework.Api.Find_one Framework.Api.Children, Some i -> i
+            | _, _ -> (
+                match scope with
+                | Framework.Api.Children -> recv.Heap.displayed
+                | Framework.Api.Descendants ->
+                    state.pick <- state.pick + 1;
+                    state.pick)
+          in
+          let count = List.length candidates in
+          if count = 0 then Heap.V_null
+          else
+            let index = ((index mod count) + count) mod count in
+            result_of_obj (List.nth candidates index))
+  | Framework.Api.Get_parent -> (
+      observe_view state op R_receiver recv;
+      match recv.Heap.parent with
+      | Some pid -> result_of_obj (Heap.get state.heap pid)
+      | None -> Heap.V_null)
+  | Framework.Api.Start_activity ->
+      (match (recv.Heap.provenance, arg_obj 0) with
+      | Heap.P_activity from_, Some target
+        when Framework.Views.is_activity_class hierarchy target.Heap.cls ->
+          state.transitions <- (from_, target.Heap.cls) :: state.transitions
+      | _ -> ());
+      Heap.V_null
+  | Framework.Api.Pass_through -> Heap.V_ref recv.Heap.id
+  | Framework.Api.Set_adapter ->
+      (match arg_obj 0 with
+      | Some adapter when Jir.Hierarchy.subtype hierarchy adapter.Heap.cls "Adapter" -> (
+          observe_view state op R_receiver recv;
+          match
+            Jir.Hierarchy.resolve hierarchy adapter.Heap.cls
+              { Jir.Ast.mk_name = "getView"; mk_arity = 3 }
+          with
+          | Some (owner, m) -> (
+              match
+                exec_meth state ~depth:(depth + 1) ~owner m (Heap.V_ref adapter.Heap.id)
+                  [ Heap.V_int 0; Heap.V_null; Heap.V_ref recv.Heap.id ]
+              with
+              | Heap.V_ref vid ->
+                  let item = Heap.get state.heap vid in
+                  if is_view state item.Heap.cls then
+                    Heap.add_child state.heap ~parent:recv ~child:item
+              | Heap.V_null | Heap.V_int _ -> ())
+          | None -> ())
+      | Some _ | None -> ());
+      Heap.V_null
+  | Framework.Api.Menu_add ->
+      if Jir.Hierarchy.subtype hierarchy recv.Heap.cls "Menu" then begin
+        let item =
+          Heap.alloc state.heap ~cls:"MenuItem" (Heap.P_alloc (Gator.Node.menu_item_site site))
+        in
+        (match arg_int 1 with Some id -> item.Heap.vid <- Some id | None -> ());
+        Heap.add_child state.heap ~parent:recv ~child:item;
+        result_of_obj item
+      end
+      else Heap.V_null
+  | Framework.Api.Fragment_add ->
+      (if is_holder recv then
+         match (arg_int 0, arg_obj 1, recv.Heap.root) with
+         | Some cid, Some fragment, Some root_id
+           when Framework.Views.is_fragment_class hierarchy fragment.Heap.cls -> (
+             let root = Heap.get state.heap root_id in
+             match Heap.find_by_vid state.heap root cid with
+             | Some container -> (
+                 match
+                   Jir.Hierarchy.resolve hierarchy fragment.Heap.cls
+                     { Jir.Ast.mk_name = "onCreateView"; mk_arity = 0 }
+                 with
+                 | Some (owner, m) -> (
+                     match
+                       exec_meth state ~depth:(depth + 1) ~owner m
+                         (Heap.V_ref fragment.Heap.id) []
+                     with
+                     | Heap.V_ref vid ->
+                         let view = Heap.get state.heap vid in
+                         if is_view state view.Heap.cls then
+                           Heap.add_child state.heap ~parent:container ~child:view
+                     | Heap.V_null | Heap.V_int _ -> ())
+                 | None -> ())
+             | None -> ())
+         | _ -> ());
+      Heap.V_null
+
+and exec_meth state ~depth ~owner (m : Jir.Ast.meth) this_value arg_values =
+  if depth > state.opts.max_depth then begin
+    state.truncated <- true;
+    Heap.V_null
+  end
+  else begin
+    let mid = Gator.Node.mid_of_meth owner m in
+    let env : (string, Heap.value) Hashtbl.t = Hashtbl.create 16 in
+    Hashtbl.replace env Jir.Ast.this_var this_value;
+    List.iteri
+      (fun i (param, _) ->
+        Hashtbl.replace env param
+          (Option.value (List.nth_opt arg_values i) ~default:Heap.V_null))
+      m.m_params;
+    let lookup v = Option.value (Hashtbl.find_opt env v) ~default:Heap.V_null in
+    let resources = Layouts.Package.resources state.app.Framework.App.package in
+    let hierarchy = state.app.Framework.App.hierarchy in
+    let rec run_body index = function
+      | [] -> Heap.V_null
+      | stmt :: rest -> (
+          fuel state;
+          let site = { Gator.Node.s_in = mid; s_stmt = index } in
+          match stmt with
+          | Jir.Ast.Return (Some x) -> lookup x
+          | Jir.Ast.Return None -> Heap.V_null
+          | Jir.Ast.New (x, cls) ->
+              let obj =
+                Heap.alloc state.heap ~cls (Heap.P_alloc { Gator.Node.a_site = site; a_cls = cls })
+              in
+              Hashtbl.replace env x (Heap.V_ref obj.Heap.id);
+              run_body (index + 1) rest
+          | Jir.Ast.Copy (x, y) ->
+              Hashtbl.replace env x (lookup y);
+              run_body (index + 1) rest
+          | Jir.Ast.Read_field (x, y, f) ->
+              let value =
+                match Heap.deref state.heap (lookup y) with
+                | Some obj -> Heap.read_field obj f
+                | None -> Heap.V_null
+              in
+              Hashtbl.replace env x value;
+              run_body (index + 1) rest
+          | Jir.Ast.Write_field (x, f, y) ->
+              (match Heap.deref state.heap (lookup x) with
+              | Some obj -> Heap.write_field obj f (lookup y)
+              | None -> ());
+              run_body (index + 1) rest
+          | Jir.Ast.Read_layout_id (x, name) ->
+              Hashtbl.replace env x (Heap.V_int (Layouts.Resource.layout_id resources name));
+              run_body (index + 1) rest
+          | Jir.Ast.Read_view_id (x, name) ->
+              Hashtbl.replace env x (Heap.V_int (Layouts.Resource.view_id resources name));
+              run_body (index + 1) rest
+          | Jir.Ast.Const_int (x, n) ->
+              Hashtbl.replace env x (Heap.V_int n);
+              run_body (index + 1) rest
+          | Jir.Ast.Const_null x ->
+              Hashtbl.replace env x Heap.V_null;
+              run_body (index + 1) rest
+          | Jir.Ast.Cast (x, cls, y) ->
+              (* A failing cast throws at run time; model the absence of
+                 a resulting value as null. *)
+              let value =
+                match Heap.deref state.heap (lookup y) with
+                | Some obj ->
+                    if
+                      (not (Jir.Hierarchy.mem hierarchy cls))
+                      || Jir.Hierarchy.subtype hierarchy (runtime_class obj) cls
+                    then lookup y
+                    else Heap.V_null
+                | None -> lookup y
+              in
+              Hashtbl.replace env x value;
+              run_body (index + 1) rest
+          | Jir.Ast.Invoke (lhs, recv, name, call_args) ->
+              let result = invoke state ~depth ~site (lookup recv) name (List.map lookup call_args) in
+              (match lhs with Some z -> Hashtbl.replace env z result | None -> ());
+              run_body (index + 1) rest)
+    in
+    run_body 0 m.m_body
+  end
+
+and invoke state ~depth ~site recv_value name arg_values =
+  match Heap.deref state.heap recv_value with
+  | None -> Heap.V_null
+  | Some recv -> (
+      let hierarchy = state.app.Framework.App.hierarchy in
+      let key = { Jir.Ast.mk_name = name; mk_arity = List.length arg_values } in
+      match Jir.Hierarchy.resolve hierarchy (runtime_class recv) key with
+      | Some (owner, m) -> exec_meth state ~depth:(depth + 1) ~owner m recv_value arg_values
+      | None -> (
+          (* Dispatch fell through to the platform. *)
+          match Framework.Api.classify ~name ~arity:key.mk_arity with
+          | Some kind -> exec_op state ~depth ~site ~kind recv arg_values
+          | None -> (
+              match (name, key.mk_arity) with
+              | ("getLayoutInflater" | "getMenuInflater"), 0 ->
+                  Heap.V_ref (inflater_obj state).Heap.id
+              | "getId", 0 -> (
+                  match recv.Heap.vid with Some id -> Heap.V_int id | None -> Heap.V_int 0)
+              | _ -> Heap.V_null)))
+
+(* Content holders (activities, and dialog objects in the extension)
+   whose hierarchy currently contains the view, labeled by class. *)
+let containing_activities state (view : Heap.obj) =
+  let hierarchy = state.app.Framework.App.hierarchy in
+  let rec root_of (o : Heap.obj) =
+    match o.Heap.parent with Some pid -> root_of (Heap.get state.heap pid) | None -> o
+  in
+  let top = root_of view in
+  List.filter_map
+    (fun (o : Heap.obj) ->
+      match (o.provenance, o.Heap.root) with
+      | Heap.P_activity a, Some rid when rid = top.Heap.id -> Some a
+      | Heap.P_alloc _, Some rid
+        when rid = top.Heap.id && Framework.Views.is_dialog_class hierarchy o.cls ->
+          Some o.cls
+      | _ -> None)
+    (Heap.objects state.heap)
+
+let fire_events state =
+  let hierarchy = state.app.Framework.App.hierarchy in
+  for _round = 1 to state.opts.event_rounds do
+    let views =
+      List.filter (fun (o : Heap.obj) -> o.Heap.listeners <> []) (Heap.objects state.heap)
+    in
+    List.iter
+      (fun (view : Heap.obj) ->
+        List.iter
+          (fun (iface_name, listener_id) ->
+            match Framework.Listeners.by_name iface_name with
+            | None -> ()
+            | Some iface ->
+                let listener = Heap.get state.heap listener_id in
+                List.iter
+                  (fun (h : Framework.Listeners.handler) ->
+                    match
+                      Jir.Hierarchy.resolve hierarchy (runtime_class listener)
+                        { Jir.Ast.mk_name = h.h_name; mk_arity = h.h_arity }
+                    with
+                    | Some (owner, m) ->
+                        let item =
+                          match view.Heap.children with
+                          | [] -> None
+                          | children ->
+                              List.nth_opt children (view.Heap.displayed mod List.length children)
+                        in
+                        let args =
+                          List.init h.h_arity (fun i ->
+                              if h.h_view_param = Some i then Heap.V_ref view.Heap.id
+                              else
+                                match (h.h_item_param, item) with
+                                | Some k, Some item_id when k = i -> Heap.V_ref item_id
+                                | _ -> Heap.V_null)
+                        in
+                        (match Heap.view_abstraction view with
+                        | Some va ->
+                            state.firings <-
+                              {
+                                f_view = va;
+                                f_event = iface.i_event;
+                                f_handler = Gator.Node.mid_of_meth owner m;
+                                f_activities = containing_activities state view;
+                              }
+                              :: state.firings
+                        | None -> ());
+                        (try
+                           ignore
+                             (exec_meth state ~depth:0 ~owner m (Heap.V_ref listener.Heap.id) args)
+                         with Out_of_fuel -> ())
+                    | None -> ())
+                  iface.Framework.Listeners.i_handlers)
+          view.Heap.listeners)
+      views;
+    (* Declarative android:onClick handlers: click every carrying view
+       of every holder's hierarchy once per round. *)
+    List.iter
+      (fun (holder : Heap.obj) ->
+        let label =
+          match holder.Heap.provenance with
+          | Heap.P_activity a -> Some a
+          | Heap.P_alloc _ when Framework.Views.is_dialog_class hierarchy holder.Heap.cls ->
+              Some holder.Heap.cls
+          | _ -> None
+        in
+        match (label, holder.Heap.root) with
+        | Some label, Some root_id ->
+            List.iter
+              (fun (view : Heap.obj) ->
+                match view.Heap.onclick with
+                | Some handler_name -> (
+                    match
+                      Jir.Hierarchy.resolve hierarchy label
+                        { Jir.Ast.mk_name = handler_name; mk_arity = 1 }
+                    with
+                    | Some (owner, m) ->
+                        (match Heap.view_abstraction view with
+                        | Some va ->
+                            let listener =
+                              match holder.Heap.provenance with
+                              | Heap.P_activity a -> Some (Gator.Node.L_act a)
+                              | Heap.P_alloc site -> Some (Gator.Node.L_alloc site)
+                              | _ -> None
+                            in
+                            (match listener with
+                            | Some l ->
+                                state.registrations <-
+                                  (va, l, "OnClickListener") :: state.registrations
+                            | None -> ());
+                            state.firings <-
+                              {
+                                f_view = va;
+                                f_event = Framework.Listeners.Click;
+                                f_handler = Gator.Node.mid_of_meth owner m;
+                                f_activities = [ label ];
+                              }
+                              :: state.firings
+                        | None -> ());
+                        (try
+                           ignore
+                             (exec_meth state ~depth:0 ~owner m (Heap.V_ref holder.Heap.id)
+                                [ Heap.V_ref view.Heap.id ])
+                         with Out_of_fuel -> ())
+                    | None -> ())
+                | None -> ())
+              (Heap.descendants state.heap (Heap.get state.heap root_id))
+        | _ -> ())
+      (Heap.objects state.heap);
+    (* Menu extension: select every options-menu item once per round. *)
+    let item_name, item_arity = Framework.Lifecycle.on_options_item_selected in
+    List.iter
+      (fun (act : Heap.obj) ->
+        match (act.Heap.provenance, Heap.read_field act "$menu") with
+        | Heap.P_activity cls, Heap.V_ref menu_id -> (
+            match
+              Jir.Hierarchy.resolve hierarchy cls
+                { Jir.Ast.mk_name = item_name; mk_arity = item_arity }
+            with
+            | Some (owner, m) ->
+                let menu = Heap.get state.heap menu_id in
+                List.iter
+                  (fun item_id ->
+                    let args =
+                      List.init item_arity (fun i ->
+                          if i = 0 then Heap.V_ref item_id else Heap.V_null)
+                    in
+                    try ignore (exec_meth state ~depth:0 ~owner m (Heap.V_ref act.Heap.id) args)
+                    with Out_of_fuel -> ())
+                  menu.Heap.children
+            | None -> ())
+        | _ -> ())
+      (Heap.objects state.heap);
+    (* Rotate the visible child of every container so flipper-style
+       operations explore different children across rounds. *)
+    List.iter
+      (fun (o : Heap.obj) ->
+        match o.Heap.children with
+        | [] -> ()
+        | children -> o.Heap.displayed <- (o.Heap.displayed + 1) mod List.length children)
+      (Heap.objects state.heap)
+  done
+
+let run_lifecycles state =
+  let hierarchy = state.app.Framework.App.hierarchy in
+  (* Activities: implicit platform-created instances. *)
+  List.iter
+    (fun (cls : Jir.Ast.cls) ->
+      let obj = Heap.alloc state.heap ~cls:cls.c_name (Heap.P_activity cls.c_name) in
+      List.iter
+        (fun (name, arity) ->
+          match
+            Jir.Hierarchy.resolve hierarchy cls.c_name { Jir.Ast.mk_name = name; mk_arity = arity }
+          with
+          | Some (owner, m) -> (
+              try ignore (exec_meth state ~depth:0 ~owner m (Heap.V_ref obj.Heap.id) [])
+              with Out_of_fuel -> ())
+          | None -> ())
+        Framework.Lifecycle.activity_callbacks;
+      (* Menu extension: the platform creates the options menu and hands
+         it to onCreateOptionsMenu. *)
+      let menu_name, menu_arity = Framework.Lifecycle.on_create_options_menu in
+      match
+        Jir.Hierarchy.resolve hierarchy cls.c_name
+          { Jir.Ast.mk_name = menu_name; mk_arity = menu_arity }
+      with
+      | Some (owner, m) -> (
+          let menu =
+            Heap.alloc state.heap ~cls:"Menu"
+              (Heap.P_alloc (Gator.Node.menu_site cls.c_name))
+          in
+          Heap.write_field obj "$menu" (Heap.V_ref menu.Heap.id);
+          try
+            ignore
+              (exec_meth state ~depth:0 ~owner m (Heap.V_ref obj.Heap.id)
+                 [ Heap.V_ref menu.Heap.id ])
+          with Out_of_fuel -> ())
+      | None -> ())
+    (Framework.App.activity_classes state.app);
+  (* Dialogs the app created: run their callbacks, rescanning to pick
+     up dialogs created inside dialog callbacks (bounded). *)
+  let ran : (Heap.obj_id, unit) Hashtbl.t = Hashtbl.create 8 in
+  let rec dialog_round budget =
+    if budget > 0 then begin
+      let fresh =
+        List.filter
+          (fun (o : Heap.obj) ->
+            (not (Hashtbl.mem ran o.Heap.id))
+            && (match o.provenance with Heap.P_alloc _ -> true | _ -> false)
+            && Framework.Views.is_dialog_class hierarchy o.cls)
+          (Heap.objects state.heap)
+      in
+      if fresh <> [] then begin
+        List.iter
+          (fun (o : Heap.obj) ->
+            Hashtbl.add ran o.Heap.id ();
+            List.iter
+              (fun (name, arity) ->
+                match
+                  Jir.Hierarchy.resolve hierarchy o.cls { Jir.Ast.mk_name = name; mk_arity = arity }
+                with
+                | Some (owner, m) -> (
+                    try ignore (exec_meth state ~depth:0 ~owner m (Heap.V_ref o.Heap.id) [])
+                    with Out_of_fuel -> ())
+                | None -> ())
+              Framework.Lifecycle.dialog_callbacks)
+          fresh;
+        dialog_round (budget - 1)
+      end
+    end
+  in
+  dialog_round 8
+
+let run ?(options = default_options) app =
+  let state =
+    {
+      app;
+      opts = options;
+      heap = Heap.create ();
+      steps = 0;
+      truncated = false;
+      observations = [];
+      registrations = [];
+      firings = [];
+      transitions = [];
+      pick = 0;
+      inflater = None;
+      pending_fragments = [];
+    }
+  in
+  (try
+     run_lifecycles state;
+     fire_events state
+   with Out_of_fuel -> ());
+  {
+    heap = state.heap;
+    observations = List.rev state.observations;
+    registrations = List.rev state.registrations;
+    firings = List.rev state.firings;
+    transitions = List.rev state.transitions;
+    truncated = state.truncated;
+  }

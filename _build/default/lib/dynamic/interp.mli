@@ -1,0 +1,60 @@
+(** Executable dynamic semantics of ALite + the Android operations of
+    Section 3 of the paper.
+
+    The interpreter drives each activity through its lifecycle
+    callbacks (the paper's [t = new a(); t.m()] modeling), runs dialog
+    callbacks for dialog objects the app created, then fires GUI events
+    on every view with registered listeners for a number of rounds,
+    rotating each container's "currently displayed" child between
+    rounds to explore flipper-style behavior.
+
+    Every platform operation executed is recorded as an observation
+    tagged with the {e same structural site} the static analysis uses,
+    so the trace can be compared against the static solution: the
+    static analysis is sound iff every observation is covered.
+
+    ALite is branch-free, so a run is deterministic given the options;
+    recursion is bounded by fuel (exceeding it sets [truncated]). *)
+
+type role = R_receiver | R_child | R_result | R_listener
+
+type observation = {
+  ob_op : Gator.Node.op_site;
+  ob_role : role;
+  ob_value : Gator.Node.value;
+}
+
+(** A concrete (activity, view, event, handler) interaction that
+    actually fired. *)
+type firing = {
+  f_view : Gator.Node.view_abs;
+  f_event : Framework.Listeners.event;
+  f_handler : Gator.Node.mid;
+  f_activities : string list;
+      (** activities whose content hierarchy contained the view when
+          the event fired (can be empty for detached views) *)
+}
+
+type outcome = {
+  heap : Heap.t;
+  observations : observation list;  (** in execution order *)
+  registrations : (Gator.Node.view_abs * Gator.Node.listener_abs * string) list;
+  firings : firing list;
+  transitions : (string * string) list;
+      (** (source activity, launched activity class) pairs that
+          executed — the dynamic counterpart of the static
+          activity-transition relation *)
+  truncated : bool;  (** a fuel guard tripped; the trace is a prefix *)
+}
+
+type options = {
+  event_rounds : int;  (** how many rounds of GUI events to fire *)
+  max_depth : int;  (** call-stack bound *)
+  max_steps : int;  (** total statement bound *)
+}
+
+val default_options : options
+
+val run : ?options:options -> Framework.App.t -> outcome
+
+val pp_observation : observation Fmt.t

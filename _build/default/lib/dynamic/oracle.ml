@@ -1,0 +1,200 @@
+type miss = { miss_observation : Interp.observation; miss_reason : string }
+
+type coverage = { cov_total : int; cov_covered : int; cov_misses : miss list }
+
+let is_sound coverage = coverage.cov_misses = []
+
+module Op_map = Map.Make (struct
+  type t = Gator.Node.op_site
+
+  let compare = Stdlib.compare
+end)
+
+(* All operation records at a site: inlining-based context sensitivity
+   clones records, and a dynamic observation is covered if any clone
+   covers it (the executed call chain corresponds to one clone). *)
+let op_index (r : Gator.Analysis.t) =
+  List.fold_left
+    (fun acc (op : Gator.Graph.op) ->
+      let existing = Option.value (Op_map.find_opt op.site acc) ~default:[] in
+      Op_map.add op.site (op :: existing) acc)
+    Op_map.empty (Gator.Analysis.ops r)
+
+let listener_of_value = function
+  | Gator.Node.V_obj site -> Some (Gator.Node.L_alloc site)
+  | Gator.Node.V_view (Gator.Node.V_alloc site) -> Some (Gator.Node.L_alloc site)
+  | Gator.Node.V_act a -> Some (Gator.Node.L_act a)
+  | _ -> None
+
+let check_observation r ops (ob : Interp.observation) =
+  match Op_map.find_opt ob.ob_op ops with
+  | None -> Some "no static operation at this site"
+  | Some clones -> (
+      let has_view views_of =
+        match ob.ob_value with
+        | Gator.Node.V_view va -> List.exists (fun op -> List.mem va (views_of op)) clones
+        | _ -> false
+      in
+      match ob.ob_role with
+      | Interp.R_receiver ->
+          if has_view (Gator.Analysis.op_receiver_views r) then None
+          else Some "receiver view not in static receiver set"
+      | Interp.R_child ->
+          if has_view (Gator.Analysis.op_child_views r) then None
+          else Some "child view not in static argument set"
+      | Interp.R_result ->
+          if has_view (Gator.Analysis.op_result_views r) then None
+          else Some "result view not in static result set"
+      | Interp.R_listener -> (
+          match listener_of_value ob.ob_value with
+          | Some l ->
+              if List.exists (fun op -> List.mem l (Gator.Analysis.op_listeners r op)) clones
+              then None
+              else Some "listener not in static listener set"
+          | None -> Some "listener observation carries a non-listener value"))
+
+let check (r : Gator.Analysis.t) (outcome : Interp.outcome) =
+  let ops = op_index r in
+  let total = ref 0 in
+  let misses = ref [] in
+  List.iter
+    (fun ob ->
+      incr total;
+      match check_observation r ops ob with
+      | None -> ()
+      | Some reason -> misses := { miss_observation = ob; miss_reason = reason } :: !misses)
+    outcome.observations;
+  (* Listener registrations must appear in the view=>listener relation. *)
+  List.iter
+    (fun (view, listener, iface) ->
+      incr total;
+      let registered =
+        List.exists
+          (fun (l, i) -> l = listener && i = iface)
+          (Gator.Analysis.listeners_of_view r view)
+      in
+      if not registered then
+        misses :=
+          {
+            miss_observation =
+              {
+                Interp.ob_op =
+                  {
+                    Gator.Node.o_site =
+                      { Gator.Node.s_in = { mid_cls = "<registration>"; mid_name = iface; mid_arity = 0 }; s_stmt = 0 };
+                    o_kind = Framework.Api.Find_view;
+                  };
+                ob_role = Interp.R_listener;
+                ob_value =
+                  (match listener with
+                  | Gator.Node.L_alloc site -> Gator.Node.V_obj site
+                  | Gator.Node.L_act a -> Gator.Node.V_act a);
+              };
+            miss_reason = "registration missing from view=>listener relation";
+          }
+          :: !misses)
+    outcome.registrations;
+  (* Every executed activity launch must be a static transition edge. *)
+  let static_transitions = Gator.Analysis.transitions r in
+  List.iter
+    (fun (from_, to_) ->
+      incr total;
+      if not (List.mem (from_, to_) static_transitions) then
+        misses :=
+          {
+            miss_observation =
+              {
+                Interp.ob_op =
+                  {
+                    Gator.Node.o_site =
+                      { Gator.Node.s_in = { mid_cls = from_; mid_name = "<transition>"; mid_arity = 0 }; s_stmt = 0 };
+                    o_kind = Framework.Api.Start_activity;
+                  };
+                ob_role = Interp.R_result;
+                ob_value = Gator.Node.V_act to_;
+              };
+            miss_reason = "executed transition missing from static transition relation";
+          }
+          :: !misses)
+    outcome.transitions;
+  (* Every firing with a containing activity must be an interaction tuple. *)
+  let interactions = Gator.Analysis.interactions r in
+  List.iter
+    (fun (f : Interp.firing) ->
+      List.iter
+        (fun activity ->
+          incr total;
+          let covered =
+            List.exists
+              (fun (ix : Gator.Analysis.interaction) ->
+                ix.ix_activity = activity && ix.ix_view = f.f_view && ix.ix_event = f.f_event
+                && ix.ix_handler = f.f_handler)
+              interactions
+          in
+          if not covered then
+            misses :=
+              {
+                miss_observation =
+                  {
+                    Interp.ob_op =
+                      {
+                        Gator.Node.o_site =
+                          {
+                            Gator.Node.s_in =
+                              { mid_cls = activity; mid_name = "<firing>"; mid_arity = 0 };
+                            s_stmt = 0;
+                          };
+                        o_kind = Framework.Api.Find_view;
+                      };
+                    ob_role = Interp.R_result;
+                    ob_value = Gator.Node.V_view f.f_view;
+                  };
+                miss_reason = "fired interaction missing from static interaction tuples";
+              }
+              :: !misses)
+        f.f_activities)
+    outcome.firings;
+  { cov_total = !total; cov_covered = !total - List.length !misses; cov_misses = List.rev !misses }
+
+type dynamic_averages = {
+  dyn_receivers : float option;
+  dyn_parameters : float option;
+  dyn_results : float option;
+  dyn_listeners : float option;
+}
+
+module Value_set = Set.Make (struct
+  type t = Gator.Node.value
+
+  let compare = Gator.Node.compare_value
+end)
+
+let dynamic_averages (outcome : Interp.outcome) =
+  (* Distinct values per (op site, role). *)
+  let tbl : (Gator.Node.op_site * Interp.role, Value_set.t) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (ob : Interp.observation) ->
+      let key = (ob.ob_op, ob.ob_role) in
+      let existing = Option.value (Hashtbl.find_opt tbl key) ~default:Value_set.empty in
+      Hashtbl.replace tbl key (Value_set.add ob.ob_value existing))
+    outcome.observations;
+  let sizes role =
+    Hashtbl.fold
+      (fun (_, r) values acc -> if r = role then Value_set.cardinal values :: acc else acc)
+      tbl []
+  in
+  {
+    dyn_receivers = Gator.Metrics.avg (sizes Interp.R_receiver);
+    dyn_parameters = Gator.Metrics.avg (sizes Interp.R_child);
+    dyn_results = Gator.Metrics.avg (sizes Interp.R_result);
+    dyn_listeners = Gator.Metrics.avg (sizes Interp.R_listener);
+  }
+
+let pp_coverage ppf c =
+  Fmt.pf ppf "%d/%d observations covered" c.cov_covered c.cov_total;
+  if c.cov_misses <> [] then begin
+    Fmt.pf ppf "; MISSES:@.";
+    List.iter
+      (fun m -> Fmt.pf ppf "  %a (%s)@." Interp.pp_observation m.miss_observation m.miss_reason)
+      c.cov_misses
+  end

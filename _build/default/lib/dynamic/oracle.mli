@@ -1,0 +1,37 @@
+(** Comparison of a dynamic trace against a static solution.
+
+    This mechanizes the paper's Section 5 case study: the dynamic
+    semantics provides (a prefix of) the "perfectly-precise" behavior,
+    every element of which a sound static solution must cover; the gap
+    between the two measures precision. *)
+
+type miss = {
+  miss_observation : Interp.observation;
+  miss_reason : string;  (** e.g. "no static operation at this site" *)
+}
+
+type coverage = {
+  cov_total : int;  (** observations checked *)
+  cov_covered : int;
+  cov_misses : miss list;  (** soundness violations — must be empty *)
+}
+
+val check : Gator.Analysis.t -> Interp.outcome -> coverage
+(** Checks every observation, every listener registration, and every
+    event firing of the trace against the static solution. *)
+
+val is_sound : coverage -> bool
+
+(** Per-role average solution-set sizes of the {e dynamic} trace —
+    comparable with {!Gator.Metrics.table2}'s static averages (the
+    "perfectly-precise measurements" of the case study). *)
+type dynamic_averages = {
+  dyn_receivers : float option;
+  dyn_parameters : float option;
+  dyn_results : float option;
+  dyn_listeners : float option;
+}
+
+val dynamic_averages : Interp.outcome -> dynamic_averages
+
+val pp_coverage : coverage Fmt.t

@@ -1,0 +1,1 @@
+lib/framework/api.ml: Fmt Jir Listeners Views

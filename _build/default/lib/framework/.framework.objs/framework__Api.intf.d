@@ -1,0 +1,1 @@
+lib/framework/api.mli: Fmt Jir Listeners

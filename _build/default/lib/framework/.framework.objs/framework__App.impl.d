@@ -1,0 +1,1 @@
+lib/framework/app.ml: Api Jir Layouts List Listeners Printf Views

@@ -1,0 +1,1 @@
+lib/framework/app.mli: Jir Layouts

@@ -1,0 +1,1 @@
+lib/framework/lifecycle.ml: Jir List

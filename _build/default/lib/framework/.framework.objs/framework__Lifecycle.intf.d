@@ -1,0 +1,1 @@
+lib/framework/lifecycle.mli: Jir

@@ -1,0 +1,1 @@
+lib/framework/listeners.ml: Jir List

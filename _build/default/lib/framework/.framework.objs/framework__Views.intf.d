@@ -1,0 +1,1 @@
+lib/framework/views.mli: Jir

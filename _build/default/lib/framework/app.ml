@@ -1,0 +1,44 @@
+type t = {
+  name : string;
+  program : Jir.Ast.program;
+  package : Layouts.Package.t;
+  hierarchy : Jir.Hierarchy.t;
+}
+
+let make ~name program package =
+  { name; program; package; hierarchy = Api.hierarchy program }
+
+let of_source ~name ~code ~layouts =
+  match Jir.Parser.parse_program_result code with
+  | Error e -> Error e
+  | Ok program -> (
+      let package = Layouts.Package.create () in
+      let rec add_layouts = function
+        | [] -> Ok ()
+        | (layout_name, xml) :: rest -> (
+            match Layouts.Package.add_xml package ~name:layout_name xml with
+            | Ok () -> add_layouts rest
+            | Error e -> Error (Printf.sprintf "layout %s: %s" layout_name e))
+      in
+      match add_layouts layouts with
+      | Error e -> Error e
+      | Ok () -> (
+          match make ~name program package with
+          | app -> Ok app
+          | exception Jir.Hierarchy.Hierarchy_error e -> Error e))
+
+let filter_classes t predicate =
+  List.filter (fun (c : Jir.Ast.cls) -> predicate t.hierarchy c.c_name) t.program.p_classes
+
+let activity_classes t = filter_classes t Views.is_activity_class
+
+let dialog_classes t = filter_classes t Views.is_dialog_class
+
+let listener_classes t = filter_classes t Listeners.is_listener_class
+
+let view_classes t = filter_classes t Views.is_view_class
+
+let typing_env t ~owner m =
+  Jir.Typing.infer ~hierarchy:t.hierarchy ~external_return:Api.return_ty ~owner m
+
+let diagnostics t = Jir.Wellformed.check ~platform:Api.platform_decls t.program

@@ -1,0 +1,34 @@
+(* Canonical order matters: the dynamic semantics drives an activity
+   through these in sequence, and the static modeling adds a call for
+   each.  Arity 0: ALite drops the Bundle/Menu parameters real Android
+   passes, as they play no role in GUI-object flow. *)
+let activity_callbacks =
+  [
+    ("onCreate", 0);
+    ("onStart", 0);
+    ("onRestoreInstanceState", 0);
+    ("onResume", 0);
+    ("onPause", 0);
+    ("onSaveInstanceState", 0);
+    ("onStop", 0);
+    ("onRestart", 0);
+    ("onDestroy", 0);
+    ("onBackPressed", 0);
+    ("onLowMemory", 0);
+  ]
+
+let dialog_callbacks = [ ("onCreate", 0); ("onStart", 0); ("onStop", 0) ]
+
+(* Menu callbacks carry arguments (the menu / the selected item), so
+   they are modeled specially rather than through the generic zero-arg
+   callback list. *)
+let on_create_options_menu = ("onCreateOptionsMenu", 1)
+
+let on_options_item_selected = ("onOptionsItemSelected", 1)
+
+let is_activity_callback ~name ~arity = List.mem (name, arity) activity_callbacks
+
+let ordered_for (cls : Jir.Ast.cls) =
+  List.filter_map
+    (fun (name, arity) -> Jir.Ast.find_meth cls { Jir.Ast.mk_name = name; mk_arity = arity })
+    activity_callbacks

@@ -1,0 +1,27 @@
+(** Activity/dialog lifecycle callbacks.
+
+    The paper models the implicit platform-driven creation of an
+    activity as [t = new a()] followed by calls [t.m()] for every
+    Android-defined callback [m] the application overrides.  This
+    module enumerates the modeled callbacks. *)
+
+val activity_callbacks : (string * int) list
+(** [(name, arity)] pairs the platform may invoke on an activity. *)
+
+val dialog_callbacks : (string * int) list
+
+val on_create_options_menu : string * int
+(** [("onCreateOptionsMenu", 1)] — invoked with the activity's implicit
+    options-menu object (menu extension). *)
+
+val on_options_item_selected : string * int
+(** [("onOptionsItemSelected", 1)] — invoked with any item of the
+    activity's options menu. *)
+
+val is_activity_callback : name:string -> arity:int -> bool
+
+val ordered_for : Jir.Ast.cls -> Jir.Ast.meth list
+(** The lifecycle callbacks a class actually defines, in canonical
+    lifecycle order ([onCreate] before [onStart] before [onResume],
+    ...).  Used by both the static callback modeling and the dynamic
+    semantics. *)

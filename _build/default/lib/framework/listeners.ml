@@ -1,0 +1,114 @@
+type event =
+  | Click
+  | Long_click
+  | Touch
+  | Key
+  | Focus_change
+  | Item_click
+  | Item_selected
+  | Seek_bar_change
+  | Checked_change
+  | Editor_action
+
+type handler = { h_name : string; h_arity : int; h_view_param : int option; h_item_param : int option }
+
+type iface = { i_name : string; i_event : event; i_setter : string; i_handlers : handler list }
+
+let handler ?view_param ?item_param name arity =
+  { h_name = name; h_arity = arity; h_view_param = view_param; h_item_param = item_param }
+
+let all =
+  [
+    {
+      i_name = "OnClickListener";
+      i_event = Click;
+      i_setter = "setOnClickListener";
+      i_handlers = [ handler ~view_param:0 "onClick" 1 ];
+    };
+    {
+      i_name = "OnLongClickListener";
+      i_event = Long_click;
+      i_setter = "setOnLongClickListener";
+      i_handlers = [ handler ~view_param:0 "onLongClick" 1 ];
+    };
+    {
+      i_name = "OnTouchListener";
+      i_event = Touch;
+      i_setter = "setOnTouchListener";
+      i_handlers = [ handler ~view_param:0 "onTouch" 2 ];
+    };
+    {
+      i_name = "OnKeyListener";
+      i_event = Key;
+      i_setter = "setOnKeyListener";
+      i_handlers = [ handler ~view_param:0 "onKey" 3 ];
+    };
+    {
+      i_name = "OnFocusChangeListener";
+      i_event = Focus_change;
+      i_setter = "setOnFocusChangeListener";
+      i_handlers = [ handler ~view_param:0 "onFocusChange" 2 ];
+    };
+    {
+      i_name = "OnItemClickListener";
+      i_event = Item_click;
+      i_setter = "setOnItemClickListener";
+      i_handlers = [ handler ~view_param:0 ~item_param:1 "onItemClick" 4 ];
+    };
+    {
+      i_name = "OnItemSelectedListener";
+      i_event = Item_selected;
+      i_setter = "setOnItemSelectedListener";
+      i_handlers = [ handler ~view_param:0 ~item_param:1 "onItemSelected" 4; handler ~view_param:0 "onNothingSelected" 1 ];
+    };
+    {
+      i_name = "OnSeekBarChangeListener";
+      i_event = Seek_bar_change;
+      i_setter = "setOnSeekBarChangeListener";
+      i_handlers =
+        [
+          handler ~view_param:0 "onProgressChanged" 3;
+          handler ~view_param:0 "onStartTrackingTouch" 1;
+          handler ~view_param:0 "onStopTrackingTouch" 1;
+        ];
+    };
+    {
+      i_name = "OnCheckedChangeListener";
+      i_event = Checked_change;
+      i_setter = "setOnCheckedChangeListener";
+      i_handlers = [ handler ~view_param:0 "onCheckedChanged" 2 ];
+    };
+    {
+      i_name = "OnEditorActionListener";
+      i_event = Editor_action;
+      i_setter = "setOnEditorActionListener";
+      i_handlers = [ handler ~view_param:0 "onEditorAction" 3 ];
+    };
+  ]
+
+let decls =
+  List.map
+    (fun i ->
+      { Jir.Hierarchy.d_name = i.i_name; d_kind = `Interface; d_super = None; d_interfaces = [] })
+    all
+
+let by_setter setter = List.find_opt (fun i -> i.i_setter = setter) all
+
+let by_name name = List.find_opt (fun i -> i.i_name = name) all
+
+let implemented_ifaces hierarchy cls =
+  List.filter (fun i -> cls <> i.i_name && Jir.Hierarchy.subtype hierarchy cls i.i_name) all
+
+let is_listener_class hierarchy cls = implemented_ifaces hierarchy cls <> []
+
+let event_name = function
+  | Click -> "click"
+  | Long_click -> "long-click"
+  | Touch -> "touch"
+  | Key -> "key"
+  | Focus_change -> "focus-change"
+  | Item_click -> "item-click"
+  | Item_selected -> "item-selected"
+  | Seek_bar_change -> "seek-bar-change"
+  | Checked_change -> "checked-change"
+  | Editor_action -> "editor-action"

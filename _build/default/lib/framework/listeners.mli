@@ -1,0 +1,58 @@
+(** The modeled event-listener interfaces.
+
+    A listener class (paper: [ListenerClass]) is an application class
+    implementing one of these interfaces.  For a set-listener call
+    [x.m(y)], the interface determines the handler methods [n] and the
+    position at which the view [x] flows into the callback [y.n(x)]
+    (end of Section 3 in the paper). *)
+
+type event =
+  | Click
+  | Long_click
+  | Touch
+  | Key
+  | Focus_change
+  | Item_click
+  | Item_selected
+  | Seek_bar_change
+  | Checked_change
+  | Editor_action
+
+type handler = {
+  h_name : string;
+  h_arity : int;
+  h_view_param : int option;
+      (** 0-based index of the parameter that receives the view the
+          event occurred on; [None] if the callback takes no view. *)
+  h_item_param : int option;
+      (** for adapter-view events: the parameter receiving the item
+          view (a child of the registered view), e.g. [onItemClick]'s
+          second parameter. *)
+}
+
+type iface = {
+  i_name : string;
+  i_event : event;
+  i_setter : string;  (** the [View] method that registers this listener *)
+  i_handlers : handler list;
+}
+
+val all : iface list
+
+val decls : Jir.Hierarchy.decl list
+(** Interface declarations for the hierarchy. *)
+
+val by_setter : string -> iface option
+(** Look up by registration method name, e.g.
+    ["setOnClickListener"]. *)
+
+val by_name : string -> iface option
+
+val is_listener_class : Jir.Hierarchy.t -> string -> bool
+(** Does the class (transitively) implement any modeled listener
+    interface? *)
+
+val implemented_ifaces : Jir.Hierarchy.t -> string -> iface list
+(** All modeled interfaces a class implements, transitively. *)
+
+val event_name : event -> string

@@ -1,0 +1,116 @@
+let root_view_class = "View"
+
+let root_activity_class = "Activity"
+
+let root_dialog_class = "Dialog"
+
+let container_class = "ViewGroup"
+
+let cls ?super ?(interfaces = []) name =
+  { Jir.Hierarchy.d_name = name; d_kind = `Class; d_super = super; d_interfaces = interfaces }
+
+let decls =
+  [
+    cls "Object";
+    (* core component classes *)
+    cls ~super:"Object" "Context";
+    cls ~super:"Context" "Activity";
+    cls ~super:"Activity" "ListActivity";
+    cls ~super:"Activity" "TabActivity";
+    cls ~super:"Activity" "PreferenceActivity";
+    cls ~super:"Object" "Dialog";
+    cls ~super:"Dialog" "AlertDialog";
+    cls ~super:"Dialog" "ProgressDialog";
+    cls ~super:"Object" "LayoutInflater";
+    cls ~super:"Object" "Adapter";
+    cls ~super:"Adapter" "BaseAdapter";
+    cls ~super:"BaseAdapter" "ArrayAdapter";
+    cls ~super:"BaseAdapter" "CursorAdapter";
+    cls ~super:"Object" "Fragment";
+    cls ~super:"Fragment" "ListFragment";
+    cls ~super:"Fragment" "DialogFragment";
+    cls ~super:"Object" "FragmentManager";
+    cls ~super:"Object" "FragmentTransaction";
+    cls ~super:"Object" "MotionEvent";
+    cls ~super:"Object" "KeyEvent";
+    cls ~super:"Object" "Bundle";
+    cls ~super:"Object" "Intent";
+    (* Options menus are modeled as a view-like hierarchy: a Menu is a
+       container of MenuItem leaves, so the parent-child and find-item
+       machinery of the core analysis applies unchanged (extension; the
+       paper does not treat menus). *)
+    cls ~super:"ViewGroup" "Menu";
+    cls ~super:"Menu" "SubMenu";
+    cls ~super:"View" "MenuItem";
+    (* view hierarchy *)
+    cls ~super:"Object" "View";
+    cls ~super:"View" "ViewGroup";
+    cls ~super:"View" "TextView";
+    cls ~super:"TextView" "EditText";
+    cls ~super:"TextView" "Button";
+    cls ~super:"Button" "CompoundButton";
+    cls ~super:"CompoundButton" "CheckBox";
+    cls ~super:"CompoundButton" "RadioButton";
+    cls ~super:"CompoundButton" "ToggleButton";
+    cls ~super:"View" "ImageView";
+    cls ~super:"ImageView" "ImageButton";
+    cls ~super:"View" "ProgressBar";
+    cls ~super:"ProgressBar" "SeekBar";
+    cls ~super:"View" "SurfaceView";
+    cls ~super:"ViewGroup" "LinearLayout";
+    cls ~super:"LinearLayout" "TableLayout";
+    cls ~super:"LinearLayout" "TableRow";
+    cls ~super:"LinearLayout" "RadioGroup";
+    cls ~super:"ViewGroup" "RelativeLayout";
+    cls ~super:"ViewGroup" "FrameLayout";
+    cls ~super:"FrameLayout" "ScrollView";
+    cls ~super:"FrameLayout" "TabHost";
+    cls ~super:"FrameLayout" "ViewAnimator";
+    cls ~super:"ViewAnimator" "ViewFlipper";
+    cls ~super:"ViewAnimator" "ViewSwitcher";
+    cls ~super:"ViewGroup" "AdapterView";
+    cls ~super:"AdapterView" "AbsListView";
+    cls ~super:"AbsListView" "ListView";
+    cls ~super:"AbsListView" "GridView";
+    cls ~super:"AdapterView" "Spinner";
+    cls ~super:"AdapterView" "Gallery";
+    cls ~super:"ViewGroup" "WebView";
+  ]
+
+let is_view_class hierarchy name = Jir.Hierarchy.subtype hierarchy name root_view_class
+
+let is_activity_class hierarchy name = Jir.Hierarchy.subtype hierarchy name root_activity_class
+
+let is_dialog_class hierarchy name = Jir.Hierarchy.subtype hierarchy name root_dialog_class
+
+let is_container_class hierarchy name = Jir.Hierarchy.subtype hierarchy name container_class
+
+let root_fragment_class = "Fragment"
+
+let is_fragment_class hierarchy name = Jir.Hierarchy.subtype hierarchy name root_fragment_class
+
+let concrete_view_classes =
+  [
+    "TextView";
+    "EditText";
+    "Button";
+    "CheckBox";
+    "RadioButton";
+    "ToggleButton";
+    "ImageView";
+    "ImageButton";
+    "ProgressBar";
+    "SeekBar";
+  ]
+
+let concrete_container_classes =
+  [
+    "LinearLayout";
+    "RelativeLayout";
+    "FrameLayout";
+    "TableLayout";
+    "ScrollView";
+    "ViewFlipper";
+    "ListView";
+    "RadioGroup";
+  ]

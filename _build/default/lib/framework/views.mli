@@ -1,0 +1,43 @@
+(** The modeled Android view/activity class hierarchy.
+
+    The paper's analysis needs to know which classes are view classes
+    (subtypes of [android.view.View]), which are activity classes, and
+    which views are containers.  Package prefixes are dropped: the
+    modeled type is ["View"], not ["android.view.View"]. *)
+
+val decls : Jir.Hierarchy.decl list
+(** Declarations of all modeled platform GUI classes, rooted at
+    [Object]. *)
+
+val root_view_class : string
+(** ["View"] *)
+
+val root_activity_class : string
+(** ["Activity"] *)
+
+val root_dialog_class : string
+(** ["Dialog"] — dialogs are an extension beyond the paper's
+    implementation, which left them unhandled. *)
+
+val container_class : string
+(** ["ViewGroup"] *)
+
+val is_view_class : Jir.Hierarchy.t -> string -> bool
+
+val is_activity_class : Jir.Hierarchy.t -> string -> bool
+
+val is_dialog_class : Jir.Hierarchy.t -> string -> bool
+
+val is_container_class : Jir.Hierarchy.t -> string -> bool
+
+val root_fragment_class : string
+(** ["Fragment"] — fragments are an extension beyond the paper's
+    implementation, which left them unhandled. *)
+
+val is_fragment_class : Jir.Hierarchy.t -> string -> bool
+
+val concrete_view_classes : string list
+(** Platform view classes suitable for layout leaves/containers, used
+    by the corpus generator. *)
+
+val concrete_container_classes : string list

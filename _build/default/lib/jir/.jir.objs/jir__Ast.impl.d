@@ -1,0 +1,1 @@
+lib/jir/ast.pp.ml: Hashtbl List Ppx_deriving_runtime

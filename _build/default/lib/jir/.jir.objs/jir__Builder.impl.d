@@ -1,0 +1,1 @@
+lib/jir/builder.pp.ml: Ast

@@ -1,0 +1,1 @@
+lib/jir/hierarchy.pp.ml: Ast Hashtbl List Option Printf Set String

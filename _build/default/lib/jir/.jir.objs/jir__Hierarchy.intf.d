@@ -1,0 +1,1 @@
+lib/jir/hierarchy.pp.mli: Ast

@@ -1,0 +1,1 @@
+lib/jir/lexer.pp.ml: Fmt List Printf String

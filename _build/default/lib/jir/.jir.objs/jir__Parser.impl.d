@@ -1,0 +1,1 @@
+lib/jir/parser.pp.ml: Array Ast Fmt Lexer List

@@ -1,0 +1,1 @@
+lib/jir/parser.pp.mli: Ast Lexer

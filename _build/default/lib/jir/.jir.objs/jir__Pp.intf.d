@@ -1,0 +1,1 @@
+lib/jir/pp.pp.mli: Ast Fmt

@@ -1,0 +1,1 @@
+lib/jir/typing.pp.ml: Ast Hashtbl Hierarchy List

@@ -1,0 +1,1 @@
+lib/jir/typing.pp.mli: Ast Hashtbl Hierarchy

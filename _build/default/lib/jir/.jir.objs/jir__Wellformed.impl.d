@@ -1,0 +1,1 @@
+lib/jir/wellformed.pp.ml: Ast Fmt Hashtbl Hierarchy List Printf Set String

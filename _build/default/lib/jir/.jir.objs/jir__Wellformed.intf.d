@@ -1,0 +1,1 @@
+lib/jir/wellformed.pp.mli: Ast Fmt Hierarchy

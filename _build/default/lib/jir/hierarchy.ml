@@ -1,0 +1,180 @@
+type decl = {
+  d_name : string;
+  d_kind : [ `Class | `Interface ];
+  d_super : string option;
+  d_interfaces : string list;
+}
+
+exception Hierarchy_error of string
+
+module SS = Set.Make (String)
+
+type node = {
+  n_name : string;
+  n_kind : [ `Class | `Interface ];
+  n_super : string option;
+  n_interfaces : string list;
+  n_cls : Ast.cls option;  (** [Some] iff application type *)
+}
+
+type t = {
+  nodes : (string, node) Hashtbl.t;
+  mutable anc_cache : (string, SS.t) Hashtbl.t;
+  mutable sub_cache : (string, string list) Hashtbl.t;
+  program : Ast.program;
+}
+
+let add_node t node =
+  if Hashtbl.mem t.nodes node.n_name then
+    raise (Hierarchy_error (Printf.sprintf "duplicate type name %s" node.n_name));
+  Hashtbl.add t.nodes node.n_name node
+
+let parents node = (match node.n_super with Some s -> [ s ] | None -> []) @ node.n_interfaces
+
+(* Detect cycles over the extends/implements graph. *)
+let check_acyclic t =
+  let module State = struct
+    type mark = White | Gray | Black
+  end in
+  let marks : (string, State.mark) Hashtbl.t = Hashtbl.create 64 in
+  let mark_of name = Option.value (Hashtbl.find_opt marks name) ~default:State.White in
+  let rec visit name =
+    match Hashtbl.find_opt t.nodes name with
+    | None -> ()
+    | Some node -> (
+        match mark_of name with
+        | State.Black -> ()
+        | State.Gray -> raise (Hierarchy_error (Printf.sprintf "inheritance cycle through %s" name))
+        | State.White ->
+            Hashtbl.replace marks name State.Gray;
+            List.iter visit (parents node);
+            Hashtbl.replace marks name State.Black)
+  in
+  Hashtbl.iter (fun name _ -> visit name) t.nodes
+
+let create ?(platform = []) program =
+  let t =
+    { nodes = Hashtbl.create 128; anc_cache = Hashtbl.create 128; sub_cache = Hashtbl.create 128; program }
+  in
+  List.iter
+    (fun d ->
+      add_node t
+        { n_name = d.d_name; n_kind = d.d_kind; n_super = d.d_super; n_interfaces = d.d_interfaces; n_cls = None })
+    platform;
+  List.iter
+    (fun (c : Ast.cls) ->
+      add_node t
+        {
+          n_name = c.c_name;
+          n_kind = c.c_kind;
+          n_super = c.c_super;
+          n_interfaces = c.c_interfaces;
+          n_cls = Some c;
+        })
+    program.p_classes;
+  check_acyclic t;
+  t
+
+let mem t name = Hashtbl.mem t.nodes name
+
+let kind t name = Option.map (fun n -> n.n_kind) (Hashtbl.find_opt t.nodes name)
+
+let is_application t name =
+  match Hashtbl.find_opt t.nodes name with Some { n_cls = Some _; _ } -> true | _ -> false
+
+let types t = Hashtbl.fold (fun name _ acc -> name :: acc) t.nodes []
+
+let application_classes t = t.program.Ast.p_classes
+
+let super t name =
+  match Hashtbl.find_opt t.nodes name with Some n -> n.n_super | None -> None
+
+let rec ancestors_set t name =
+  match Hashtbl.find_opt t.anc_cache name with
+  | Some s -> s
+  | None ->
+      (* Break cycles defensively even though [create] rejects them. *)
+      Hashtbl.replace t.anc_cache name SS.empty;
+      let s =
+        match Hashtbl.find_opt t.nodes name with
+        | None -> SS.empty
+        | Some node ->
+            List.fold_left
+              (fun acc p -> SS.union acc (SS.add p (ancestors_set t p)))
+              SS.empty (parents node)
+      in
+      Hashtbl.replace t.anc_cache name s;
+      s
+
+let ancestors t name = SS.elements (ancestors_set t name)
+
+let superclass_chain t name =
+  let rec go acc name =
+    match super t name with Some s -> go (s :: acc) s | None -> List.rev acc
+  in
+  go [] name
+
+let subtype t sub sup = sub = sup || SS.mem sup (ancestors_set t sub)
+
+let subtypes t name =
+  match Hashtbl.find_opt t.sub_cache name with
+  | Some xs -> xs
+  | None ->
+      let xs =
+        Hashtbl.fold (fun n _ acc -> if subtype t n name then n :: acc else acc) t.nodes []
+      in
+      Hashtbl.replace t.sub_cache name xs;
+      xs
+
+let rec field_ty t cls f =
+  match Hashtbl.find_opt t.nodes cls with
+  | None -> None
+  | Some node -> (
+      let own =
+        match node.n_cls with
+        | Some c -> List.assoc_opt f c.Ast.c_fields
+        | None -> None
+      in
+      match own with
+      | Some ty -> Some ty
+      | None -> ( match node.n_super with Some s -> field_ty t s f | None -> None))
+
+let own_meth t cls key =
+  match Hashtbl.find_opt t.nodes cls with
+  | Some { n_cls = Some c; _ } -> Ast.find_meth c key
+  | _ -> None
+
+let rec resolve t cls key =
+  match own_meth t cls key with
+  | Some m -> Some (cls, m)
+  | None -> ( match super t cls with Some s -> resolve t s key | None -> None)
+
+let methods_with_key t key =
+  List.filter_map
+    (fun (c : Ast.cls) -> Option.map (fun m -> (c.c_name, m)) (Ast.find_meth c key))
+    t.program.Ast.p_classes
+
+let cha_targets t ~recv_ty key =
+  match recv_ty with
+  | None -> methods_with_key t key
+  | Some ty ->
+      if not (mem t ty) then methods_with_key t key
+      else
+        let candidates = subtypes t ty in
+        let seen = Hashtbl.create 8 in
+        List.filter_map
+          (fun sub ->
+            match Hashtbl.find_opt t.nodes sub with
+            | Some { n_kind = `Class; n_cls = Some _; _ } -> (
+                match resolve t sub key with
+                | Some (owner, m) when not (Hashtbl.mem seen owner) ->
+                    Hashtbl.add seen owner ();
+                    Some (owner, m)
+                | _ -> None)
+            | _ -> None)
+          candidates
+
+let iter_methods t f =
+  List.iter
+    (fun (c : Ast.cls) -> List.iter (fun m -> f c.c_name m) c.Ast.c_methods)
+    t.program.Ast.p_classes

@@ -1,0 +1,213 @@
+type token =
+  | IDENT of string
+  | INT of int
+  | KW_CLASS
+  | KW_INTERFACE
+  | KW_EXTENDS
+  | KW_IMPLEMENTS
+  | KW_FIELD
+  | KW_METHOD
+  | KW_VAR
+  | KW_NEW
+  | KW_RETURN
+  | KW_NULL
+  | KW_INT
+  | KW_VOID
+  | KW_R
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | SEMI
+  | COLON
+  | COMMA
+  | DOT
+  | EQUALS
+
+type pos = { line : int; col : int }
+
+type located = { token : token; pos : pos }
+
+exception Lex_error of string * pos
+
+let pp_token ppf = function
+  | IDENT s -> Fmt.pf ppf "identifier %S" s
+  | INT n -> Fmt.pf ppf "integer %d" n
+  | KW_CLASS -> Fmt.string ppf "'class'"
+  | KW_INTERFACE -> Fmt.string ppf "'interface'"
+  | KW_EXTENDS -> Fmt.string ppf "'extends'"
+  | KW_IMPLEMENTS -> Fmt.string ppf "'implements'"
+  | KW_FIELD -> Fmt.string ppf "'field'"
+  | KW_METHOD -> Fmt.string ppf "'method'"
+  | KW_VAR -> Fmt.string ppf "'var'"
+  | KW_NEW -> Fmt.string ppf "'new'"
+  | KW_RETURN -> Fmt.string ppf "'return'"
+  | KW_NULL -> Fmt.string ppf "'null'"
+  | KW_INT -> Fmt.string ppf "'int'"
+  | KW_VOID -> Fmt.string ppf "'void'"
+  | KW_R -> Fmt.string ppf "'R'"
+  | LBRACE -> Fmt.string ppf "'{'"
+  | RBRACE -> Fmt.string ppf "'}'"
+  | LPAREN -> Fmt.string ppf "'('"
+  | RPAREN -> Fmt.string ppf "')'"
+  | SEMI -> Fmt.string ppf "';'"
+  | COLON -> Fmt.string ppf "':'"
+  | COMMA -> Fmt.string ppf "','"
+  | DOT -> Fmt.string ppf "'.'"
+  | EQUALS -> Fmt.string ppf "'='"
+
+let keyword_of_string = function
+  | "class" -> Some KW_CLASS
+  | "interface" -> Some KW_INTERFACE
+  | "extends" -> Some KW_EXTENDS
+  | "implements" -> Some KW_IMPLEMENTS
+  | "field" -> Some KW_FIELD
+  | "method" -> Some KW_METHOD
+  | "var" -> Some KW_VAR
+  | "new" -> Some KW_NEW
+  | "return" -> Some KW_RETURN
+  | "null" -> Some KW_NULL
+  | "int" -> Some KW_INT
+  | "void" -> Some KW_VOID
+  | "R" -> Some KW_R
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '$'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+type cursor = { src : string; mutable off : int; mutable line : int; mutable col : int }
+
+let peek cur = if cur.off < String.length cur.src then Some cur.src.[cur.off] else None
+
+let peek2 cur = if cur.off + 1 < String.length cur.src then Some cur.src.[cur.off + 1] else None
+
+let advance cur =
+  (match peek cur with
+  | Some '\n' ->
+      cur.line <- cur.line + 1;
+      cur.col <- 1
+  | Some _ -> cur.col <- cur.col + 1
+  | None -> ());
+  cur.off <- cur.off + 1
+
+let position cur = { line = cur.line; col = cur.col }
+
+let rec skip_trivia cur =
+  match peek cur with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance cur;
+      skip_trivia cur
+  | Some '/' -> (
+      match peek2 cur with
+      | Some '/' ->
+          let rec to_eol () =
+            match peek cur with
+            | Some '\n' | None -> ()
+            | Some _ ->
+                advance cur;
+                to_eol ()
+          in
+          to_eol ();
+          skip_trivia cur
+      | Some '*' ->
+          let start = position cur in
+          advance cur;
+          advance cur;
+          let rec to_close () =
+            match (peek cur, peek2 cur) with
+            | Some '*', Some '/' ->
+                advance cur;
+                advance cur
+            | Some _, _ ->
+                advance cur;
+                to_close ()
+            | None, _ -> raise (Lex_error ("unterminated comment", start))
+          in
+          to_close ();
+          skip_trivia cur
+      | _ -> ())
+  | _ -> ()
+
+let lex_word cur =
+  let start = cur.off in
+  while (match peek cur with Some c -> is_ident_char c | None -> false) do
+    advance cur
+  done;
+  String.sub cur.src start (cur.off - start)
+
+let lex_number cur pos =
+  let start = cur.off in
+  (* allow 0x prefix for resource-style ids *)
+  if peek cur = Some '0' && (peek2 cur = Some 'x' || peek2 cur = Some 'X') then begin
+    advance cur;
+    advance cur;
+    while
+      match peek cur with
+      | Some c -> is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+      | None -> false
+    do
+      advance cur
+    done
+  end
+  else
+    while (match peek cur with Some c -> is_digit c | None -> false) do
+      advance cur
+    done;
+  let text = String.sub cur.src start (cur.off - start) in
+  match int_of_string_opt text with
+  | Some n -> n
+  | None -> raise (Lex_error (Printf.sprintf "bad integer literal %S" text, pos))
+
+let tokenize src =
+  let cur = { src; off = 0; line = 1; col = 1 } in
+  let out = ref [] in
+  let emit token pos = out := { token; pos } :: !out in
+  let rec loop () =
+    skip_trivia cur;
+    match peek cur with
+    | None -> ()
+    | Some c ->
+        let pos = position cur in
+        (match c with
+        | '{' ->
+            advance cur;
+            emit LBRACE pos
+        | '}' ->
+            advance cur;
+            emit RBRACE pos
+        | '(' ->
+            advance cur;
+            emit LPAREN pos
+        | ')' ->
+            advance cur;
+            emit RPAREN pos
+        | ';' ->
+            advance cur;
+            emit SEMI pos
+        | ':' ->
+            advance cur;
+            emit COLON pos
+        | ',' ->
+            advance cur;
+            emit COMMA pos
+        | '.' ->
+            advance cur;
+            emit DOT pos
+        | '=' ->
+            advance cur;
+            emit EQUALS pos
+        | c when is_digit c -> emit (INT (lex_number cur pos)) pos
+        | c when is_ident_start c ->
+            let word = lex_word cur in
+            let token =
+              match keyword_of_string word with Some kw -> kw | None -> IDENT word
+            in
+            emit token pos
+        | c -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, pos)));
+        loop ()
+  in
+  loop ();
+  List.rev !out

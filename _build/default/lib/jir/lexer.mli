@@ -1,0 +1,43 @@
+(** Hand-written lexer for ALite source text.
+
+    Menhir/ocamllex are deliberately not used: the token language is tiny
+    and a hand-rolled lexer keeps the frontend dependency-free. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | KW_CLASS
+  | KW_INTERFACE
+  | KW_EXTENDS
+  | KW_IMPLEMENTS
+  | KW_FIELD
+  | KW_METHOD
+  | KW_VAR
+  | KW_NEW
+  | KW_RETURN
+  | KW_NULL
+  | KW_INT
+  | KW_VOID
+  | KW_R  (** the resource class [R] *)
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | SEMI
+  | COLON
+  | COMMA
+  | DOT
+  | EQUALS
+
+type pos = { line : int; col : int }
+
+type located = { token : token; pos : pos }
+
+exception Lex_error of string * pos
+
+val pp_token : token Fmt.t
+
+val tokenize : string -> located list
+(** Tokenize a full source string.  Comments are [// ...] to end of line
+    and [/* ... */] (non-nesting).  @raise Lex_error on an illegal
+    character or unterminated comment. *)

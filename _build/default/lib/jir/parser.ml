@@ -1,0 +1,268 @@
+open Lexer
+
+exception Parse_error of string * Lexer.pos
+
+type state = { tokens : located array; mutable index : int }
+
+let eof_pos state =
+  if Array.length state.tokens = 0 then { line = 1; col = 1 }
+  else (state.tokens.(Array.length state.tokens - 1)).pos
+
+let peek state = if state.index < Array.length state.tokens then Some state.tokens.(state.index) else None
+
+let fail state message =
+  let pos = match peek state with Some l -> l.pos | None -> eof_pos state in
+  raise (Parse_error (message, pos))
+
+let next state =
+  match peek state with
+  | Some l ->
+      state.index <- state.index + 1;
+      l
+  | None -> fail state "unexpected end of input"
+
+let expect state token what =
+  let l = next state in
+  if l.token <> token then
+    raise (Parse_error (Fmt.str "expected %s, found %a" what pp_token l.token, l.pos))
+
+let accept state token =
+  match peek state with
+  | Some l when l.token = token ->
+      state.index <- state.index + 1;
+      true
+  | _ -> false
+
+let ident state =
+  let l = next state in
+  match l.token with
+  | IDENT s -> s
+  | t -> raise (Parse_error (Fmt.str "expected identifier, found %a" pp_token t, l.pos))
+
+let parse_ty state =
+  let l = next state in
+  match l.token with
+  | KW_INT -> Ast.Tint
+  | KW_VOID -> raise (Parse_error ("'void' is only allowed as a return type", l.pos))
+  | IDENT s -> Ast.Tclass s
+  | t -> raise (Parse_error (Fmt.str "expected a type, found %a" pp_token t, l.pos))
+
+let parse_ret_ty state =
+  if accept state COLON then
+    let l = next state in
+    match l.token with
+    | KW_VOID -> None
+    | KW_INT -> Some Ast.Tint
+    | IDENT s -> Some (Ast.Tclass s)
+    | t -> raise (Parse_error (Fmt.str "expected a return type, found %a" pp_token t, l.pos))
+  else None
+
+let parse_params state =
+  expect state LPAREN "'('";
+  if accept state RPAREN then []
+  else
+    let rec more acc =
+      let name = ident state in
+      expect state COLON "':'";
+      let ty = parse_ty state in
+      let acc = (name, ty) :: acc in
+      if accept state COMMA then more acc
+      else begin
+        expect state RPAREN "')'";
+        List.rev acc
+      end
+    in
+    more []
+
+let parse_args state =
+  expect state LPAREN "'('";
+  if accept state RPAREN then []
+  else
+    let rec more acc =
+      let name = ident state in
+      let acc = name :: acc in
+      if accept state COMMA then more acc
+      else begin
+        expect state RPAREN "')'";
+        List.rev acc
+      end
+    in
+    more []
+
+(* Right-hand sides of [x = rhs;].  [x] has already been consumed. *)
+let parse_rhs state x =
+  let l = next state in
+  match l.token with
+  | KW_NEW ->
+      let cls = ident state in
+      expect state LPAREN "'('";
+      expect state RPAREN "')'";
+      Ast.New (x, cls)
+  | KW_NULL -> Ast.Const_null x
+  | INT n -> Ast.Const_int (x, n)
+  | KW_R -> (
+      expect state DOT "'.'";
+      let category = ident state in
+      expect state DOT "'.'";
+      let name = ident state in
+      match category with
+      | "layout" -> Ast.Read_layout_id (x, name)
+      | "id" -> Ast.Read_view_id (x, name)
+      | other ->
+          raise (Parse_error (Fmt.str "unknown resource category R.%s (want layout or id)" other, l.pos)))
+  | LPAREN ->
+      let cls = ident state in
+      expect state RPAREN "')'";
+      let y = ident state in
+      Ast.Cast (x, cls, y)
+  | IDENT y -> (
+      match peek state with
+      | Some { token = DOT; _ } -> (
+          state.index <- state.index + 1;
+          let member = ident state in
+          match peek state with
+          | Some { token = LPAREN; _ } ->
+              let args = parse_args state in
+              Ast.Invoke (Some x, y, member, args)
+          | _ -> Ast.Read_field (x, y, member))
+      | _ -> Ast.Copy (x, y))
+  | t -> raise (Parse_error (Fmt.str "expected an expression, found %a" pp_token t, l.pos))
+
+let parse_stmt state =
+  let l = next state in
+  match l.token with
+  | KW_RETURN ->
+      if accept state SEMI then Ast.Return None
+      else
+        let x = ident state in
+        expect state SEMI "';'";
+        Ast.Return (Some x)
+  | IDENT x -> (
+      match peek state with
+      | Some { token = EQUALS; _ } ->
+          state.index <- state.index + 1;
+          let stmt = parse_rhs state x in
+          expect state SEMI "';'";
+          stmt
+      | Some { token = DOT; _ } -> (
+          state.index <- state.index + 1;
+          let member = ident state in
+          match peek state with
+          | Some { token = LPAREN; _ } ->
+              let args = parse_args state in
+              expect state SEMI "';'";
+              Ast.Invoke (None, x, member, args)
+          | Some { token = EQUALS; _ } ->
+              state.index <- state.index + 1;
+              let y = ident state in
+              expect state SEMI "';'";
+              Ast.Write_field (x, member, y)
+          | _ -> fail state "expected '(' (call) or '=' (field write) after member access")
+      | _ -> fail state "expected '=' or '.' after identifier")
+  | t -> raise (Parse_error (Fmt.str "expected a statement, found %a" pp_token t, l.pos))
+
+let parse_method state =
+  let name = ident state in
+  let params = parse_params state in
+  let ret = parse_ret_ty state in
+  expect state LBRACE "'{'";
+  let locals = ref [] in
+  let body = ref [] in
+  let rec members () =
+    match peek state with
+    | Some { token = RBRACE; _ } -> state.index <- state.index + 1
+    | Some { token = KW_VAR; _ } ->
+        state.index <- state.index + 1;
+        let v = ident state in
+        expect state COLON "':'";
+        let ty = parse_ty state in
+        expect state SEMI "';'";
+        locals := (v, ty) :: !locals;
+        members ()
+    | Some _ ->
+        body := parse_stmt state :: !body;
+        members ()
+    | None -> fail state "unterminated method body"
+  in
+  members ();
+  {
+    Ast.m_name = name;
+    m_params = params;
+    m_ret = ret;
+    m_locals = List.rev !locals;
+    m_body = List.rev !body;
+  }
+
+let parse_class state kind =
+  let name = ident state in
+  let super = if accept state KW_EXTENDS then Some (ident state) else None in
+  let interfaces =
+    if accept state KW_IMPLEMENTS then
+      let rec more acc =
+        let i = ident state in
+        if accept state COMMA then more (i :: acc) else List.rev (i :: acc)
+      in
+      more []
+    else []
+  in
+  expect state LBRACE "'{'";
+  let fields = ref [] in
+  let methods = ref [] in
+  let rec members () =
+    match peek state with
+    | Some { token = RBRACE; _ } -> state.index <- state.index + 1
+    | Some { token = KW_FIELD; _ } ->
+        state.index <- state.index + 1;
+        let f = ident state in
+        expect state COLON "':'";
+        let ty = parse_ty state in
+        expect state SEMI "';'";
+        fields := (f, ty) :: !fields;
+        members ()
+    | Some { token = KW_METHOD; _ } ->
+        state.index <- state.index + 1;
+        methods := parse_method state :: !methods;
+        members ()
+    | Some l ->
+        raise
+          (Parse_error (Fmt.str "expected 'field', 'method' or '}', found %a" pp_token l.token, l.pos))
+    | None -> fail state "unterminated class body"
+  in
+  members ();
+  {
+    Ast.c_name = name;
+    c_kind = kind;
+    c_super = super;
+    c_interfaces = interfaces;
+    c_fields = List.rev !fields;
+    c_methods = List.rev !methods;
+  }
+
+let parse_program src =
+  let tokens = Array.of_list (Lexer.tokenize src) in
+  let state = { tokens; index = 0 } in
+  let classes = ref [] in
+  let rec loop () =
+    match peek state with
+    | None -> ()
+    | Some { token = KW_CLASS; _ } ->
+        state.index <- state.index + 1;
+        classes := parse_class state `Class :: !classes;
+        loop ()
+    | Some { token = KW_INTERFACE; _ } ->
+        state.index <- state.index + 1;
+        classes := parse_class state `Interface :: !classes;
+        loop ()
+    | Some l ->
+        raise (Parse_error (Fmt.str "expected 'class' or 'interface', found %a" pp_token l.token, l.pos))
+  in
+  loop ();
+  { Ast.p_classes = List.rev !classes }
+
+let parse_program_result src =
+  match parse_program src with
+  | program -> Ok program
+  | exception Parse_error (message, pos) ->
+      Error (Fmt.str "parse error at %d:%d: %s" pos.line pos.col message)
+  | exception Lexer.Lex_error (message, pos) ->
+      Error (Fmt.str "lexical error at %d:%d: %s" pos.line pos.col message)

@@ -1,0 +1,30 @@
+(** Recursive-descent parser for ALite source text.
+
+    Concrete syntax (see also {!Pp} which prints this syntax back):
+
+    {v
+    class ConsoleActivity extends Activity {
+      field flip: ViewFlipper;
+      method findViewById(a: int): View {
+        var b: ViewFlipper;
+        b = this.flip;
+        c = b.getCurrentView();
+        d = c.findViewById(a);
+        return d;
+      }
+    }
+    v}
+
+    Local [var] declarations are optional; undeclared locals get their
+    types inferred by {!Typing}.  Resource reads are written
+    [x = R.layout.name;] and [x = R.id.name;]. *)
+
+exception Parse_error of string * Lexer.pos
+
+val parse_program : string -> Ast.program
+(** @raise Parse_error on syntax errors, [Lexer.Lex_error] on lexical
+    errors. *)
+
+val parse_program_result : string -> (Ast.program, string) result
+(** Like {!parse_program} but with errors rendered to a message
+    including the source position. *)

@@ -1,0 +1,52 @@
+let pp_ty ppf = function
+  | Ast.Tint -> Fmt.string ppf "int"
+  | Ast.Tclass c -> Fmt.string ppf c
+
+let pp_ret_ty ppf = function
+  | None -> Fmt.string ppf "void"
+  | Some ty -> pp_ty ppf ty
+
+let pp_stmt ppf = function
+  | Ast.New (x, c) -> Fmt.pf ppf "%s = new %s();" x c
+  | Ast.Copy (x, y) -> Fmt.pf ppf "%s = %s;" x y
+  | Ast.Read_field (x, y, f) -> Fmt.pf ppf "%s = %s.%s;" x y f
+  | Ast.Write_field (x, f, y) -> Fmt.pf ppf "%s.%s = %s;" x f y
+  | Ast.Read_layout_id (x, f) -> Fmt.pf ppf "%s = R.layout.%s;" x f
+  | Ast.Read_view_id (x, f) -> Fmt.pf ppf "%s = R.id.%s;" x f
+  | Ast.Const_int (x, n) -> Fmt.pf ppf "%s = %d;" x n
+  | Ast.Const_null x -> Fmt.pf ppf "%s = null;" x
+  | Ast.Cast (x, c, y) -> Fmt.pf ppf "%s = (%s) %s;" x c y
+  | Ast.Invoke (lhs, recv, m, args) ->
+      let pp_args = Fmt.list ~sep:(Fmt.any ", ") Fmt.string in
+      (match lhs with
+      | Some z -> Fmt.pf ppf "%s = %s.%s(%a);" z recv m pp_args args
+      | None -> Fmt.pf ppf "%s.%s(%a);" recv m pp_args args)
+  | Ast.Return (Some x) -> Fmt.pf ppf "return %s;" x
+  | Ast.Return None -> Fmt.pf ppf "return;"
+
+let pp_param ppf (name, ty) = Fmt.pf ppf "%s: %a" name pp_ty ty
+
+let pp_meth ppf m =
+  Fmt.pf ppf "@[<v 2>method %s(%a): %a {" m.Ast.m_name
+    (Fmt.list ~sep:(Fmt.any ", ") pp_param)
+    m.Ast.m_params pp_ret_ty m.Ast.m_ret;
+  List.iter (fun (v, ty) -> Fmt.pf ppf "@,var %s: %a;" v pp_ty ty) m.Ast.m_locals;
+  List.iter (fun s -> Fmt.pf ppf "@,%a" pp_stmt s) m.Ast.m_body;
+  Fmt.pf ppf "@]@,}"
+
+let pp_cls ppf c =
+  let keyword = match c.Ast.c_kind with `Class -> "class" | `Interface -> "interface" in
+  Fmt.pf ppf "@[<v 2>%s %s" keyword c.Ast.c_name;
+  (match c.Ast.c_super with Some s -> Fmt.pf ppf " extends %s" s | None -> ());
+  (match c.Ast.c_interfaces with
+  | [] -> ()
+  | is -> Fmt.pf ppf " implements %a" (Fmt.list ~sep:(Fmt.any ", ") Fmt.string) is);
+  Fmt.pf ppf " {";
+  List.iter (fun (f, ty) -> Fmt.pf ppf "@,field %s: %a;" f pp_ty ty) c.Ast.c_fields;
+  List.iter (fun m -> Fmt.pf ppf "@,%a" pp_meth m) c.Ast.c_methods;
+  Fmt.pf ppf "@]@,}"
+
+let pp_program ppf p =
+  Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:(Fmt.any "@,@,") pp_cls) p.Ast.p_classes
+
+let program_to_string p = Fmt.str "%a@." pp_program p

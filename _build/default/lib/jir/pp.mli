@@ -1,0 +1,15 @@
+(** Printer for ALite that emits the concrete syntax accepted by
+    {!Parser}.  [Parser.parse_program (Pp.program_to_string p)] yields a
+    program equal to [p] (checked by property tests). *)
+
+val pp_ty : Ast.ty Fmt.t
+
+val pp_stmt : Ast.stmt Fmt.t
+
+val pp_meth : Ast.meth Fmt.t
+
+val pp_cls : Ast.cls Fmt.t
+
+val pp_program : Ast.program Fmt.t
+
+val program_to_string : Ast.program -> string

@@ -1,0 +1,172 @@
+type severity = Error | Warning
+
+type diagnostic = { severity : severity; where : string; message : string }
+
+let pp_severity ppf = function
+  | Error -> Fmt.string ppf "error"
+  | Warning -> Fmt.string ppf "warning"
+
+let pp_diagnostic ppf d = Fmt.pf ppf "%a: %s: %s" pp_severity d.severity d.where d.message
+
+module SS = Set.Make (String)
+
+let duplicates names =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun name ->
+      if Hashtbl.mem seen name then true
+      else begin
+        Hashtbl.add seen name ();
+        false
+      end)
+    names
+
+let check_meth ~known_types cls_name (m : Ast.meth) =
+  let where = Printf.sprintf "%s.%s" cls_name m.Ast.m_name in
+  let out = ref [] in
+  let report severity message = out := { severity; where; message } :: !out in
+  let param_names = List.map fst m.m_params in
+  let local_names = List.map fst m.m_locals in
+  List.iter
+    (fun d -> report Error (Printf.sprintf "duplicate parameter %s" d))
+    (duplicates param_names);
+  List.iter
+    (fun d -> report Error (Printf.sprintf "duplicate local %s" d))
+    (duplicates local_names);
+  if List.mem Ast.this_var param_names || List.mem Ast.this_var local_names then
+    report Error "'this' cannot be redeclared";
+  (* Flow-insensitive def/use check. *)
+  let defined =
+    List.fold_left
+      (fun acc s -> match Ast.stmt_def s with Some v -> SS.add v acc | None -> acc)
+      (SS.of_list ((Ast.this_var :: param_names) @ local_names))
+      m.m_body
+  in
+  List.iter
+    (fun stmt ->
+      List.iter
+        (fun v ->
+          if not (SS.mem v defined) then
+            report Error (Printf.sprintf "variable %s is used but never defined" v))
+        (Ast.stmt_vars stmt))
+    m.m_body;
+  (* Return-shape consistency. *)
+  List.iter
+    (fun stmt ->
+      match (stmt, m.m_ret) with
+      | Ast.Return (Some _), None -> report Error "value returned from a void method"
+      | Ast.Return None, Some _ -> report Warning "bare return in a non-void method"
+      | _ -> ())
+    m.m_body;
+  (* Types referenced by statements. *)
+  let check_type_ref what name =
+    if not (SS.mem name known_types) then
+      report Warning (Printf.sprintf "%s references unknown type %s" what name)
+  in
+  List.iter
+    (fun stmt ->
+      match stmt with
+      | Ast.New (_, c) -> check_type_ref "new" c
+      | Ast.Cast (_, c, _) -> check_type_ref "cast" c
+      | _ -> ())
+    m.m_body;
+  !out
+
+let check ?(platform = []) (program : Ast.program) =
+  let out = ref [] in
+  let report severity where message = out := { severity; where; message } :: !out in
+  let class_names = List.map (fun (c : Ast.cls) -> c.c_name) program.p_classes in
+  List.iter
+    (fun d -> report Error d (Printf.sprintf "duplicate type name %s" d))
+    (duplicates class_names);
+  let known_types =
+    SS.union (SS.of_list class_names) (SS.of_list (List.map (fun d -> d.Hierarchy.d_name) platform))
+  in
+  let kind_of name =
+    match List.find_opt (fun (c : Ast.cls) -> c.c_name = name) program.p_classes with
+    | Some c -> Some c.c_kind
+    | None -> (
+        match List.find_opt (fun d -> d.Hierarchy.d_name = name) platform with
+        | Some d -> Some d.Hierarchy.d_kind
+        | None -> None)
+  in
+  (* Cycle detection mirrors Hierarchy.check_acyclic but reports instead
+     of raising, so diagnostics can be collected for bad inputs. *)
+  let parents name =
+    match List.find_opt (fun (c : Ast.cls) -> c.c_name = name) program.p_classes with
+    | Some c -> (match c.c_super with Some s -> [ s ] | None -> []) @ c.c_interfaces
+    | None -> (
+        match List.find_opt (fun d -> d.Hierarchy.d_name = name) platform with
+        | Some d -> (match d.Hierarchy.d_super with Some s -> [ s ] | None -> []) @ d.d_interfaces
+        | None -> [])
+  in
+  let in_cycle name =
+    let rec walk fuel frontier =
+      if fuel <= 0 then false
+      else
+        match frontier with
+        | [] -> false
+        | f :: rest -> f = name || walk (fuel - 1) (parents f @ rest)
+    in
+    walk 10_000 (parents name)
+  in
+  List.iter
+    (fun (c : Ast.cls) ->
+      let name = c.c_name in
+      if in_cycle name then report Error name "inheritance cycle";
+      (match c.c_super with
+      | Some s -> (
+          if not (SS.mem s known_types) then
+            report Warning name (Printf.sprintf "unknown supertype %s" s)
+          else
+            match kind_of s with
+            | Some `Interface -> report Error name (Printf.sprintf "extends interface %s" s)
+            | Some `Class | None -> ())
+      | None -> ());
+      List.iter
+        (fun i ->
+          if not (SS.mem i known_types) then
+            report Warning name (Printf.sprintf "unknown interface %s" i)
+          else
+            match kind_of i with
+            | Some `Class -> report Error name (Printf.sprintf "implements class %s" i)
+            | Some `Interface | None -> ())
+        c.c_interfaces;
+      List.iter
+        (fun d -> report Error name (Printf.sprintf "duplicate field %s" d))
+        (duplicates (List.map fst c.c_fields));
+      List.iter
+        (fun (key : Ast.meth_key) ->
+          report Error name (Printf.sprintf "duplicate method %s/%d" key.mk_name key.mk_arity))
+        (let keys = List.map Ast.key_of_meth c.c_methods in
+         let seen = Hashtbl.create 8 in
+         List.filter
+           (fun (k : Ast.meth_key) ->
+             if Hashtbl.mem seen k then true
+             else begin
+               Hashtbl.add seen k ();
+               false
+             end)
+           keys);
+      List.iter
+        (fun (m : Ast.meth) ->
+          List.iter
+            (fun stmt ->
+              match stmt with
+              | Ast.New (_, target) -> (
+                  match kind_of target with
+                  | Some `Interface ->
+                      report Error
+                        (Printf.sprintf "%s.%s" name m.m_name)
+                        (Printf.sprintf "cannot instantiate interface %s" target)
+                  | Some `Class | None -> ())
+              | _ -> ())
+            m.m_body;
+          List.iter (fun d -> out := d :: !out) (check_meth ~known_types name m))
+        c.c_methods)
+    program.p_classes;
+  List.rev !out
+
+let errors diagnostics = List.filter (fun d -> d.severity = Error) diagnostics
+
+let is_clean diagnostics = errors diagnostics = []

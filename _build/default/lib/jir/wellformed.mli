@@ -1,0 +1,28 @@
+(** Well-formedness diagnostics for ALite programs.
+
+    Diagnostics never abort the analysis — the paper's setting is
+    whole-app analysis of code that may reference platform types the
+    model does not know — but they surface modeling gaps loudly. *)
+
+type severity = Error | Warning
+
+type diagnostic = { severity : severity; where : string; message : string }
+
+val pp_diagnostic : diagnostic Fmt.t
+
+val check : ?platform:Hierarchy.decl list -> Ast.program -> diagnostic list
+(** Checks performed:
+    - duplicate class/interface names;
+    - unknown supertypes and interfaces (warning: treated as opaque);
+    - [extends] on an interface target / [implements] on a class target;
+    - inheritance cycles (error, reported rather than raised);
+    - duplicate field names / duplicate method keys within a class;
+    - duplicate parameter or local names within a method;
+    - variables used but never defined, and not parameters/[this];
+    - [return v] in a void method / bare [return] in a non-void one;
+    - [new I()] where [I] is an interface. *)
+
+val errors : diagnostic list -> diagnostic list
+
+val is_clean : diagnostic list -> bool
+(** No diagnostics of severity [Error]. *)

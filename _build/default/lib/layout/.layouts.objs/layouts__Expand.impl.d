@@ -1,0 +1,1 @@
+lib/layout/expand.ml: Layout List Printf Result

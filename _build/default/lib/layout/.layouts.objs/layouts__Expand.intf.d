@@ -1,0 +1,1 @@
+lib/layout/expand.mli: Layout

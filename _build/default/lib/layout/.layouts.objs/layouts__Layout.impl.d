@@ -1,0 +1,1 @@
+lib/layout/layout.ml: Axml List Option Printf Resource Result String

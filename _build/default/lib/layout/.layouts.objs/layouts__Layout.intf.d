@@ -1,0 +1,1 @@
+lib/layout/layout.mli: Axml Fmt Resource

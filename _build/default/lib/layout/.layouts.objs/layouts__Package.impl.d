@@ -1,0 +1,1 @@
+lib/layout/package.ml: Expand Hashtbl Layout List Option Printf Resource

@@ -1,0 +1,1 @@
+lib/layout/package.mli: Layout Resource

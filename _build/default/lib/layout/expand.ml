@@ -1,0 +1,51 @@
+let ( let* ) = Result.bind
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest ->
+      let* y = f x in
+      let* ys = map_result f rest in
+      Ok (y :: ys)
+
+(* Expand a node into the list of nodes that replace it (an include of
+   a <merge> layout expands to several siblings). *)
+let rec expand_node ~lookup ~seen (node : Layout.node) =
+  match node.include_of with
+  | None ->
+      let* children = expand_children ~lookup ~seen node.children in
+      Ok [ { node with children; include_of = None } ]
+  | Some ref_name -> (
+      if List.mem ref_name seen then
+        Error (Printf.sprintf "include cycle through layout %s" ref_name)
+      else
+        match lookup ref_name with
+        | None -> Error (Printf.sprintf "include of unknown layout %s" ref_name)
+        | Some (target : Layout.def) ->
+            let seen = ref_name :: seen in
+            if target.root.view_class = Layout.merge_root then
+              (* splice the merge's children into the parent *)
+              expand_children ~lookup ~seen target.root.children
+            else
+              let* expanded = expand_node ~lookup ~seen target.root in
+              let override_id root =
+                match node.id with Some _ -> { root with Layout.id = node.id } | None -> root
+              in
+              Ok (List.map override_id expanded))
+
+and expand_children ~lookup ~seen children =
+  let* expanded = map_result (expand_node ~lookup ~seen) children in
+  Ok (List.concat expanded)
+
+let expand ~lookup (def : Layout.def) =
+  let* roots = expand_node ~lookup ~seen:[ def.name ] def.root in
+  match roots with
+  | [ root ] ->
+      let root =
+        if root.Layout.view_class = Layout.merge_root then
+          (* a directly-inflated <merge> root acts as its attachment
+             container; model it as a FrameLayout *)
+          { root with view_class = "FrameLayout" }
+        else root
+      in
+      Ok { def with root }
+  | _ -> Error (Printf.sprintf "layout %s: root expansion did not yield a single node" def.name)

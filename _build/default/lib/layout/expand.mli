@@ -1,0 +1,19 @@
+(** Layout composition: [<include>] and [<merge>] (a real Android
+    resource-system feature the paper's layout abstraction folds away).
+
+    Expansion happens before inflation, mirroring what the platform's
+    LayoutInflater does at run time:
+    - an [<include layout="@layout/l" />] node is replaced by [l]'s
+      (recursively expanded) root; an [android:id] on the include
+      overrides the root's id;
+    - a [<merge>] root of an included layout is spliced: its children
+      are attached directly to the include's parent;
+    - a [<merge>] root of a directly-inflated layout behaves as a
+      [FrameLayout] (the platform requires a parent in that case; we
+      model the attachment container). *)
+
+val expand :
+  lookup:(string -> Layout.def option) -> Layout.def -> (Layout.def, string) result
+(** [expand ~lookup def] substitutes every include.  Errors on unknown
+    layout references, include cycles, and [<merge>] with an id used as
+    an include target's override carrier when it has no single root. *)

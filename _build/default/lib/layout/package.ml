@@ -1,0 +1,73 @@
+type t = {
+  res : Resource.t;
+  defs : (string, Layout.def) Hashtbl.t;
+  expanded : (string, Layout.def) Hashtbl.t;  (** memoized include/merge expansion *)
+  mutable expansion_errs : (string * string) list;
+  mutable order : string list;  (** reversed addition order *)
+}
+
+let create () =
+  {
+    res = Resource.create ();
+    defs = Hashtbl.create 16;
+    expanded = Hashtbl.create 16;
+    expansion_errs = [];
+    order = [];
+  }
+
+let resources t = t.res
+
+let add t (d : Layout.def) =
+  if Hashtbl.mem t.defs d.name then
+    invalid_arg (Printf.sprintf "Package.add: duplicate layout %s" d.name);
+  Hashtbl.add t.defs d.name d;
+  t.order <- d.name :: t.order;
+  (* new definitions can change earlier expansions (an include may now
+     resolve); recompute lazily *)
+  Hashtbl.reset t.expanded;
+  t.expansion_errs <- [];
+  Layout.register t.res d
+
+let add_xml t ~name src =
+  match Layout.parse ~name src with
+  | Ok d -> (
+      match add t d with () -> Ok () | exception Invalid_argument e -> Error e)
+  | Error e -> Error e
+
+let find_raw t name = Hashtbl.find_opt t.defs name
+
+(* Inflation (static and dynamic alike) sees the include/merge-expanded
+   tree; on expansion errors the raw definition is used and the error
+   recorded. *)
+let find t name =
+  match Hashtbl.find_opt t.expanded name with
+  | Some d -> Some d
+  | None -> (
+      match find_raw t name with
+      | None -> None
+      | Some raw ->
+          let resolved =
+            match Expand.expand ~lookup:(find_raw t) raw with
+            | Ok d ->
+                (* expansion can introduce ids from included layouts *)
+                Layout.register t.res d;
+                d
+            | Error e ->
+                t.expansion_errs <- (name, e) :: t.expansion_errs;
+                raw
+          in
+          Hashtbl.replace t.expanded name resolved;
+          Some resolved)
+
+let expansion_errors t =
+  List.iter (fun name -> ignore (find t name)) (List.rev t.order);
+  List.rev t.expansion_errs
+
+let find_by_layout_id t id =
+  match Resource.layout_name t.res id with Some name -> find t name | None -> None
+
+let layouts t = List.rev_map (fun name -> Option.get (find t name)) t.order
+
+let raw_layouts t = List.rev_map (fun name -> Hashtbl.find t.defs name) t.order
+
+let total_nodes t = List.fold_left (fun acc d -> acc + Layout.size d) 0 (layouts t)

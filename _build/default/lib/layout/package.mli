@@ -1,0 +1,40 @@
+(** A package bundles an application's layout definitions with its
+    resource table — the static-resource half of an app, next to the
+    ALite code half. *)
+
+type t
+
+val create : unit -> t
+
+val resources : t -> Resource.t
+
+val add : t -> Layout.def -> unit
+(** Registers the layout and all its ids in the resource table.
+    @raise Invalid_argument on a duplicate layout name. *)
+
+val add_xml : t -> name:string -> string -> (unit, string) result
+(** Parse XML text and {!add} it. *)
+
+val find : t -> string -> Layout.def option
+(** The include/merge-expanded definition ({!Expand}); falls back to
+    the raw tree when expansion fails (see {!expansion_errors}). *)
+
+val find_raw : t -> string -> Layout.def option
+(** The definition as added, includes unexpanded. *)
+
+val find_by_layout_id : t -> int -> Layout.def option
+(** Look up a layout through its [R.layout] constant — what an
+    inflater call does.  Expanded, like {!find}. *)
+
+val layouts : t -> Layout.def list
+(** Expanded definitions, in addition order. *)
+
+val raw_layouts : t -> Layout.def list
+
+val expansion_errors : t -> (string * string) list
+(** (layout, error) pairs for definitions whose includes could not be
+    expanded (unknown references, cycles). *)
+
+val total_nodes : t -> int
+(** Sum of (expanded) layout sizes: an upper bound on views created
+    per full inflation pass. *)

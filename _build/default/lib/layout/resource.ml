@@ -1,0 +1,48 @@
+let layout_base = 0x7f030000
+
+let view_base = 0x7f080000
+
+type table = {
+  forward : (string, int) Hashtbl.t;
+  backward : (int, string) Hashtbl.t;
+  mutable order : string list;  (** reversed assignment order *)
+  base : int;
+}
+
+type t = { layouts : table; views : table }
+
+let create_table base = { forward = Hashtbl.create 32; backward = Hashtbl.create 32; order = []; base }
+
+let create () = { layouts = create_table layout_base; views = create_table view_base }
+
+let assign table name =
+  match Hashtbl.find_opt table.forward name with
+  | Some id -> id
+  | None ->
+      let id = table.base + Hashtbl.length table.forward in
+      Hashtbl.add table.forward name id;
+      Hashtbl.add table.backward id name;
+      table.order <- name :: table.order;
+      id
+
+let layout_id t name = assign t.layouts name
+
+let view_id t name = assign t.views name
+
+let find_layout_id t name = Hashtbl.find_opt t.layouts.forward name
+
+let find_view_id t name = Hashtbl.find_opt t.views.forward name
+
+let layout_name t id = Hashtbl.find_opt t.layouts.backward id
+
+let view_name t id = Hashtbl.find_opt t.views.backward id
+
+let is_layout_id id = id >= layout_base && id < layout_base + 0x10000
+
+let is_view_id id = id >= view_base && id < view_base + 0x10000
+
+let layout_names t = List.rev t.layouts.order
+
+let view_names t = List.rev t.views.order
+
+let counts t = (Hashtbl.length t.layouts.forward, Hashtbl.length t.views.forward)

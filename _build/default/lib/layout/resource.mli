@@ -1,0 +1,47 @@
+(** Resource table: the model of the auto-generated Android [R] class.
+
+    Each layout name and each view-id name gets a unique integer
+    constant, in the same address ranges real Android uses
+    ([0x7f03xxxx] for [R.layout], [0x7f08xxxx] for [R.id]).  Reads of
+    [R.layout.f] / [R.id.f] in ALite code evaluate to these constants
+    both in the dynamic semantics and in the static analysis. *)
+
+type t
+
+val layout_base : int
+(** [0x7f030000] *)
+
+val view_base : int
+(** [0x7f080000] *)
+
+val create : unit -> t
+
+val layout_id : t -> string -> int
+(** Assign-or-lookup the constant for [R.layout.<name>]. *)
+
+val view_id : t -> string -> int
+(** Assign-or-lookup the constant for [R.id.<name>]. *)
+
+val find_layout_id : t -> string -> int option
+(** Lookup without assignment. *)
+
+val find_view_id : t -> string -> int option
+
+val layout_name : t -> int -> string option
+(** Inverse of {!layout_id}. *)
+
+val view_name : t -> int -> string option
+
+val is_layout_id : int -> bool
+(** Purely range-based test. *)
+
+val is_view_id : int -> bool
+
+val layout_names : t -> string list
+(** In assignment order. *)
+
+val view_names : t -> string list
+
+val counts : t -> int * int
+(** [(number of layout ids, number of view ids)] — the "ids L/V" column
+    of Table 1. *)

@@ -1,0 +1,40 @@
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let files_with_ext dir ext =
+  if Sys.file_exists dir && Sys.is_directory dir then
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ext)
+    |> List.sort compare
+    |> List.map (Filename.concat dir)
+  else []
+
+let source_files dir =
+  match files_with_ext (Filename.concat dir "src") ".alite" with
+  | [] -> files_with_ext dir ".alite"
+  | files -> files
+
+let layout_files dir =
+  match files_with_ext (Filename.concat (Filename.concat dir "res") "layout") ".xml" with
+  | [] -> files_with_ext dir ".xml"
+  | files -> files
+
+let load dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then
+    Error (Printf.sprintf "%s is not a directory" dir)
+  else
+    let sources = source_files dir in
+    if sources = [] then Error (Printf.sprintf "%s contains no .alite sources" dir)
+    else
+      let code =
+        String.concat "\n" (List.map (fun path -> "// file: " ^ path ^ "\n" ^ read_file path) sources)
+      in
+      let layouts =
+        List.map
+          (fun path -> (Filename.remove_extension (Filename.basename path), read_file path))
+          (layout_files dir)
+      in
+      Framework.App.of_source ~name:(Filename.basename dir) ~code ~layouts

@@ -1,0 +1,19 @@
+(** Directory-based application loading, mirroring an Android project
+    layout:
+
+    {v
+    myapp/
+      src/*.alite          ALite source files (concatenated)
+      res/layout/*.xml     layout definitions (file basename = layout name)
+    v}
+
+    Also accepts a flat directory of [*.alite] and [*.xml] files. *)
+
+val load : string -> (Framework.App.t, string) result
+(** [load dir] reads every source and layout file under [dir].  The app
+    is named after the directory's basename. *)
+
+val source_files : string -> string list
+(** The [.alite] files {!load} would read, in load order (sorted). *)
+
+val layout_files : string -> string list

@@ -1,0 +1,1 @@
+lib/report/experiments.ml: Buffer Corpus Dynamic Fmt Framework Gator Jir List Option Paper Printf Table Util

@@ -1,0 +1,36 @@
+type table2 = { p2_seconds : float; p2_receivers : float }
+
+let values =
+  [
+    ("APV", (0.39, 1.00));
+    ("Astrid", (4.92, 3.09));
+    ("BarcodeScanner", (0.65, 1.00));
+    ("Beem", (1.17, 1.04));
+    ("ConnectBot", (1.21, 1.00));
+    ("FBReader", (3.28, 1.54));
+    ("K9", (4.30, 1.15));
+    ("KeePassDroid", (2.09, 1.80));
+    ("Mileage", (0.41, 2.55));
+    ("MyTracks", (1.55, 1.12));
+    ("NPR", (0.87, 1.89));
+    ("NotePad", (0.63, 1.00));
+    ("OpenManager", (0.39, 1.31));
+    ("OpenSudoku", (0.66, 1.40));
+    ("SipDroid", (0.88, 1.00));
+    ("SuperGenPass", (0.31, 2.07));
+    ("TippyTipper", (0.18, 1.15));
+    ("VLC", (1.15, 1.13));
+    ("VuDroid", (0.30, 1.00));
+    ("XBMC", (1.74, 8.81));
+  ]
+
+let table2 name =
+  Option.map
+    (fun (p2_seconds, p2_receivers) -> { p2_seconds; p2_receivers })
+    (List.assoc_opt name values)
+
+let xbmc_perfect_receivers = 3.59
+
+let xbmc_perfect_results = 1.63
+
+let case_study_perfect name = List.mem name [ "APV"; "BarcodeScanner"; "SuperGenPass" ]

@@ -1,0 +1,35 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render ?aligns ~header rows =
+  let columns = List.length header in
+  let aligns =
+    match aligns with
+    | Some a -> a
+    | None -> List.init columns (fun i -> if i = 0 then Left else Right)
+  in
+  let width i =
+    List.fold_left
+      (fun acc row -> max acc (String.length (List.nth row i)))
+      (String.length (List.nth header i))
+      rows
+  in
+  let widths = List.init columns width in
+  let render_row row =
+    String.concat "  "
+      (List.mapi (fun i cell -> pad (List.nth aligns i) (List.nth widths i) cell) row)
+  in
+  let rule = String.concat "  " (List.map (fun w -> String.make w '-') widths) in
+  String.concat "\n" (render_row header :: rule :: List.map render_row rows)
+
+let cell_float = function None -> "-" | Some v -> Printf.sprintf "%.2f" v
+
+let cell_int = string_of_int
+
+let cell_seconds v = Printf.sprintf "%.2f" v

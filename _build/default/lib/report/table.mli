@@ -1,0 +1,15 @@
+(** Plain-text table rendering for experiment output. *)
+
+type align = Left | Right
+
+val render : ?aligns:align list -> header:string list -> string list list -> string
+(** Pads columns to their widest cell; [aligns] defaults to [Left] for
+    the first column and [Right] for the rest. *)
+
+val cell_float : float option -> string
+(** ["-"] for [None] (the paper's notation for "no such operations"),
+    two decimals otherwise. *)
+
+val cell_int : int -> string
+
+val cell_seconds : float -> string

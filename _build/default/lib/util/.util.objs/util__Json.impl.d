@@ -1,0 +1,1 @@
+lib/util/json.ml: Buffer Char Float Fmt List Option Printf String

@@ -1,0 +1,34 @@
+type sym = int
+
+type t = { forward : (string, sym) Hashtbl.t; mutable backward : string array; mutable size : int }
+
+let create () = { forward = Hashtbl.create 256; backward = Array.make 256 ""; size = 0 }
+
+let grow t =
+  let capacity = Array.length t.backward in
+  if t.size >= capacity then begin
+    let bigger = Array.make (capacity * 2) "" in
+    Array.blit t.backward 0 bigger 0 capacity;
+    t.backward <- bigger
+  end
+
+let intern t s =
+  match Hashtbl.find_opt t.forward s with
+  | Some sym -> sym
+  | None ->
+      grow t;
+      let sym = t.size in
+      t.backward.(sym) <- s;
+      t.size <- t.size + 1;
+      Hashtbl.add t.forward s sym;
+      sym
+
+let name t sym = if sym < 0 || sym >= t.size then raise Not_found else t.backward.(sym)
+
+let mem t s = Hashtbl.mem t.forward s
+
+let count t = t.size
+
+let compare_sym = Int.compare
+
+let sym_to_int s = s

@@ -1,0 +1,29 @@
+(** String interning.
+
+    Class names, method names, and field names occur millions of times in
+    constraint-graph keys; interning turns string comparison into integer
+    comparison and bounds memory. *)
+
+type t
+
+type sym = private int
+(** Interned symbol.  Symbols from different interner instances must not
+    be mixed; in this project a single global table per category is
+    used. *)
+
+val create : unit -> t
+
+val intern : t -> string -> sym
+(** Idempotent: equal strings map to equal symbols. *)
+
+val name : t -> sym -> string
+(** Inverse of {!intern}.  @raise Not_found for foreign symbols. *)
+
+val mem : t -> string -> bool
+
+val count : t -> int
+(** Number of distinct symbols interned so far. *)
+
+val compare_sym : sym -> sym -> int
+
+val sym_to_int : sym -> int

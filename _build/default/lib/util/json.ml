@@ -1,0 +1,290 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let rec write ~pretty ~indent buf t =
+  let pad n = if pretty then Buffer.add_string buf (String.make n ' ') in
+  let newline () = if pretty then Buffer.add_char buf '\n' in
+  match t with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (string_of_bool b)
+  | Int n -> Buffer.add_string buf (string_of_int n)
+  | Float f ->
+      if Float.is_integer f && Float.abs f < 1e15 then
+        Buffer.add_string buf (Printf.sprintf "%.1f" f)
+      else Buffer.add_string buf (Printf.sprintf "%.17g" f)
+  | String s -> escape buf s
+  | List [] -> Buffer.add_string buf "[]"
+  | List items ->
+      Buffer.add_char buf '[';
+      newline ();
+      List.iteri
+        (fun i item ->
+          if i > 0 then begin
+            Buffer.add_char buf ',';
+            newline ()
+          end;
+          pad (indent + 2);
+          write ~pretty ~indent:(indent + 2) buf item)
+        items;
+      newline ();
+      pad indent;
+      Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      newline ();
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then begin
+            Buffer.add_char buf ',';
+            newline ()
+          end;
+          pad (indent + 2);
+          escape buf k;
+          Buffer.add_string buf (if pretty then ": " else ":");
+          write ~pretty ~indent:(indent + 2) buf v)
+        fields;
+      newline ();
+      pad indent;
+      Buffer.add_char buf '}'
+
+let to_string ?(pretty = false) t =
+  let buf = Buffer.create 256 in
+  write ~pretty ~indent:0 buf t;
+  Buffer.contents buf
+
+let pp ppf t = Fmt.string ppf (to_string ~pretty:true t)
+
+let rec equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Float x, Float y -> x = y
+  | Int x, Float y | Float y, Int x -> Float.is_integer y && int_of_float y = x
+  | String x, String y -> x = y
+  | List xs, List ys -> List.length xs = List.length ys && List.for_all2 equal xs ys
+  | Obj xs, Obj ys ->
+      List.length xs = List.length ys
+      && List.for_all2 (fun (k1, v1) (k2, v2) -> k1 = k2 && equal v1 v2) xs ys
+  | _ -> false
+
+let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
+
+let to_list = function List xs -> Some xs | _ -> None
+
+(* ------------------------------ parser ------------------------------ *)
+
+exception Fail of string * int
+
+type cursor = { src : string; mutable off : int }
+
+let error cur msg = raise (Fail (msg, cur.off))
+
+let peek cur = if cur.off < String.length cur.src then Some cur.src.[cur.off] else None
+
+let advance cur = cur.off <- cur.off + 1
+
+let rec skip_ws cur =
+  match peek cur with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance cur;
+      skip_ws cur
+  | _ -> ()
+
+let expect cur c =
+  match peek cur with
+  | Some x when x = c -> advance cur
+  | _ -> error cur (Printf.sprintf "expected %C" c)
+
+let literal cur word value =
+  let n = String.length word in
+  if cur.off + n <= String.length cur.src && String.sub cur.src cur.off n = word then begin
+    cur.off <- cur.off + n;
+    value
+  end
+  else error cur (Printf.sprintf "expected %s" word)
+
+let parse_string cur =
+  expect cur '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek cur with
+    | None -> error cur "unterminated string"
+    | Some '"' -> advance cur
+    | Some '\\' -> (
+        advance cur;
+        match peek cur with
+        | Some 'n' ->
+            advance cur;
+            Buffer.add_char buf '\n';
+            go ()
+        | Some 't' ->
+            advance cur;
+            Buffer.add_char buf '\t';
+            go ()
+        | Some 'r' ->
+            advance cur;
+            Buffer.add_char buf '\r';
+            go ()
+        | Some 'b' ->
+            advance cur;
+            Buffer.add_char buf '\b';
+            go ()
+        | Some 'f' ->
+            advance cur;
+            Buffer.add_char buf '\012';
+            go ()
+        | Some ('"' | '\\' | '/') ->
+            Buffer.add_char buf (Option.get (peek cur));
+            advance cur;
+            go ()
+        | Some 'u' ->
+            advance cur;
+            if cur.off + 4 > String.length cur.src then error cur "bad \\u escape";
+            let hex = String.sub cur.src cur.off 4 in
+            cur.off <- cur.off + 4;
+            (match int_of_string_opt ("0x" ^ hex) with
+            | Some code when code < 0x80 -> Buffer.add_char buf (Char.chr code)
+            | Some code ->
+                (* encode as UTF-8 *)
+                if code < 0x800 then begin
+                  Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+                  Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                end
+                else begin
+                  Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+                  Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                  Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                end
+            | None -> error cur "bad \\u escape");
+            go ()
+        | _ -> error cur "bad escape")
+    | Some c ->
+        advance cur;
+        Buffer.add_char buf c;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number cur =
+  let start = cur.off in
+  let consume pred =
+    while (match peek cur with Some c -> pred c | None -> false) do
+      advance cur
+    done
+  in
+  if peek cur = Some '-' then advance cur;
+  consume (fun c -> c >= '0' && c <= '9');
+  let is_float = ref false in
+  if peek cur = Some '.' then begin
+    is_float := true;
+    advance cur;
+    consume (fun c -> c >= '0' && c <= '9')
+  end;
+  (match peek cur with
+  | Some ('e' | 'E') ->
+      is_float := true;
+      advance cur;
+      (match peek cur with Some ('+' | '-') -> advance cur | _ -> ());
+      consume (fun c -> c >= '0' && c <= '9')
+  | _ -> ());
+  let text = String.sub cur.src start (cur.off - start) in
+  if !is_float then
+    match float_of_string_opt text with
+    | Some f -> Float f
+    | None -> error cur "bad number"
+  else
+    match int_of_string_opt text with
+    | Some n -> Int n
+    | None -> (
+        match float_of_string_opt text with Some f -> Float f | None -> error cur "bad number")
+
+let rec parse_value cur =
+  skip_ws cur;
+  match peek cur with
+  | Some 'n' -> literal cur "null" Null
+  | Some 't' -> literal cur "true" (Bool true)
+  | Some 'f' -> literal cur "false" (Bool false)
+  | Some '"' -> String (parse_string cur)
+  | Some '[' ->
+      advance cur;
+      skip_ws cur;
+      if peek cur = Some ']' then begin
+        advance cur;
+        List []
+      end
+      else
+        let rec items acc =
+          let v = parse_value cur in
+          skip_ws cur;
+          match peek cur with
+          | Some ',' ->
+              advance cur;
+              items (v :: acc)
+          | Some ']' ->
+              advance cur;
+              List.rev (v :: acc)
+          | _ -> error cur "expected ',' or ']'"
+        in
+        List (items [])
+  | Some '{' ->
+      advance cur;
+      skip_ws cur;
+      if peek cur = Some '}' then begin
+        advance cur;
+        Obj []
+      end
+      else
+        let rec fields acc =
+          skip_ws cur;
+          let key = parse_string cur in
+          skip_ws cur;
+          expect cur ':';
+          let v = parse_value cur in
+          skip_ws cur;
+          match peek cur with
+          | Some ',' ->
+              advance cur;
+              fields ((key, v) :: acc)
+          | Some '}' ->
+              advance cur;
+              List.rev ((key, v) :: acc)
+          | _ -> error cur "expected ',' or '}'"
+        in
+        Obj (fields [])
+  | Some ('-' | '0' .. '9') -> parse_number cur
+  | _ -> error cur "expected a JSON value"
+
+let of_string src =
+  let cur = { src; off = 0 } in
+  match
+    let v = parse_value cur in
+    skip_ws cur;
+    if cur.off < String.length src then error cur "trailing content";
+    v
+  with
+  | v -> Ok v
+  | exception Fail (msg, off) -> Error (Printf.sprintf "at offset %d: %s" off msg)

@@ -1,0 +1,32 @@
+(** Minimal JSON tree, printer, and parser.
+
+    No third-party JSON library is vendored in this sealed environment;
+    the analysis exports its solution as JSON for downstream tools
+    (Section 6 clients: testing, security analyses), and the test suite
+    round-trips through this parser. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?pretty:bool -> t -> string
+
+val pp : t Fmt.t
+(** Pretty (indented) form. *)
+
+val of_string : string -> (t, string) result
+(** Parses the full JSON value grammar (numbers are read as [Int] when
+    they are exact integers, [Float] otherwise; no unicode escapes
+    beyond [\uXXXX] for the BMP). *)
+
+val equal : t -> t -> bool
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]. *)
+
+val to_list : t -> t list option

@@ -1,0 +1,23 @@
+let pp_comma_list pp = Fmt.list ~sep:(Fmt.any ", ") pp
+
+let pp_lines pp = Fmt.list ~sep:Fmt.cut pp
+
+let pp_set pp ppf xs = Fmt.pf ppf "{%a}" (pp_comma_list pp) xs
+
+let quote s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let truncate_string n s =
+  if String.length s <= n then s
+  else if n <= 3 then String.sub s 0 n
+  else String.sub s 0 (n - 3) ^ "..."

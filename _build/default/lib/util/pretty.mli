@@ -1,0 +1,17 @@
+(** Shared pretty-printing helpers built on {!Fmt}. *)
+
+val pp_comma_list : 'a Fmt.t -> 'a list Fmt.t
+(** Comma-separated list. *)
+
+val pp_lines : 'a Fmt.t -> 'a list Fmt.t
+(** Newline-separated list. *)
+
+val pp_set : 'a Fmt.t -> 'a list Fmt.t
+(** [{a, b, c}] notation. *)
+
+val quote : string -> string
+(** Double-quote with minimal escaping of backslash and quote. *)
+
+val truncate_string : int -> string -> string
+(** [truncate_string n s] is [s] if it fits in [n] characters, otherwise
+    a prefix followed by ["..."]. *)

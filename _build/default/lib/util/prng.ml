@@ -1,0 +1,68 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* splitmix64 finalizer: Steele, Lea & Flood, "Fast splittable
+   pseudorandom number generators" (OOPSLA 2014). *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Keep 62 bits: OCaml's native int is 63-bit, so a 63-bit logical
+     shift could still wrap negative. *)
+  let v = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+  v mod bound
+
+let int_in t lo hi =
+  if lo > hi then invalid_arg "Prng.int_in: lo > hi";
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let chance t p =
+  if p <= 0.0 then false
+  else if p >= 1.0 then true
+  else
+    let v = Int64.to_float (Int64.shift_right_logical (next t) 11) in
+    (* 53 significand bits, uniform in [0,1) *)
+    v /. 9007199254740992.0 < p
+
+let choose t = function
+  | [] -> invalid_arg "Prng.choose: empty list"
+  | xs -> List.nth xs (int t (List.length xs))
+
+let choose_weighted t pairs =
+  let total = List.fold_left (fun acc (w, _) -> acc + max 0 w) 0 pairs in
+  if total <= 0 then invalid_arg "Prng.choose_weighted: no positive weight";
+  let k = int t total in
+  let rec pick k = function
+    | [] -> invalid_arg "Prng.choose_weighted: empty list"
+    | (w, x) :: rest ->
+        let w = max 0 w in
+        if k < w then x else pick (k - w) rest
+  in
+  pick k pairs
+
+let shuffle t xs =
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  for i = n - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  Array.to_list arr
+
+let split t = { state = next t }

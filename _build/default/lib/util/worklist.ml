@@ -1,0 +1,29 @@
+type 'a t = { queue : 'a Queue.t; pending : ('a, unit) Hashtbl.t }
+
+let create () = { queue = Queue.create (); pending = Hashtbl.create 64 }
+
+let add t x =
+  if not (Hashtbl.mem t.pending x) then begin
+    Hashtbl.add t.pending x ();
+    Queue.add x t.queue
+  end
+
+let add_all t xs = List.iter (add t) xs
+
+let pop t =
+  match Queue.take_opt t.queue with
+  | None -> None
+  | Some x ->
+      Hashtbl.remove t.pending x;
+      Some x
+
+let is_empty t = Queue.is_empty t.queue
+
+let length t = Queue.length t.queue
+
+let rec drain t f =
+  match pop t with
+  | None -> ()
+  | Some x ->
+      f x;
+      drain t f

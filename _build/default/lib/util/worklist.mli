@@ -1,0 +1,25 @@
+(** FIFO worklist with membership-based deduplication.
+
+    The fixed-point solver repeatedly schedules constraint-graph nodes;
+    a node already pending must not be enqueued twice.  Elements are
+    compared with structural equality via [Hashtbl]. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val add : 'a t -> 'a -> unit
+(** Enqueue unless already pending. *)
+
+val add_all : 'a t -> 'a list -> unit
+
+val pop : 'a t -> 'a option
+(** Dequeue the oldest pending element, or [None] when empty. *)
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+
+val drain : 'a t -> ('a -> unit) -> unit
+(** [drain t f] pops and applies [f] until the worklist is empty.
+    [f] may add further elements. *)

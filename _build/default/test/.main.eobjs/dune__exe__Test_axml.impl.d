@@ -1,0 +1,1 @@
+test/test_axml.ml: Alcotest Axml Hashtbl List Printf QCheck QCheck_alcotest String

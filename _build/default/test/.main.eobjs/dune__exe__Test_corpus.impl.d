@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest Corpus Fmt Framework Gator Gen Jir List Option Printf QCheck QCheck_alcotest Util

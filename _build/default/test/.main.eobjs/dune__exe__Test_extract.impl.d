@@ -1,0 +1,1 @@
+test/test_extract.ml: Alcotest Config Extract Framework Gator Graph Jir Layouts List Node Option Printf

@@ -1,0 +1,1 @@
+test/test_framework.ml: Alcotest Framework Jir Layouts List Option String

@@ -1,0 +1,1 @@
+test/test_gen.ml: Corpus Fmt Framework Gator Gen Jir List QCheck QCheck_alcotest Util

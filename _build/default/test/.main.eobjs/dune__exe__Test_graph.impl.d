@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Fmt Framework Gator Graph List Node String

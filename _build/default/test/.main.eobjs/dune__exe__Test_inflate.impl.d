@@ -1,0 +1,1 @@
+test/test_inflate.ml: Alcotest Gator Graph Inflate Layouts List Node

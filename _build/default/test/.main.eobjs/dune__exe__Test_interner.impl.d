@@ -1,0 +1,1 @@
+test/test_interner.ml: Alcotest Gen List Printf QCheck QCheck_alcotest Util

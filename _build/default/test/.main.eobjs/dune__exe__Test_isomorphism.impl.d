@@ -1,0 +1,1 @@
+test/test_isomorphism.ml: Dynamic Fmt Framework Gator Jir Layouts List Option Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_json.ml: Alcotest Corpus Framework Gator List Option Printf QCheck QCheck_alcotest Util

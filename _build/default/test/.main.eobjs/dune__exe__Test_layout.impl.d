@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Fmt Layouts List Option

@@ -1,0 +1,1 @@
+test/test_lexer.ml: Alcotest Jir List String

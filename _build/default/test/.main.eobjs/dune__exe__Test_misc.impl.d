@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Corpus Dynamic Fmt Framework Gator Jir List Option Report String

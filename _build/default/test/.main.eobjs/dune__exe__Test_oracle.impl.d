@@ -1,0 +1,1 @@
+test/test_oracle.ml: Alcotest Corpus Dynamic Fmt Framework Gator Gen List Option QCheck QCheck_alcotest Util

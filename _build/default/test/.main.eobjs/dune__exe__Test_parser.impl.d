@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Ast Jir List Parser Printf String

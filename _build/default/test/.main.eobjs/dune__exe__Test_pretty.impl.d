@@ -1,0 +1,1 @@
+test/test_pretty.ml: Alcotest Fmt Gen QCheck QCheck_alcotest String Util

@@ -1,0 +1,1 @@
+test/test_project.ml: Alcotest Array Filename Fmt Framework Fun Gator Layouts List Project String Sys Unix

@@ -1,0 +1,1 @@
+test/test_roundtrip.ml: Alcotest Corpus Gen Jir List Printf QCheck QCheck_alcotest Test

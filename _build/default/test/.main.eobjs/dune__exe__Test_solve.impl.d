@@ -1,0 +1,1 @@
+test/test_solve.ml: Alcotest Analysis Config Corpus Dynamic Framework Gator Graph Jir List Metrics Node Option Report String

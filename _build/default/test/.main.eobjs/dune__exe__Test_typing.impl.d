@@ -1,0 +1,1 @@
+test/test_typing.ml: Alcotest Ast Framework Hierarchy Jir List Option Parser Printf Typing

@@ -1,0 +1,1 @@
+test/test_wellformed.ml: Alcotest Corpus Framework Jir List Parser String Wellformed

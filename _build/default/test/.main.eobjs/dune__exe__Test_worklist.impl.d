@@ -1,0 +1,1 @@
+test/test_worklist.ml: Alcotest List Util

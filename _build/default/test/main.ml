@@ -1,0 +1,32 @@
+(* Aggregated test entry point: `dune runtest` runs every suite. *)
+let () =
+  Alcotest.run "gator"
+    [
+      ("prng", Test_prng.suite);
+      ("worklist", Test_worklist.suite);
+      ("interner", Test_interner.suite);
+      ("pretty", Test_pretty.suite);
+      ("json", Test_json.suite);
+      ("lexer", Test_lexer.suite);
+      ("parser", Test_parser.suite);
+      ("roundtrip", Test_roundtrip.suite);
+      ("hierarchy", Test_hierarchy.suite);
+      ("typing", Test_typing.suite);
+      ("wellformed", Test_wellformed.suite);
+      ("axml", Test_axml.suite);
+      ("layout", Test_layout.suite);
+      ("framework", Test_framework.suite);
+      ("graph", Test_graph.suite);
+      ("extract", Test_extract.suite);
+      ("inflate", Test_inflate.suite);
+      ("solve", Test_solve.suite);
+      ("interp", Test_interp.suite);
+      ("oracle", Test_oracle.suite);
+      ("corpus", Test_corpus.suite);
+      ("gen", Test_gen.suite);
+      ("metrics", Test_metrics.suite);
+      ("report", Test_report.suite);
+      ("project", Test_project.suite);
+      ("misc", Test_misc.suite);
+      ("isomorphism", Test_isomorphism.suite);
+    ]

@@ -1,0 +1,109 @@
+let parse_ok src =
+  match Axml.parse src with Ok t -> t | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_self_closing () =
+  let t = parse_ok "<Button />" in
+  Alcotest.check Alcotest.string "tag" "Button" t.Axml.tag;
+  Alcotest.check Alcotest.int "no children" 0 (List.length t.Axml.children)
+
+let test_attributes () =
+  let t = parse_ok {|<Button android:id="@+id/ok" text='hi' />|} in
+  Alcotest.check Alcotest.(option string) "id attr" (Some "@+id/ok") (Axml.attr t "android:id");
+  Alcotest.check Alcotest.(option string) "single-quoted" (Some "hi") (Axml.attr t "text");
+  Alcotest.check Alcotest.(option string) "absent" None (Axml.attr t "nope")
+
+let test_nesting () =
+  let t = parse_ok "<A><B><C /></B><D /></A>" in
+  match t.Axml.children with
+  | [ b; d ] ->
+      Alcotest.check Alcotest.string "b" "B" b.Axml.tag;
+      Alcotest.check Alcotest.string "d" "D" d.Axml.tag;
+      Alcotest.check Alcotest.int "c nested" 1 (List.length b.Axml.children)
+  | _ -> Alcotest.fail "expected two children"
+
+let test_declaration_and_comments () =
+  let t = parse_ok "<?xml version=\"1.0\"?>\n<!-- top --><A><!-- inner --><B /></A>" in
+  Alcotest.check Alcotest.int "comment skipped" 1 (List.length t.Axml.children)
+
+let test_text_ignored () =
+  let t = parse_ok "<A>some text<B />more</A>" in
+  Alcotest.check Alcotest.int "text skipped" 1 (List.length t.Axml.children)
+
+let test_entities () =
+  let t = parse_ok {|<A v="a&amp;b&lt;c&gt;d&quot;e&apos;f" />|} in
+  Alcotest.check Alcotest.(option string) "decoded" (Some "a&b<c>d\"e'f") (Axml.attr t "v")
+
+let expect_error msg src =
+  match Axml.parse src with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.failf "%s: expected an error" msg
+
+let test_errors () =
+  expect_error "mismatched close" "<A></B>";
+  expect_error "unterminated" "<A><B />";
+  expect_error "trailing" "<A /><B />";
+  expect_error "bad entity" {|<A v="&bogus;" />|};
+  expect_error "unquoted attr" "<A v=3 />";
+  expect_error "empty input" "   "
+
+let test_error_position () =
+  match Axml.parse "<A>\n  <B>\n</A>" with
+  | Error msg -> Alcotest.check Alcotest.bool "has position" true (String.contains msg ':')
+  | Ok _ -> Alcotest.fail "expected error"
+
+let test_pp_roundtrip_manual () =
+  let t =
+    Axml.element "A"
+      ~attrs:[ ("x", "1 & 2"); ("y", "<z>") ]
+      ~children:[ Axml.element "B"; Axml.element "C" ~children:[ Axml.element "D" ] ]
+  in
+  let t' = parse_ok (Axml.to_string t) in
+  Alcotest.check Alcotest.bool "roundtrip" true (Axml.equal t t')
+
+let xml_gen =
+  let open QCheck.Gen in
+  let tag = map (Printf.sprintf "Tag%d") (int_range 0 9) in
+  let attr = pair (map (Printf.sprintf "attr%d") (int_range 0 5)) (string_size ~gen:printable (0 -- 10)) in
+  let dedup_attrs attrs =
+    let seen = Hashtbl.create 4 in
+    List.filter
+      (fun (k, _) ->
+        if Hashtbl.mem seen k then false
+        else begin
+          Hashtbl.add seen k ();
+          true
+        end)
+      attrs
+  in
+  fix
+    (fun self depth ->
+      let node =
+        map3
+          (fun tag attrs children -> Axml.element tag ~attrs:(dedup_attrs attrs) ~children)
+          tag (list_size (0 -- 3) attr)
+          (if depth = 0 then return [] else list_size (0 -- 3) (self (depth - 1)))
+      in
+      node)
+    2
+
+let qcheck_roundtrip =
+  QCheck.Test.make ~name:"xml print/parse roundtrip" ~count:300
+    (QCheck.make ~print:Axml.to_string xml_gen)
+    (fun t ->
+      match Axml.parse (Axml.to_string t) with
+      | Ok t' -> Axml.equal t t'
+      | Error e -> QCheck.Test.fail_reportf "reparse failed: %s" e)
+
+let suite =
+  [
+    Alcotest.test_case "self closing" `Quick test_self_closing;
+    Alcotest.test_case "attributes" `Quick test_attributes;
+    Alcotest.test_case "nesting" `Quick test_nesting;
+    Alcotest.test_case "xml declaration and comments" `Quick test_declaration_and_comments;
+    Alcotest.test_case "text content ignored" `Quick test_text_ignored;
+    Alcotest.test_case "entities" `Quick test_entities;
+    Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "error positions" `Quick test_error_position;
+    Alcotest.test_case "pp roundtrip" `Quick test_pp_roundtrip_manual;
+    QCheck_alcotest.to_alcotest qcheck_roundtrip;
+  ]

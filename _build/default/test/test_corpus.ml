@@ -1,0 +1,140 @@
+(* Corpus tests: the generator must hit Table 1's populations exactly
+   and deterministically. *)
+
+let test_twenty_specs () =
+  Alcotest.check Alcotest.int "20 applications" 20 (List.length Corpus.Apps.specs)
+
+let test_specs_validate () =
+  List.iter
+    (fun spec ->
+      match Corpus.Spec.validate spec with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e)
+    Corpus.Apps.specs
+
+let test_by_name () =
+  Alcotest.check Alcotest.bool "present" true (Corpus.Apps.by_name "ConnectBot" <> None);
+  Alcotest.check Alcotest.bool "absent" true (Corpus.Apps.by_name "Nope" = None);
+  Alcotest.check Alcotest.int "case-study subset" 4 (List.length Corpus.Apps.case_study_names)
+
+let test_validate_rejects () =
+  let bad field =
+    match Corpus.Spec.validate field with
+    | Error _ -> ()
+    | Ok () -> Alcotest.fail "expected validation error"
+  in
+  let d = Corpus.Spec.default in
+  bad { d with sp_activities = 0 };
+  bad { d with sp_layouts = d.sp_activities - 1 };
+  bad { d with sp_inflated_nodes = d.sp_layouts - 1 };
+  bad { d with sp_listener_classes = 0; sp_listener_allocs = 1 };
+  bad { d with sp_listener_allocs = 0; sp_setlistener_ops = 1 };
+  bad { d with sp_id_sharing = 1.5 };
+  bad { d with sp_classes = 1 };
+  bad { d with sp_findview_ops = 0 }
+
+let row_of spec =
+  let app = Corpus.Gen.generate spec in
+  Gator.Metrics.table1 (Gator.Analysis.analyze app)
+
+(* The load-bearing property: generated populations equal the spec. *)
+let check_row (spec : Corpus.Spec.t) =
+  let row = row_of spec in
+  let eq what expected actual =
+    Alcotest.check Alcotest.int (Printf.sprintf "%s/%s" spec.sp_name what) expected actual
+  in
+  eq "classes" spec.sp_classes row.t1_classes;
+  eq "layout ids" spec.sp_layouts row.t1_layout_ids;
+  eq "view ids" spec.sp_view_ids row.t1_view_ids;
+  eq "inflated views" spec.sp_inflated_nodes row.t1_views_inflated;
+  eq "allocated views" spec.sp_view_allocs row.t1_views_allocated;
+  eq "listeners" spec.sp_listener_allocs row.t1_listeners;
+  eq "activities" spec.sp_activities row.t1_activities;
+  eq "inflate ops" spec.sp_layouts row.t1_inflate_ops;
+  eq "findview ops" spec.sp_findview_ops row.t1_findview_ops;
+  eq "addview ops" spec.sp_addview_ops row.t1_addview_ops;
+  eq "setid ops" spec.sp_setid_ops row.t1_setid_ops;
+  eq "setlistener ops" spec.sp_setlistener_ops row.t1_setlistener_ops;
+  eq "methods" spec.sp_methods row.t1_methods
+
+let test_small_apps_exact () =
+  List.iter check_row
+    (List.filter_map Corpus.Apps.by_name
+       [ "APV"; "NotePad"; "VuDroid"; "SuperGenPass"; "TippyTipper"; "OpenManager" ])
+
+let test_large_apps_exact () =
+  List.iter check_row
+    (List.filter_map Corpus.Apps.by_name [ "Astrid"; "XBMC"; "K9"; "Mileage" ])
+
+let test_determinism () =
+  let spec = Option.get (Corpus.Apps.by_name "NotePad") in
+  let a = Corpus.Gen.generate spec in
+  let b = Corpus.Gen.generate spec in
+  Alcotest.check Alcotest.bool "same program" true
+    (Jir.Ast.equal_program a.program b.program)
+
+let test_seed_changes_program () =
+  let spec = Option.get (Corpus.Apps.by_name "NotePad") in
+  let a = Corpus.Gen.generate spec in
+  let b = Corpus.Gen.generate { spec with sp_seed = spec.sp_seed + 1 } in
+  Alcotest.check Alcotest.bool "different programs" false
+    (Jir.Ast.equal_program a.program b.program)
+
+let test_generated_wellformed () =
+  List.iter
+    (fun name ->
+      let spec = Option.get (Corpus.Apps.by_name name) in
+      let app = Corpus.Gen.generate spec in
+      let diagnostics = Framework.App.diagnostics app in
+      let errors = Jir.Wellformed.errors diagnostics in
+      if errors <> [] then
+        Alcotest.failf "%s: %s" name
+          (Fmt.str "%a" (Fmt.list Jir.Wellformed.pp_diagnostic) errors))
+    [ "APV"; "NotePad"; "ConnectBot" ]
+
+let test_generated_parses_back () =
+  (* generated programs survive printing + reparsing *)
+  let spec = Option.get (Corpus.Apps.by_name "NotePad") in
+  let app = Corpus.Gen.generate spec in
+  let text = Jir.Pp.program_to_string app.program in
+  match Jir.Parser.parse_program_result text with
+  | Ok p -> Alcotest.check Alcotest.bool "roundtrip" true (Jir.Ast.equal_program p app.program)
+  | Error e -> Alcotest.failf "reparse: %s" e
+
+let test_xbmc_is_outlier () =
+  let receivers name =
+    let spec = Option.get (Corpus.Apps.by_name name) in
+    let t2 = Gator.Metrics.table2 (Gator.Analysis.analyze (Corpus.Gen.generate spec)) in
+    Option.get t2.t2_receivers
+  in
+  let xbmc = receivers "XBMC" in
+  Alcotest.check Alcotest.bool "XBMC >> APV" true (xbmc > 3.0 *. receivers "APV");
+  Alcotest.check Alcotest.bool "XBMC above 5" true (xbmc > 5.0)
+
+let random_specs_validate =
+  QCheck.Test.make ~name:"random specs validate and generate" ~count:30
+    QCheck.(make Gen.(int_range 0 1_000_000))
+    (fun seed ->
+      let rng = Util.Prng.create seed in
+      let spec = Corpus.Gen.random_spec rng in
+      match Corpus.Spec.validate spec with
+      | Error e -> QCheck.Test.fail_reportf "invalid spec: %s" e
+      | Ok () ->
+          let app = Corpus.Gen.generate spec in
+          List.length app.program.p_classes > 0)
+
+let suite =
+  [
+    Alcotest.test_case "twenty specs" `Quick test_twenty_specs;
+    Alcotest.test_case "specs validate" `Quick test_specs_validate;
+    Alcotest.test_case "lookup by name" `Quick test_by_name;
+    Alcotest.test_case "validate rejects bad specs" `Quick test_validate_rejects;
+    Alcotest.test_case "small apps match Table 1 exactly" `Quick test_small_apps_exact;
+    Alcotest.test_case "large apps match Table 1 exactly" `Slow test_large_apps_exact;
+    Alcotest.test_case "generation is deterministic" `Quick test_determinism;
+    Alcotest.test_case "seed matters" `Quick test_seed_changes_program;
+    Alcotest.test_case "generated apps are well-formed" `Quick test_generated_wellformed;
+    Alcotest.test_case "generated apps reparse" `Quick test_generated_parses_back;
+    Alcotest.test_case "XBMC is the receivers outlier" `Slow test_xbmc_is_outlier;
+    QCheck_alcotest.to_alcotest random_specs_validate;
+  ]

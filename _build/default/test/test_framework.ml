@@ -1,0 +1,141 @@
+let hierarchy src = Framework.Api.hierarchy (Jir.Parser.parse_program src)
+
+let test_view_classes () =
+  let h = hierarchy "class MyView extends SurfaceView { } class Helper { }" in
+  Alcotest.check Alcotest.bool "platform view" true (Framework.Views.is_view_class h "Button");
+  Alcotest.check Alcotest.bool "app view" true (Framework.Views.is_view_class h "MyView");
+  Alcotest.check Alcotest.bool "helper is not" false (Framework.Views.is_view_class h "Helper");
+  Alcotest.check Alcotest.bool "container" true
+    (Framework.Views.is_container_class h "ViewFlipper");
+  Alcotest.check Alcotest.bool "leaf not container" false
+    (Framework.Views.is_container_class h "TextView")
+
+let test_activity_and_dialog () =
+  let h = hierarchy "class Main extends ListActivity { } class D extends AlertDialog { }" in
+  Alcotest.check Alcotest.bool "activity subclass" true (Framework.Views.is_activity_class h "Main");
+  Alcotest.check Alcotest.bool "dialog subclass" true (Framework.Views.is_dialog_class h "D");
+  Alcotest.check Alcotest.bool "dialog is not activity" false
+    (Framework.Views.is_activity_class h "D")
+
+let test_concrete_lists_are_views () =
+  let h = hierarchy "class X { }" in
+  List.iter
+    (fun c -> Alcotest.check Alcotest.bool c true (Framework.Views.is_view_class h c))
+    (Framework.Views.concrete_view_classes @ Framework.Views.concrete_container_classes);
+  List.iter
+    (fun c -> Alcotest.check Alcotest.bool c true (Framework.Views.is_container_class h c))
+    Framework.Views.concrete_container_classes
+
+let test_listener_lookup () =
+  (match Framework.Listeners.by_setter "setOnClickListener" with
+  | Some i ->
+      Alcotest.check Alcotest.string "iface" "OnClickListener" i.i_name;
+      Alcotest.check Alcotest.bool "event" true (i.i_event = Framework.Listeners.Click)
+  | None -> Alcotest.fail "setter not found");
+  Alcotest.check Alcotest.bool "unknown setter" true (Framework.Listeners.by_setter "setFoo" = None)
+
+let test_listener_classes () =
+  let h =
+    hierarchy
+      "class L implements OnClickListener { method onClick(v: View): void { } } class M extends L { } class N { }"
+  in
+  Alcotest.check Alcotest.bool "direct" true (Framework.Listeners.is_listener_class h "L");
+  Alcotest.check Alcotest.bool "inherited" true (Framework.Listeners.is_listener_class h "M");
+  Alcotest.check Alcotest.bool "unrelated" false (Framework.Listeners.is_listener_class h "N");
+  Alcotest.check Alcotest.bool "interface itself is not a listener class" false
+    (Framework.Listeners.is_listener_class h "OnClickListener")
+
+let test_handlers_have_view_param () =
+  List.iter
+    (fun (i : Framework.Listeners.iface) ->
+      List.iter
+        (fun (h : Framework.Listeners.handler) ->
+          match h.h_view_param with
+          | Some k ->
+              if k < 0 || k >= h.h_arity then
+                Alcotest.failf "%s.%s: view param %d out of range" i.i_name h.h_name k
+          | None -> ())
+        i.i_handlers)
+    Framework.Listeners.all
+
+let test_classify_ops () =
+  let classify name arity = Framework.Api.classify ~name ~arity in
+  Alcotest.check Alcotest.bool "inflate" true (classify "inflate" 1 = Some Framework.Api.Inflate);
+  Alcotest.check Alcotest.bool "setContentView" true
+    (classify "setContentView" 1 = Some Framework.Api.Set_content);
+  Alcotest.check Alcotest.bool "addView" true (classify "addView" 1 = Some Framework.Api.Add_view);
+  Alcotest.check Alcotest.bool "setId" true (classify "setId" 1 = Some Framework.Api.Set_id);
+  Alcotest.check Alcotest.bool "findViewById" true
+    (classify "findViewById" 1 = Some Framework.Api.Find_view);
+  Alcotest.check Alcotest.bool "getCurrentView" true
+    (classify "getCurrentView" 0 = Some (Framework.Api.Find_one Framework.Api.Children));
+  Alcotest.check Alcotest.bool "findFocus" true
+    (classify "findFocus" 0 = Some (Framework.Api.Find_one Framework.Api.Descendants));
+  Alcotest.check Alcotest.bool "getParent" true (classify "getParent" 0 = Some Framework.Api.Get_parent);
+  (match classify "setOnClickListener" 1 with
+  | Some (Framework.Api.Set_listener i) ->
+      Alcotest.check Alcotest.string "listener iface" "OnClickListener" i.i_name
+  | _ -> Alcotest.fail "setter not classified");
+  Alcotest.check Alcotest.bool "startActivity" true
+    (classify "startActivity" 1 = Some Framework.Api.Start_activity);
+  Alcotest.check Alcotest.bool "wrong arity" true (classify "setId" 2 = None);
+  Alcotest.check Alcotest.bool "unknown method" true (classify "doStuff" 1 = None)
+
+let test_return_types () =
+  let rt name arity = Framework.Api.return_ty ~recv_ty:None name arity in
+  Alcotest.check Alcotest.bool "findViewById returns View" true
+    (rt "findViewById" 1 = Some (Jir.Ast.Tclass "View"));
+  Alcotest.check Alcotest.bool "getId returns int" true (rt "getId" 0 = Some Jir.Ast.Tint);
+  Alcotest.check Alcotest.bool "unknown returns none" true (rt "doStuff" 0 = None)
+
+let test_lifecycle () =
+  Alcotest.check Alcotest.bool "onCreate" true
+    (Framework.Lifecycle.is_activity_callback ~name:"onCreate" ~arity:0);
+  Alcotest.check Alcotest.bool "not a callback" false
+    (Framework.Lifecycle.is_activity_callback ~name:"helper" ~arity:0);
+  let cls =
+    Option.get
+      (Jir.Ast.find_class
+         (Jir.Parser.parse_program
+            "class A extends Activity { method onResume(): void { } method onCreate(): void { } }")
+         "A")
+  in
+  let names = List.map (fun (m : Jir.Ast.meth) -> m.m_name) (Framework.Lifecycle.ordered_for cls) in
+  Alcotest.check (Alcotest.list Alcotest.string) "canonical order" [ "onCreate"; "onResume" ] names
+
+let test_app_of_source () =
+  match
+    Framework.App.of_source ~name:"T" ~code:"class A extends Activity { }"
+      ~layouts:[ ("main", "<LinearLayout />") ]
+  with
+  | Ok app ->
+      Alcotest.check Alcotest.int "activities" 1
+        (List.length (Framework.App.activity_classes app));
+      Alcotest.check Alcotest.bool "layout present" true
+        (Layouts.Package.find app.package "main" <> None)
+  | Error e -> Alcotest.failf "of_source failed: %s" e
+
+let test_app_of_source_errors () =
+  (match Framework.App.of_source ~name:"T" ~code:"banana" ~layouts:[] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad code accepted");
+  match
+    Framework.App.of_source ~name:"T" ~code:"class A { }" ~layouts:[ ("l", "<nope") ]
+  with
+  | Error e -> Alcotest.check Alcotest.bool "layout name in error" true (String.length e > 0)
+  | Ok _ -> Alcotest.fail "bad layout accepted"
+
+let suite =
+  [
+    Alcotest.test_case "view classes" `Quick test_view_classes;
+    Alcotest.test_case "activities and dialogs" `Quick test_activity_and_dialog;
+    Alcotest.test_case "concrete class lists" `Quick test_concrete_lists_are_views;
+    Alcotest.test_case "listener lookup" `Quick test_listener_lookup;
+    Alcotest.test_case "listener classes" `Quick test_listener_classes;
+    Alcotest.test_case "handler view params in range" `Quick test_handlers_have_view_param;
+    Alcotest.test_case "API classification" `Quick test_classify_ops;
+    Alcotest.test_case "API return types" `Quick test_return_types;
+    Alcotest.test_case "lifecycle callbacks" `Quick test_lifecycle;
+    Alcotest.test_case "App.of_source" `Quick test_app_of_source;
+    Alcotest.test_case "App.of_source errors" `Quick test_app_of_source_errors;
+  ]

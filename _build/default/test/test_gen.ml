@@ -1,0 +1,110 @@
+(* Generator-focused properties: the corpus generator must hit Table 1
+   populations exactly for arbitrary valid specs, not just the 20
+   curated ones, and the analysis must behave monotonically under
+   precision refinements. *)
+
+let table1_of spec =
+  let app = Corpus.Gen.generate spec in
+  (app, Gator.Metrics.table1 (Gator.Analysis.analyze app))
+
+let exactness =
+  QCheck.Test.make ~name:"random specs: generated populations equal the spec" ~count:50
+    QCheck.(make Gen.(int_range 0 1_000_000))
+    (fun seed ->
+      let rng = Util.Prng.create seed in
+      let spec = Corpus.Gen.random_spec rng in
+      let _, row = table1_of spec in
+      let checks =
+        [
+          ("classes", spec.sp_classes, row.t1_classes);
+          ("layouts", spec.sp_layouts, row.t1_layout_ids);
+          ("view ids", spec.sp_view_ids, row.t1_view_ids);
+          ("inflated", spec.sp_inflated_nodes, row.t1_views_inflated);
+          ("view allocs", spec.sp_view_allocs, row.t1_views_allocated);
+          ("listeners", spec.sp_listener_allocs, row.t1_listeners);
+          ("inflate ops", spec.sp_layouts, row.t1_inflate_ops);
+          ("findview ops", spec.sp_findview_ops, row.t1_findview_ops);
+          ("addview ops", spec.sp_addview_ops, row.t1_addview_ops);
+          ("setid ops", spec.sp_setid_ops, row.t1_setid_ops);
+          ("setlistener ops", spec.sp_setlistener_ops, row.t1_setlistener_ops);
+        ]
+      in
+      (* Methods are exact whenever the budget is not below the
+         structural minimum; never under-filled. *)
+      if row.t1_methods < spec.sp_methods then
+        QCheck.Test.fail_reportf "seed %d: methods under budget (%d < %d)" seed row.t1_methods
+          spec.sp_methods
+      else
+      match List.find_opt (fun (_, expected, actual) -> expected <> actual) checks with
+      | None -> true
+      | Some (what, expected, actual) ->
+          QCheck.Test.fail_reportf "seed %d (%s): %s expected %d got %d" seed spec.sp_name what
+            expected actual)
+
+(* The precision refinements must only remove behaviors: every view in
+   a solution set under the default configuration is also there under
+   the configuration with cast filtering and the FindOne refinement
+   disabled (callback/dialog modeling unchanged: those add flows). *)
+let loose_config =
+  { Gator.Config.default with cast_filtering = false; findone_refinement = false }
+
+let subset_of_op refined loose op_r op_l =
+  let subset f = List.for_all (fun v -> List.mem v (f loose op_l)) (f refined op_r) in
+  subset Gator.Analysis.op_receiver_views
+  && subset Gator.Analysis.op_child_views
+  && subset Gator.Analysis.op_result_views
+
+let monotonicity =
+  QCheck.Test.make ~name:"random apps: refinements only shrink solutions" ~count:25
+    QCheck.(make Gen.(int_range 0 1_000_000))
+    (fun seed ->
+      let rng = Util.Prng.create seed in
+      let spec = Corpus.Gen.random_spec rng in
+      let app = Corpus.Gen.generate spec in
+      let refined = Gator.Analysis.analyze app in
+      let loose = Gator.Analysis.analyze ~config:loose_config app in
+      let refined_ops = Gator.Analysis.ops refined in
+      let loose_ops = Gator.Analysis.ops loose in
+      List.length refined_ops = List.length loose_ops
+      && List.for_all2 (subset_of_op refined loose) refined_ops loose_ops)
+
+let determinism =
+  QCheck.Test.make ~name:"random specs: generation is deterministic" ~count:20
+    QCheck.(make Gen.(int_range 0 1_000_000))
+    (fun seed ->
+      let rng1 = Util.Prng.create seed in
+      let rng2 = Util.Prng.create seed in
+      let a = Corpus.Gen.generate (Corpus.Gen.random_spec rng1) in
+      let b = Corpus.Gen.generate (Corpus.Gen.random_spec rng2) in
+      Jir.Ast.equal_program a.program b.program)
+
+let generated_roundtrip =
+  QCheck.Test.make ~name:"random apps: programs print and reparse" ~count:15
+    QCheck.(make Gen.(int_range 0 1_000_000))
+    (fun seed ->
+      let rng = Util.Prng.create seed in
+      let app = Corpus.Gen.generate (Corpus.Gen.random_spec rng) in
+      match Jir.Parser.parse_program_result (Jir.Pp.program_to_string app.program) with
+      | Ok p -> Jir.Ast.equal_program p app.program
+      | Error e -> QCheck.Test.fail_reportf "reparse: %s" e)
+
+let generated_wellformed =
+  QCheck.Test.make ~name:"random apps: no well-formedness errors" ~count:15
+    QCheck.(make Gen.(int_range 0 1_000_000))
+    (fun seed ->
+      let rng = Util.Prng.create seed in
+      let app = Corpus.Gen.generate (Corpus.Gen.random_spec rng) in
+      let errors = Jir.Wellformed.errors (Framework.App.diagnostics app) in
+      if errors = [] then true
+      else
+        QCheck.Test.fail_reportf "%s"
+          (Fmt.str "%a" (Fmt.list Jir.Wellformed.pp_diagnostic) errors))
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest exactness;
+    QCheck_alcotest.to_alcotest monotonicity;
+    QCheck_alcotest.to_alcotest determinism;
+    QCheck_alcotest.to_alcotest generated_roundtrip;
+    QCheck_alcotest.to_alcotest generated_wellformed;
+  ]

@@ -1,0 +1,140 @@
+open Gator
+
+let mid name = { Node.mid_cls = "C"; mid_name = name; mid_arity = 0 }
+
+let site ?(stmt = 0) name = { Node.s_in = mid name; s_stmt = stmt }
+
+let var name v = Node.N_var (mid name, v)
+
+let infl ?(path = []) ?(cls = "View") ?vid name =
+  Node.V_infl { Node.v_site = site name; v_layout = "l"; v_path = path; v_cls = cls; v_vid = vid }
+
+let test_add_value_grows_once () =
+  let g = Graph.create () in
+  let n = var "m" "x" in
+  Alcotest.check Alcotest.bool "first add" true (Graph.add_value g n (Node.V_view_id 1));
+  Alcotest.check Alcotest.bool "second add" false (Graph.add_value g n (Node.V_view_id 1));
+  Alcotest.check Alcotest.int "set size" 1 (Graph.VS.cardinal (Graph.set_of g n))
+
+let test_edges_dedup () =
+  let g = Graph.create () in
+  let a = var "m" "a" and b = var "m" "b" in
+  Graph.add_edge g a b;
+  Graph.add_edge g a b;
+  Graph.add_edge g ~kind:(Graph.E_cast "Button") a b;
+  Alcotest.check Alcotest.int "two distinct edges" 2 (Graph.edge_count g);
+  Alcotest.check Alcotest.int "succs" 2 (List.length (Graph.succs g a))
+
+let test_seeds_survive_reset () =
+  let g = Graph.create () in
+  let n = var "m" "x" in
+  Graph.seed g n (Node.V_act "A");
+  ignore (Graph.add_value g n (Node.V_view_id 9));
+  Graph.reset_sets g;
+  Alcotest.check Alcotest.int "sets cleared" 0 (Graph.VS.cardinal (Graph.set_of g n));
+  Alcotest.check Alcotest.int "seed kept" 1 (List.length (Graph.seeds g))
+
+let test_children_relation () =
+  let g = Graph.create () in
+  let p = infl "a" and c1 = infl ~path:[ 0 ] "a" and c2 = infl ~path:[ 1 ] "a" in
+  Alcotest.check Alcotest.bool "grew" true (Graph.add_child g ~parent:p ~child:c1);
+  Alcotest.check Alcotest.bool "idempotent" false (Graph.add_child g ~parent:p ~child:c1);
+  ignore (Graph.add_child g ~parent:p ~child:c2);
+  Alcotest.check Alcotest.int "children" 2 (Graph.View_set.cardinal (Graph.children_of g p));
+  Alcotest.check Alcotest.bool "parents inverse" true
+    (Graph.View_set.mem p (Graph.parents_of g c1))
+
+let test_descendants () =
+  let g = Graph.create () in
+  let a = infl "a" and b = infl ~path:[ 0 ] "a" and c = infl ~path:[ 0; 0 ] "a" in
+  ignore (Graph.add_child g ~parent:a ~child:b);
+  ignore (Graph.add_child g ~parent:b ~child:c);
+  Alcotest.check Alcotest.int "inclusive" 3
+    (Graph.View_set.cardinal (Graph.descendants g ~include_self:true a));
+  Alcotest.check Alcotest.int "strict" 2
+    (Graph.View_set.cardinal (Graph.descendants g ~include_self:false a));
+  Alcotest.check Alcotest.bool "transitive" true
+    (Graph.View_set.mem c (Graph.descendants g ~include_self:false a))
+
+let test_descendants_cycle_safe () =
+  (* The abstract parent-child relation can be cyclic (unlike the
+     concrete heap); BFS must still terminate. *)
+  let g = Graph.create () in
+  let a = infl "a" and b = infl ~path:[ 0 ] "a" in
+  ignore (Graph.add_child g ~parent:a ~child:b);
+  ignore (Graph.add_child g ~parent:b ~child:a);
+  Alcotest.check Alcotest.int "cycle bounded" 2
+    (Graph.View_set.cardinal (Graph.descendants g ~include_self:true a))
+
+let test_view_ids () =
+  let g = Graph.create () in
+  let v = infl "a" in
+  ignore (Graph.add_view_id g v 100);
+  ignore (Graph.add_view_id g v 200);
+  Alcotest.check Alcotest.bool "both ids" true
+    (Graph.Int_set.mem 100 (Graph.ids_of_view g v) && Graph.Int_set.mem 200 (Graph.ids_of_view g v))
+
+let test_holder_roots () =
+  let g = Graph.create () in
+  let v = infl "a" in
+  ignore (Graph.add_holder_root g (Node.H_act "A") v);
+  Alcotest.check Alcotest.int "root" 1
+    (Graph.View_set.cardinal (Graph.roots_of_holder g (Node.H_act "A")));
+  Alcotest.check Alcotest.int "holders" 1 (List.length (Graph.holders g))
+
+let test_listeners_relation () =
+  let g = Graph.create () in
+  let v = infl "a" in
+  let l = Node.L_act "A" in
+  ignore (Graph.add_view_listener g v l ~iface:"OnClickListener");
+  ignore (Graph.add_view_listener g v l ~iface:"OnKeyListener");
+  Alcotest.check Alcotest.int "two registrations" 2
+    (Graph.Listener_set.cardinal (Graph.listeners_of_view g v));
+  Alcotest.check Alcotest.int "views with listeners" 1 (List.length (Graph.views_with_listeners g))
+
+let test_inflation_memo () =
+  let g = Graph.create () in
+  let s = site "a" in
+  Alcotest.check Alcotest.bool "absent" true (Graph.find_inflation g ~site:s ~layout:"l" = None);
+  Graph.record_inflation g ~site:s ~layout:"l" [ infl "a" ];
+  Alcotest.check Alcotest.bool "present" true (Graph.find_inflation g ~site:s ~layout:"l" <> None);
+  Alcotest.check Alcotest.int "inflated views" 1 (List.length (Graph.inflated_views g))
+
+let test_ops_order () =
+  let g = Graph.create () in
+  let o1 = Graph.fresh_op g ~kind:Framework.Api.Find_view ~site:(site ~stmt:0 "m") ~recv:(var "m" "x") ~args:[] ~out:None in
+  let o2 = Graph.fresh_op g ~kind:Framework.Api.Add_view ~site:(site ~stmt:1 "m") ~recv:(var "m" "y") ~args:[] ~out:None in
+  Alcotest.check Alcotest.bool "creation order" true (Graph.ops g = [ o1; o2 ])
+
+let test_locations () =
+  let g = Graph.create () in
+  Graph.add_edge g (var "m" "a") (var "m" "b");
+  Graph.seed g (var "m" "c") (Node.V_act "A");
+  Alcotest.check Alcotest.int "locations" 3 (List.length (Graph.locations g))
+
+let test_dot_output () =
+  let g = Graph.create () in
+  Graph.add_edge g (var "m" "a") (var "m" "b");
+  ignore (Graph.add_child g ~parent:(infl "a") ~child:(infl ~path:[ 0 ] "a"));
+  let dot = Fmt.str "%a" Graph.pp_dot g in
+  Alcotest.check Alcotest.bool "digraph wrapper" true
+    (String.length dot > 20
+    && String.sub dot 0 7 = "digraph"
+    && String.contains dot '}')
+
+let suite =
+  [
+    Alcotest.test_case "add_value grows once" `Quick test_add_value_grows_once;
+    Alcotest.test_case "edge dedup by kind" `Quick test_edges_dedup;
+    Alcotest.test_case "reset keeps seeds" `Quick test_seeds_survive_reset;
+    Alcotest.test_case "children relation" `Quick test_children_relation;
+    Alcotest.test_case "descendants closure" `Quick test_descendants;
+    Alcotest.test_case "descendants on cyclic relation" `Quick test_descendants_cycle_safe;
+    Alcotest.test_case "view ids" `Quick test_view_ids;
+    Alcotest.test_case "holder roots" `Quick test_holder_roots;
+    Alcotest.test_case "listener registrations" `Quick test_listeners_relation;
+    Alcotest.test_case "inflation memo" `Quick test_inflation_memo;
+    Alcotest.test_case "op creation order" `Quick test_ops_order;
+    Alcotest.test_case "locations" `Quick test_locations;
+    Alcotest.test_case "dot output" `Quick test_dot_output;
+  ]

@@ -1,0 +1,150 @@
+open Jir
+
+let decl ?super ?(interfaces = []) ?(kind = `Class) name =
+  { Hierarchy.d_name = name; d_kind = kind; d_super = super; d_interfaces = interfaces }
+
+let platform =
+  [
+    decl "Object";
+    decl ~super:"Object" "View";
+    decl ~super:"View" "ViewGroup";
+    decl ~super:"View" "TextView";
+    decl ~super:"TextView" "Button";
+    decl ~kind:`Interface "OnClickListener";
+  ]
+
+let program_src =
+  {|
+class A extends View { field f: int; field g: Button;
+  method m(x: int): int { return x; } }
+class B extends A implements OnClickListener {
+  method m(x: int): int { return x; }
+  method onClick(v: View): void { } }
+class C extends B { }
+class D extends Object { method m(x: int): int { return x; } }
+|}
+
+let hierarchy () = Hierarchy.create ~platform (Parser.parse_program program_src)
+
+let test_mem_kind () =
+  let h = hierarchy () in
+  Alcotest.check Alcotest.bool "app class" true (Hierarchy.mem h "A");
+  Alcotest.check Alcotest.bool "platform class" true (Hierarchy.mem h "View");
+  Alcotest.check Alcotest.bool "absent" false (Hierarchy.mem h "Nope");
+  Alcotest.check Alcotest.bool "interface kind" true
+    (Hierarchy.kind h "OnClickListener" = Some `Interface)
+
+let test_application () =
+  let h = hierarchy () in
+  Alcotest.check Alcotest.bool "A is application" true (Hierarchy.is_application h "A");
+  Alcotest.check Alcotest.bool "View is platform" false (Hierarchy.is_application h "View")
+
+let test_subtype_reflexive () =
+  let h = hierarchy () in
+  List.iter
+    (fun t -> Alcotest.check Alcotest.bool t true (Hierarchy.subtype h t t))
+    (Hierarchy.types h)
+
+let test_subtype_chain () =
+  let h = hierarchy () in
+  Alcotest.check Alcotest.bool "C <= A" true (Hierarchy.subtype h "C" "A");
+  Alcotest.check Alcotest.bool "C <= View" true (Hierarchy.subtype h "C" "View");
+  Alcotest.check Alcotest.bool "C <= Object" true (Hierarchy.subtype h "C" "Object");
+  Alcotest.check Alcotest.bool "A </= B" false (Hierarchy.subtype h "A" "B");
+  Alcotest.check Alcotest.bool "D </= View" false (Hierarchy.subtype h "D" "View")
+
+let test_subtype_interface () =
+  let h = hierarchy () in
+  Alcotest.check Alcotest.bool "B implements" true (Hierarchy.subtype h "B" "OnClickListener");
+  Alcotest.check Alcotest.bool "C inherits interface" true
+    (Hierarchy.subtype h "C" "OnClickListener");
+  Alcotest.check Alcotest.bool "A does not" false (Hierarchy.subtype h "A" "OnClickListener")
+
+let test_subtypes_set () =
+  let h = hierarchy () in
+  let subs = List.sort compare (Hierarchy.subtypes h "A") in
+  Alcotest.check (Alcotest.list Alcotest.string) "subtypes of A" [ "A"; "B"; "C" ] subs
+
+let test_superclass_chain () =
+  let h = hierarchy () in
+  Alcotest.check (Alcotest.list Alcotest.string) "chain of C"
+    [ "B"; "A"; "View"; "Object" ]
+    (Hierarchy.superclass_chain h "C")
+
+let test_field_ty () =
+  let h = hierarchy () in
+  Alcotest.check Alcotest.bool "own field" true (Hierarchy.field_ty h "A" "f" = Some Ast.Tint);
+  Alcotest.check Alcotest.bool "inherited field" true
+    (Hierarchy.field_ty h "C" "g" = Some (Ast.Tclass "Button"));
+  Alcotest.check Alcotest.bool "missing field" true (Hierarchy.field_ty h "C" "nope" = None)
+
+let key name arity = { Ast.mk_name = name; mk_arity = arity }
+
+let test_resolve () =
+  let h = hierarchy () in
+  (match Hierarchy.resolve h "C" (key "m" 1) with
+  | Some ("B", _) -> ()
+  | Some (owner, _) -> Alcotest.failf "resolved to %s" owner
+  | None -> Alcotest.fail "no resolution");
+  (match Hierarchy.resolve h "A" (key "m" 1) with
+  | Some ("A", _) -> ()
+  | _ -> Alcotest.fail "A.m should resolve to A");
+  Alcotest.check Alcotest.bool "arity matters" true (Hierarchy.resolve h "C" (key "m" 2) = None);
+  Alcotest.check Alcotest.bool "platform has no bodies" true
+    (Hierarchy.resolve h "Button" (key "m" 1) = None)
+
+let test_cha_targets () =
+  let h = hierarchy () in
+  let owners recv_ty = List.map fst (Hierarchy.cha_targets h ~recv_ty (key "m" 1)) in
+  Alcotest.check (Alcotest.list Alcotest.string) "on A" [ "A"; "B" ]
+    (List.sort compare (owners (Some "A")));
+  Alcotest.check (Alcotest.list Alcotest.string) "on B" [ "B" ] (owners (Some "B"));
+  Alcotest.check (Alcotest.list Alcotest.string) "unknown type: all" [ "A"; "B"; "D" ]
+    (List.sort compare (owners None));
+  Alcotest.check (Alcotest.list Alcotest.string) "foreign type: all" [ "A"; "B"; "D" ]
+    (List.sort compare (owners (Some "Unknown")))
+
+let test_cha_on_interface () =
+  let h = hierarchy () in
+  let owners = List.map fst (Hierarchy.cha_targets h ~recv_ty:(Some "OnClickListener") (key "onClick" 1)) in
+  Alcotest.check (Alcotest.list Alcotest.string) "interface dispatch" [ "B" ] owners
+
+let test_duplicate_rejected () =
+  Alcotest.check_raises "duplicate" (Hierarchy.Hierarchy_error "duplicate type name A") (fun () ->
+      ignore (Hierarchy.create ~platform (Parser.parse_program "class A { } class A { }")))
+
+let test_cycle_rejected () =
+  match Hierarchy.create (Parser.parse_program "class A extends B { } class B extends A { }") with
+  | exception Hierarchy.Hierarchy_error _ -> ()
+  | _ -> Alcotest.fail "expected a cycle error"
+
+let test_unknown_super_tolerated () =
+  let h = Hierarchy.create (Parser.parse_program "class A extends Mystery { }") in
+  Alcotest.check Alcotest.bool "A known" true (Hierarchy.mem h "A");
+  Alcotest.check Alcotest.bool "not subtype of unknown... except reflexivity" true
+    (Hierarchy.subtype h "A" "Mystery")
+
+let test_iter_methods () =
+  let h = hierarchy () in
+  let count = ref 0 in
+  Hierarchy.iter_methods h (fun _ _ -> incr count);
+  Alcotest.check Alcotest.int "method count" 4 !count
+
+let suite =
+  [
+    Alcotest.test_case "mem and kind" `Quick test_mem_kind;
+    Alcotest.test_case "application vs platform" `Quick test_application;
+    Alcotest.test_case "subtype reflexive" `Quick test_subtype_reflexive;
+    Alcotest.test_case "subtype chains" `Quick test_subtype_chain;
+    Alcotest.test_case "subtype via interfaces" `Quick test_subtype_interface;
+    Alcotest.test_case "subtypes set" `Quick test_subtypes_set;
+    Alcotest.test_case "superclass chain" `Quick test_superclass_chain;
+    Alcotest.test_case "field type lookup" `Quick test_field_ty;
+    Alcotest.test_case "dynamic resolve" `Quick test_resolve;
+    Alcotest.test_case "CHA targets" `Quick test_cha_targets;
+    Alcotest.test_case "CHA on interface type" `Quick test_cha_on_interface;
+    Alcotest.test_case "duplicate types rejected" `Quick test_duplicate_rejected;
+    Alcotest.test_case "cycles rejected" `Quick test_cycle_rejected;
+    Alcotest.test_case "unknown supertype tolerated" `Quick test_unknown_super_tolerated;
+    Alcotest.test_case "iter_methods" `Quick test_iter_methods;
+  ]

@@ -1,0 +1,52 @@
+let test_idempotent () =
+  let t = Util.Interner.create () in
+  let a = Util.Interner.intern t "hello" in
+  let b = Util.Interner.intern t "hello" in
+  Alcotest.check Alcotest.int "same symbol" 0 (Util.Interner.compare_sym a b)
+
+let test_distinct () =
+  let t = Util.Interner.create () in
+  let a = Util.Interner.intern t "a" in
+  let b = Util.Interner.intern t "b" in
+  Alcotest.check Alcotest.bool "distinct" true (Util.Interner.compare_sym a b <> 0)
+
+let test_roundtrip () =
+  let t = Util.Interner.create () in
+  let names = List.init 1000 (Printf.sprintf "sym_%d") in
+  let syms = List.map (Util.Interner.intern t) names in
+  List.iter2
+    (fun name sym -> Alcotest.check Alcotest.string "name roundtrip" name (Util.Interner.name t sym))
+    names syms;
+  Alcotest.check Alcotest.int "count" 1000 (Util.Interner.count t)
+
+let test_mem () =
+  let t = Util.Interner.create () in
+  ignore (Util.Interner.intern t "x");
+  Alcotest.check Alcotest.bool "mem interned" true (Util.Interner.mem t "x");
+  Alcotest.check Alcotest.bool "mem foreign" false (Util.Interner.mem t "y")
+
+let test_foreign_symbol () =
+  let t = Util.Interner.create () in
+  Alcotest.check_raises "foreign" Not_found (fun () ->
+      let other = Util.Interner.create () in
+      let sym = Util.Interner.intern other "z" in
+      ignore (Util.Interner.name t sym))
+
+let qcheck_roundtrip =
+  QCheck.Test.make ~name:"intern/name roundtrip" ~count:500
+    QCheck.(small_list (string_of_size Gen.(1 -- 20)))
+    (fun names ->
+      let t = Util.Interner.create () in
+      List.for_all
+        (fun name -> Util.Interner.name t (Util.Interner.intern t name) = name)
+        names)
+
+let suite =
+  [
+    Alcotest.test_case "idempotent" `Quick test_idempotent;
+    Alcotest.test_case "distinct strings distinct symbols" `Quick test_distinct;
+    Alcotest.test_case "roundtrip 1000 symbols (growth)" `Quick test_roundtrip;
+    Alcotest.test_case "mem" `Quick test_mem;
+    Alcotest.test_case "foreign symbol raises" `Quick test_foreign_symbol;
+    QCheck_alcotest.to_alcotest qcheck_roundtrip;
+  ]

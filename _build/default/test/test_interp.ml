@@ -1,0 +1,301 @@
+(* Dynamic-semantics tests: heap behaviors and end-to-end runs. *)
+
+let app_of ?(layouts = []) code =
+  match Framework.App.of_source ~name:"T" ~code ~layouts with
+  | Ok app -> app
+  | Error e -> Alcotest.failf "app_of: %s" e
+
+let run ?options ?layouts code = Dynamic.Interp.run ?options (app_of ?layouts code)
+
+let objects_of_class (outcome : Dynamic.Interp.outcome) cls =
+  List.filter (fun (o : Dynamic.Heap.obj) -> o.cls = cls) (Dynamic.Heap.objects outcome.heap)
+
+(* ---------------- heap unit tests ---------------- *)
+
+let test_heap_fields () =
+  let h = Dynamic.Heap.create () in
+  let o = Dynamic.Heap.alloc h ~cls:"C" (Dynamic.Heap.P_internal "t") in
+  Alcotest.check Alcotest.bool "unset reads null" true (Dynamic.Heap.read_field o "f" = Dynamic.Heap.V_null);
+  Dynamic.Heap.write_field o "f" (Dynamic.Heap.V_int 3);
+  Alcotest.check Alcotest.bool "read back" true (Dynamic.Heap.read_field o "f" = Dynamic.Heap.V_int 3)
+
+let test_heap_reparenting () =
+  let h = Dynamic.Heap.create () in
+  let p1 = Dynamic.Heap.alloc h ~cls:"P1" (Dynamic.Heap.P_internal "t") in
+  let p2 = Dynamic.Heap.alloc h ~cls:"P2" (Dynamic.Heap.P_internal "t") in
+  let c = Dynamic.Heap.alloc h ~cls:"C" (Dynamic.Heap.P_internal "t") in
+  Dynamic.Heap.add_child h ~parent:p1 ~child:c;
+  Dynamic.Heap.add_child h ~parent:p2 ~child:c;
+  Alcotest.check (Alcotest.list Alcotest.int) "p1 lost the child" [] p1.children;
+  Alcotest.check (Alcotest.list Alcotest.int) "p2 has it" [ c.id ] p2.children;
+  Alcotest.check Alcotest.(option int) "parent pointer" (Some p2.id) c.parent
+
+let test_heap_cycle_refused () =
+  let h = Dynamic.Heap.create () in
+  let a = Dynamic.Heap.alloc h ~cls:"A" (Dynamic.Heap.P_internal "t") in
+  let b = Dynamic.Heap.alloc h ~cls:"B" (Dynamic.Heap.P_internal "t") in
+  Dynamic.Heap.add_child h ~parent:a ~child:b;
+  (* adding the ancestor under its descendant must be refused *)
+  Dynamic.Heap.add_child h ~parent:b ~child:a;
+  Alcotest.check (Alcotest.list Alcotest.int) "b has no children" [] b.children;
+  Alcotest.check Alcotest.bool "a stays a root" true (a.parent = None);
+  (* lookups terminate *)
+  Alcotest.check Alcotest.bool "find terminates" true (Dynamic.Heap.find_by_vid h a 1 = None)
+
+let test_heap_self_child_ignored () =
+  let h = Dynamic.Heap.create () in
+  let o = Dynamic.Heap.alloc h ~cls:"C" (Dynamic.Heap.P_internal "t") in
+  Dynamic.Heap.add_child h ~parent:o ~child:o;
+  Alcotest.check (Alcotest.list Alcotest.int) "no self edge" [] o.children
+
+let test_heap_descendants_and_find () =
+  let h = Dynamic.Heap.create () in
+  let a = Dynamic.Heap.alloc h ~cls:"A" (Dynamic.Heap.P_internal "t") in
+  let b = Dynamic.Heap.alloc h ~cls:"B" (Dynamic.Heap.P_internal "t") in
+  let c = Dynamic.Heap.alloc h ~cls:"C" (Dynamic.Heap.P_internal "t") in
+  Dynamic.Heap.add_child h ~parent:a ~child:b;
+  Dynamic.Heap.add_child h ~parent:b ~child:c;
+  c.vid <- Some 7;
+  Alcotest.check Alcotest.int "preorder size" 3 (List.length (Dynamic.Heap.descendants h a));
+  Alcotest.check Alcotest.int "strict" 2
+    (List.length (Dynamic.Heap.descendants h ~include_self:false a));
+  (match Dynamic.Heap.find_by_vid h a 7 with
+  | Some found -> Alcotest.check Alcotest.int "dfs find" c.id found.id
+  | None -> Alcotest.fail "vid not found");
+  Alcotest.check Alcotest.bool "missing vid" true (Dynamic.Heap.find_by_vid h a 8 = None)
+
+let test_find_by_vid_prefers_self () =
+  let h = Dynamic.Heap.create () in
+  let a = Dynamic.Heap.alloc h ~cls:"A" (Dynamic.Heap.P_internal "t") in
+  a.vid <- Some 5;
+  match Dynamic.Heap.find_by_vid h a 5 with
+  | Some found -> Alcotest.check Alcotest.int "self" a.id found.id
+  | None -> Alcotest.fail "self lookup failed"
+
+(* ---------------- interpreter tests ---------------- *)
+
+let test_lifecycle_runs () =
+  let outcome =
+    run
+      {|class A extends Activity {
+          field mark: int;
+          method onCreate(): void { x = 1; this.mark = x; }
+          method onResume(): void { y = 2; this.mark = y; } }|}
+  in
+  match objects_of_class outcome "A" with
+  | [ a ] ->
+      Alcotest.check Alcotest.bool "onResume ran last" true
+        (Dynamic.Heap.read_field a "mark" = Dynamic.Heap.V_int 2)
+  | _ -> Alcotest.fail "expected one activity object"
+
+let test_set_content_inflates () =
+  let outcome =
+    run
+      ~layouts:[ ("main", {|<LinearLayout><Button android:id="@+id/b" /></LinearLayout>|}) ]
+      {|class A extends Activity {
+          method onCreate(): void { l = R.layout.main; this.setContentView(l); } }|}
+  in
+  Alcotest.check Alcotest.int "linear layout created" 1
+    (List.length (objects_of_class outcome "LinearLayout"));
+  Alcotest.check Alcotest.int "button created" 1 (List.length (objects_of_class outcome "Button"));
+  match objects_of_class outcome "A" with
+  | [ a ] -> Alcotest.check Alcotest.bool "root set" true (a.root <> None)
+  | _ -> Alcotest.fail "expected one activity"
+
+let test_find_view_and_cast () =
+  let outcome =
+    run
+      ~layouts:[ ("main", {|<LinearLayout><Button android:id="@+id/b" /></LinearLayout>|}) ]
+      {|class A extends Activity {
+          field good: Button;
+          field bad: TextView;
+          method onCreate(): void {
+            l = R.layout.main; this.setContentView(l);
+            i = R.id.b;
+            v = this.findViewById(i);
+            g = (Button) v;
+            this.good = g;
+            w = (ImageView) v;
+            this.bad = w;
+          } }|}
+  in
+  match objects_of_class outcome "A" with
+  | [ a ] ->
+      Alcotest.check Alcotest.bool "successful cast stored" true
+        (Dynamic.Heap.read_field a "good" <> Dynamic.Heap.V_null);
+      Alcotest.check Alcotest.bool "failed cast nulls" true
+        (Dynamic.Heap.read_field a "bad" = Dynamic.Heap.V_null)
+  | _ -> Alcotest.fail "expected one activity"
+
+let test_null_safety () =
+  (* every operation on null is a no-op, not a crash *)
+  let outcome =
+    run
+      {|class A extends Activity {
+          method onCreate(): void {
+            n = null;
+            x = n.findViewById(n);
+            n.addView(n);
+            y = n.f;
+            n.f = y;
+            z = (Button) n;
+          } }|}
+  in
+  Alcotest.check Alcotest.bool "no truncation" false outcome.truncated;
+  Alcotest.check Alcotest.int "no observations from null ops" 0 (List.length outcome.observations)
+
+let test_recursion_bounded () =
+  let outcome =
+    run {|class A extends Activity { method onCreate(): void { this.onCreate(); } }|}
+  in
+  Alcotest.check Alcotest.bool "truncated" true outcome.truncated
+
+let test_step_budget () =
+  let options = { Dynamic.Interp.default_options with max_steps = 5 } in
+  let outcome =
+    run ~options
+      {|class A extends Activity {
+          method onCreate(): void { a = 1; b = 2; c = 3; d = 4; e = 5; f = 6; g = 7; } }|}
+  in
+  Alcotest.check Alcotest.bool "truncated by fuel" true outcome.truncated
+
+let test_event_firing () =
+  let outcome =
+    run
+      {|class A extends Activity {
+          method onCreate(): void {
+            b = new Button();
+            this.setContentView(b);
+            j = new L();
+            j.init(this);
+            b.setOnClickListener(j);
+          } }
+        class L implements OnClickListener {
+          field owner: A;
+          method init(a: A): void { this.owner = a; }
+          method onClick(v: View): void { w = v.getParent(); } }|}
+  in
+  Alcotest.check Alcotest.int "one registration" 1 (List.length outcome.registrations);
+  let clicks =
+    List.filter (fun (f : Dynamic.Interp.firing) -> f.f_event = Framework.Listeners.Click) outcome.firings
+  in
+  Alcotest.check Alcotest.bool "fired at least once" true (List.length clicks >= 1);
+  (match clicks with
+  | f :: _ ->
+      Alcotest.check (Alcotest.list Alcotest.string) "containing activity" [ "A" ] f.f_activities
+  | [] -> ());
+  (* the handler body executed: it performed a GetParent op on the view *)
+  Alcotest.check Alcotest.bool "handler observed ops" true
+    (List.exists
+       (fun (ob : Dynamic.Interp.observation) ->
+         ob.ob_op.o_kind = Framework.Api.Get_parent)
+       outcome.observations)
+
+let test_wrong_listener_type_ignored () =
+  let outcome =
+    run
+      {|class A extends Activity {
+          method onCreate(): void {
+            b = new Button();
+            h = new Helper();
+            b.setOnClickListener(h);
+          } }
+        class Helper { }|}
+  in
+  Alcotest.check Alcotest.int "no registration" 0 (List.length outcome.registrations)
+
+let test_flipper_rotation () =
+  (* Two children; over three event rounds getCurrentView must return
+     more than one distinct child. *)
+  let outcome =
+    run
+      {|class A extends Activity {
+          field flip: ViewFlipper;
+          method onCreate(): void {
+            fl = new ViewFlipper();
+            this.flip = fl;
+            this.setContentView(fl);
+            a = new Button();
+            b = new TextView();
+            fl.addView(a);
+            fl.addView(b);
+            j = new L();
+            j.init(this);
+            fl.setOnClickListener(j);
+          } }
+        class L implements OnClickListener {
+          field owner: A;
+          method init(a: A): void { this.owner = a; }
+          method onClick(v: View): void {
+            o = this.owner;
+            f = o.flip;
+            c = f.getCurrentView();
+          } }|}
+  in
+  let results =
+    List.filter_map
+      (fun (ob : Dynamic.Interp.observation) ->
+        match (ob.ob_op.o_kind, ob.ob_role) with
+        | Framework.Api.Find_one _, Dynamic.Interp.R_result -> Some ob.ob_value
+        | _ -> None)
+      outcome.observations
+  in
+  let distinct = List.sort_uniq compare results in
+  Alcotest.check Alcotest.bool "rotation explores children" true (List.length distinct >= 2)
+
+let test_dialog_callbacks_run () =
+  let outcome =
+    run
+      {|class A extends Activity {
+          method onCreate(): void { d = new MyDialog(); } }
+        class MyDialog extends Dialog {
+          field mark: int;
+          method onCreate(): void { x = 9; this.mark = x; } }|}
+  in
+  match objects_of_class outcome "MyDialog" with
+  | [ d ] ->
+      Alcotest.check Alcotest.bool "dialog onCreate ran" true
+        (Dynamic.Heap.read_field d "mark" = Dynamic.Heap.V_int 9)
+  | _ -> Alcotest.fail "expected one dialog"
+
+let test_observation_sites_are_structural () =
+  let outcome =
+    run
+      {|class A extends Activity {
+          method onCreate(): void { b = new Button(); i = 5; b.setId(i); } }|}
+  in
+  match outcome.observations with
+  | [ ob ] ->
+      Alcotest.check Alcotest.string "site method" "onCreate" ob.ob_op.o_site.s_in.mid_name;
+      Alcotest.check Alcotest.int "site stmt" 2 ob.ob_op.o_site.s_stmt
+  | obs -> Alcotest.failf "expected one observation, got %d" (List.length obs)
+
+let test_determinism () =
+  let app = Corpus.Connectbot.app () in
+  let a = Dynamic.Interp.run app in
+  let b = Dynamic.Interp.run app in
+  Alcotest.check Alcotest.int "same observation count" (List.length a.observations)
+    (List.length b.observations);
+  Alcotest.check Alcotest.bool "same observations" true (a.observations = b.observations)
+
+let suite =
+  [
+    Alcotest.test_case "heap fields" `Quick test_heap_fields;
+    Alcotest.test_case "heap reparenting keeps a forest" `Quick test_heap_reparenting;
+    Alcotest.test_case "heap refuses cycles" `Quick test_heap_cycle_refused;
+    Alcotest.test_case "self child ignored" `Quick test_heap_self_child_ignored;
+    Alcotest.test_case "descendants and find_by_vid" `Quick test_heap_descendants_and_find;
+    Alcotest.test_case "find_by_vid matches receiver" `Quick test_find_by_vid_prefers_self;
+    Alcotest.test_case "lifecycle callbacks run in order" `Quick test_lifecycle_runs;
+    Alcotest.test_case "setContentView inflates" `Quick test_set_content_inflates;
+    Alcotest.test_case "findViewById and casts" `Quick test_find_view_and_cast;
+    Alcotest.test_case "null safety" `Quick test_null_safety;
+    Alcotest.test_case "recursion is bounded" `Quick test_recursion_bounded;
+    Alcotest.test_case "step budget" `Quick test_step_budget;
+    Alcotest.test_case "event firing" `Quick test_event_firing;
+    Alcotest.test_case "non-listener argument ignored" `Quick test_wrong_listener_type_ignored;
+    Alcotest.test_case "flipper rotation explores children" `Quick test_flipper_rotation;
+    Alcotest.test_case "dialog callbacks run" `Quick test_dialog_callbacks_run;
+    Alcotest.test_case "observation sites are structural" `Quick test_observation_sites_are_structural;
+    Alcotest.test_case "runs are deterministic" `Quick test_determinism;
+  ]

@@ -1,0 +1,145 @@
+module J = Util.Json
+
+let parse_ok s = match J.of_string s with Ok v -> v | Error e -> Alcotest.failf "parse: %s" e
+
+let test_scalars () =
+  Alcotest.check Alcotest.bool "null" true (parse_ok "null" = J.Null);
+  Alcotest.check Alcotest.bool "true" true (parse_ok "true" = J.Bool true);
+  Alcotest.check Alcotest.bool "false" true (parse_ok "false" = J.Bool false);
+  Alcotest.check Alcotest.bool "int" true (parse_ok "42" = J.Int 42);
+  Alcotest.check Alcotest.bool "negative" true (parse_ok "-7" = J.Int (-7));
+  Alcotest.check Alcotest.bool "float" true (parse_ok "1.5" = J.Float 1.5);
+  Alcotest.check Alcotest.bool "exponent" true (parse_ok "2e3" = J.Float 2000.0)
+
+let test_strings () =
+  Alcotest.check Alcotest.bool "plain" true (parse_ok {|"abc"|} = J.String "abc");
+  Alcotest.check Alcotest.bool "escapes" true
+    (parse_ok {|"a\"b\\c\nd\te"|} = J.String "a\"b\\c\nd\te");
+  Alcotest.check Alcotest.bool "unicode ascii" true (parse_ok {|"A"|} = J.String "A")
+
+let test_collections () =
+  Alcotest.check Alcotest.bool "array" true
+    (parse_ok "[1, 2, 3]" = J.List [ J.Int 1; J.Int 2; J.Int 3 ]);
+  Alcotest.check Alcotest.bool "empty array" true (parse_ok "[]" = J.List []);
+  Alcotest.check Alcotest.bool "object" true
+    (parse_ok {|{"a": 1, "b": [true]}|} = J.Obj [ ("a", J.Int 1); ("b", J.List [ J.Bool true ]) ]);
+  Alcotest.check Alcotest.bool "empty object" true (parse_ok "{}" = J.Obj [])
+
+let test_errors () =
+  let bad s =
+    match J.of_string s with Error _ -> () | Ok _ -> Alcotest.failf "accepted %S" s
+  in
+  bad "";
+  bad "[1,";
+  bad "{\"a\"}";
+  bad "nul";
+  bad "\"unterminated";
+  bad "1 2"
+
+let test_member () =
+  let v = parse_ok {|{"x": {"y": 3}}|} in
+  Alcotest.check Alcotest.bool "nested member" true
+    (Option.bind (J.member "x" v) (J.member "y") = Some (J.Int 3));
+  Alcotest.check Alcotest.bool "missing" true (J.member "z" v = None)
+
+let test_numeric_equal () =
+  Alcotest.check Alcotest.bool "int = integral float" true (J.equal (J.Int 2) (J.Float 2.0));
+  Alcotest.check Alcotest.bool "int <> fractional float" false (J.equal (J.Int 2) (J.Float 2.5));
+  Alcotest.check Alcotest.bool "order insensitive fields are NOT equal" false
+    (J.equal (J.Obj [ ("a", J.Int 1); ("b", J.Int 2) ]) (J.Obj [ ("b", J.Int 2); ("a", J.Int 1) ]))
+
+let json_gen =
+  let open QCheck.Gen in
+  let scalar =
+    oneof
+      [
+        return J.Null;
+        map (fun b -> J.Bool b) bool;
+        map (fun n -> J.Int n) (int_range (-1000000) 1000000);
+        map (fun s -> J.String s) (string_size ~gen:printable (0 -- 15));
+      ]
+  in
+  fix
+    (fun self depth ->
+      if depth = 0 then scalar
+      else
+        oneof
+          [
+            scalar;
+            map (fun xs -> J.List xs) (list_size (0 -- 4) (self (depth - 1)));
+            map
+              (fun kvs ->
+                (* object keys must be distinct for roundtrip equality *)
+                J.Obj (List.mapi (fun i (k, v) -> (Printf.sprintf "k%d_%s" i k, v)) kvs))
+              (list_size (0 -- 4) (pair (string_size ~gen:(char_range 'a' 'z') (0 -- 5)) (self (depth - 1))));
+          ])
+    3
+
+let roundtrip_compact =
+  QCheck.Test.make ~name:"compact print/parse roundtrip" ~count:500
+    (QCheck.make ~print:(J.to_string ~pretty:true) json_gen)
+    (fun v ->
+      match J.of_string (J.to_string v) with
+      | Ok v' -> J.equal v v'
+      | Error e -> QCheck.Test.fail_reportf "reparse: %s" e)
+
+let roundtrip_pretty =
+  QCheck.Test.make ~name:"pretty print/parse roundtrip" ~count:300
+    (QCheck.make ~print:(J.to_string ~pretty:true) json_gen)
+    (fun v ->
+      match J.of_string (J.to_string ~pretty:true v) with
+      | Ok v' -> J.equal v v'
+      | Error e -> QCheck.Test.fail_reportf "reparse: %s" e)
+
+let test_export_connectbot () =
+  let r = Gator.Analysis.analyze (Corpus.Connectbot.app ()) in
+  let text = Gator.Export.to_string ~pretty:true r in
+  match J.of_string text with
+  | Error e -> Alcotest.failf "export does not parse: %s" e
+  | Ok doc ->
+      Alcotest.check Alcotest.bool "app name" true
+        (J.member "app" doc = Some (J.String "ConnectBot"));
+      let count field =
+        match Option.bind (J.member field doc) J.to_list with
+        | Some xs -> List.length xs
+        | None -> Alcotest.failf "missing %s" field
+      in
+      Alcotest.check Alcotest.int "10 operations" 10 (count "operations");
+      Alcotest.check Alcotest.int "10 views" 10 (count "views");
+      Alcotest.check Alcotest.int "1 interaction" 1 (count "interactions");
+      Alcotest.check Alcotest.int "1 activity" 1 (count "activities")
+
+let test_export_transitions () =
+  let app =
+    match
+      Framework.App.of_source ~name:"T" ~layouts:[]
+        ~code:
+          {|class A extends Activity { method onCreate(): void { t = new B(); this.startActivity(t); } }
+            class B extends Activity { method onCreate(): void { } }|}
+    with
+    | Ok app -> app
+    | Error e -> Alcotest.fail e
+  in
+  let r = Gator.Analysis.analyze app in
+  match J.of_string (Gator.Export.to_string r) with
+  | Error e -> Alcotest.failf "export: %s" e
+  | Ok doc -> (
+      match Option.bind (J.member "transitions" doc) J.to_list with
+      | Some [ edge ] ->
+          Alcotest.check Alcotest.bool "edge" true
+            (J.member "from" edge = Some (J.String "A") && J.member "to" edge = Some (J.String "B"))
+      | _ -> Alcotest.fail "expected one transition")
+
+let suite =
+  [
+    Alcotest.test_case "scalars" `Quick test_scalars;
+    Alcotest.test_case "strings" `Quick test_strings;
+    Alcotest.test_case "collections" `Quick test_collections;
+    Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "member" `Quick test_member;
+    Alcotest.test_case "numeric equality" `Quick test_numeric_equal;
+    QCheck_alcotest.to_alcotest roundtrip_compact;
+    QCheck_alcotest.to_alcotest roundtrip_pretty;
+    Alcotest.test_case "export: ConnectBot document" `Quick test_export_connectbot;
+    Alcotest.test_case "export: transitions" `Quick test_export_transitions;
+  ]

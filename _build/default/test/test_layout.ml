@@ -1,0 +1,265 @@
+let sample_xml =
+  {|<RelativeLayout>
+  <ViewFlipper android:id="@+id/flip" />
+  <LinearLayout android:id="@+id/group">
+    <Button android:id="@+id/ok" />
+    <Button android:id="@+id/cancel" />
+    <TextView />
+  </LinearLayout>
+</RelativeLayout>|}
+
+let sample () = Layouts.Layout.parse_exn ~name:"sample" sample_xml
+
+let test_parse_classes_and_ids () =
+  let d = sample () in
+  Alcotest.check Alcotest.string "root class" "RelativeLayout" d.root.view_class;
+  Alcotest.check Alcotest.(option string) "root has no id" None d.root.id;
+  Alcotest.check (Alcotest.list Alcotest.string) "ids preorder"
+    [ "flip"; "group"; "ok"; "cancel" ]
+    (Layouts.Layout.ids d)
+
+let test_size_and_nodes () =
+  let d = sample () in
+  Alcotest.check Alcotest.int "size" 6 (Layouts.Layout.size d);
+  Alcotest.check Alcotest.int "nodes list" 6 (List.length (Layouts.Layout.nodes d))
+
+let test_paths () =
+  let d = sample () in
+  let paths = List.map fst (Layouts.Layout.nodes d) in
+  Alcotest.check
+    (Alcotest.list (Alcotest.list Alcotest.int))
+    "preorder paths"
+    [ []; [ 0 ]; [ 1 ]; [ 1; 0 ]; [ 1; 1 ]; [ 1; 2 ] ]
+    paths
+
+let test_find () =
+  let d = sample () in
+  (match Layouts.Layout.find d [ 1; 0 ] with
+  | Some n -> Alcotest.check Alcotest.(option string) "ok button" (Some "ok") n.id
+  | None -> Alcotest.fail "path missing");
+  Alcotest.check Alcotest.bool "bad path" true (Layouts.Layout.find d [ 9 ] = None)
+
+let test_find_by_id () =
+  let d = sample () in
+  match Layouts.Layout.find_by_id d "cancel" with
+  | [ (path, node) ] ->
+      Alcotest.check (Alcotest.list Alcotest.int) "path" [ 1; 1 ] path;
+      Alcotest.check Alcotest.string "class" "Button" node.view_class
+  | _ -> Alcotest.fail "expected exactly one node"
+
+let test_edges () =
+  let d = sample () in
+  Alcotest.check Alcotest.int "edge count = nodes - 1" 5 (List.length (Layouts.Layout.edges d));
+  Alcotest.check Alcotest.bool "root->group edge" true
+    (List.mem ([], [ 1 ]) (Layouts.Layout.edges d))
+
+let test_xml_roundtrip () =
+  let d = sample () in
+  let text = Fmt.str "%a" Layouts.Layout.pp d in
+  let d' = Layouts.Layout.parse_exn ~name:"sample" text in
+  Alcotest.check Alcotest.bool "roundtrip" true (d = d')
+
+let test_at_id_syntax () =
+  let d = Layouts.Layout.parse_exn ~name:"x" {|<View android:id="@id/existing" />|} in
+  Alcotest.check Alcotest.(option string) "@id form" (Some "existing") d.root.id
+
+let test_malformed_id () =
+  match Layouts.Layout.parse ~name:"x" {|<View android:id="bogus" />|} with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected malformed-id error"
+
+let test_resource_table () =
+  let r = Layouts.Resource.create () in
+  let l1 = Layouts.Resource.layout_id r "main" in
+  let l1' = Layouts.Resource.layout_id r "main" in
+  let l2 = Layouts.Resource.layout_id r "other" in
+  let v1 = Layouts.Resource.view_id r "btn" in
+  Alcotest.check Alcotest.int "stable" l1 l1';
+  Alcotest.check Alcotest.bool "distinct" true (l1 <> l2);
+  Alcotest.check Alcotest.bool "ranges" true
+    (Layouts.Resource.is_layout_id l1 && Layouts.Resource.is_view_id v1);
+  Alcotest.check Alcotest.bool "no overlap" true
+    (not (Layouts.Resource.is_view_id l1) && not (Layouts.Resource.is_layout_id v1));
+  Alcotest.check Alcotest.(option string) "inverse layout" (Some "main")
+    (Layouts.Resource.layout_name r l1);
+  Alcotest.check Alcotest.(option string) "inverse view" (Some "btn")
+    (Layouts.Resource.view_name r v1);
+  Alcotest.check Alcotest.(pair int int) "counts" (2, 1) (Layouts.Resource.counts r);
+  Alcotest.check (Alcotest.list Alcotest.string) "order" [ "main"; "other" ]
+    (Layouts.Resource.layout_names r)
+
+let test_register () =
+  let r = Layouts.Resource.create () in
+  Layouts.Layout.register r (sample ());
+  Alcotest.check Alcotest.(pair int int) "registered counts" (1, 4) (Layouts.Resource.counts r)
+
+let test_package () =
+  let p = Layouts.Package.create () in
+  Layouts.Package.add p (sample ());
+  let lid = Option.get (Layouts.Resource.find_layout_id (Layouts.Package.resources p) "sample") in
+  (match Layouts.Package.find_by_layout_id p lid with
+  | Some d -> Alcotest.check Alcotest.string "lookup by id" "sample" d.name
+  | None -> Alcotest.fail "layout not found by id");
+  Alcotest.check Alcotest.int "total nodes" 6 (Layouts.Package.total_nodes p);
+  Alcotest.check Alcotest.bool "duplicate rejected" true
+    (match Layouts.Package.add p (sample ()) with
+    | exception Invalid_argument _ -> true
+    | () -> false)
+
+let test_package_add_xml_error () =
+  let p = Layouts.Package.create () in
+  match Layouts.Package.add_xml p ~name:"bad" "<oops" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "expected parse error"
+
+(* ------------- include/merge expansion ------------- *)
+
+let package_with defs =
+  let p = Layouts.Package.create () in
+  List.iter (fun (name, xml) -> Layouts.Package.add p (Layouts.Layout.parse_exn ~name xml)) defs;
+  p
+
+let test_include_expansion () =
+  let p =
+    package_with
+      [
+        ("detail", {|<LinearLayout android:id="@+id/detail_root"><TextView android:id="@+id/txt" /></LinearLayout>|});
+        ("main", {|<FrameLayout><include layout="@layout/detail" /></FrameLayout>|});
+      ]
+  in
+  let d = Option.get (Layouts.Package.find p "main") in
+  Alcotest.check Alcotest.int "expanded size" 3 (Layouts.Layout.size d);
+  (match Layouts.Layout.find d [ 0 ] with
+  | Some n ->
+      Alcotest.check Alcotest.string "substituted root" "LinearLayout" n.view_class;
+      Alcotest.check Alcotest.(option string) "kept id" (Some "detail_root") n.id
+  | None -> Alcotest.fail "missing child");
+  Alcotest.check Alcotest.int "no expansion errors" 0
+    (List.length (Layouts.Package.expansion_errors p))
+
+let test_include_id_override () =
+  let p =
+    package_with
+      [
+        ("detail", {|<LinearLayout android:id="@+id/detail_root" />|});
+        ("main", {|<FrameLayout><include layout="@layout/detail" android:id="@+id/slot" /></FrameLayout>|});
+      ]
+  in
+  let d = Option.get (Layouts.Package.find p "main") in
+  match Layouts.Layout.find d [ 0 ] with
+  | Some n -> Alcotest.check Alcotest.(option string) "id overridden" (Some "slot") n.id
+  | None -> Alcotest.fail "missing child"
+
+let test_merge_splice () =
+  let p =
+    package_with
+      [
+        ("rows", {|<merge><TextView android:id="@+id/a" /><TextView android:id="@+id/b" /></merge>|});
+        ("main", {|<LinearLayout><include layout="@layout/rows" /><Button /></LinearLayout>|});
+      ]
+  in
+  let d = Option.get (Layouts.Package.find p "main") in
+  (* merge children spliced: root has 3 children (a, b, Button) *)
+  Alcotest.check Alcotest.int "spliced arity" 3 (List.length d.root.children);
+  Alcotest.check Alcotest.int "size" 4 (Layouts.Layout.size d)
+
+let test_merge_direct_root () =
+  let p = package_with [ ("m", {|<merge><Button /></merge>|}) ] in
+  let d = Option.get (Layouts.Package.find p "m") in
+  Alcotest.check Alcotest.string "acts as FrameLayout" "FrameLayout" d.root.view_class
+
+let test_nested_includes () =
+  let p =
+    package_with
+      [
+        ("leaf", {|<TextView android:id="@+id/deep" />|});
+        ("mid", {|<LinearLayout><include layout="@layout/leaf" /></LinearLayout>|});
+        ("top", {|<FrameLayout><include layout="@layout/mid" /></FrameLayout>|});
+      ]
+  in
+  let d = Option.get (Layouts.Package.find p "top") in
+  Alcotest.check Alcotest.int "size" 3 (Layouts.Layout.size d);
+  Alcotest.check Alcotest.int "deep id findable" 1
+    (List.length (Layouts.Layout.find_by_id d "deep"))
+
+let test_include_cycle_reported () =
+  let p =
+    package_with
+      [
+        ("a", {|<LinearLayout><include layout="@layout/b" /></LinearLayout>|});
+        ("b", {|<LinearLayout><include layout="@layout/a" /></LinearLayout>|});
+      ]
+  in
+  Alcotest.check Alcotest.bool "errors recorded" true
+    (Layouts.Package.expansion_errors p <> []);
+  (* falls back to the raw tree *)
+  Alcotest.check Alcotest.bool "raw fallback" true (Layouts.Package.find p "a" <> None)
+
+let test_unknown_include_reported () =
+  let p = package_with [ ("a", {|<LinearLayout><include layout="@layout/ghost" /></LinearLayout>|}) ] in
+  Alcotest.check Alcotest.bool "unknown include error" true
+    (List.exists (fun (name, _) -> name = "a") (Layouts.Package.expansion_errors p))
+
+let test_include_without_layout_attr () =
+  match Layouts.Layout.parse ~name:"x" "<LinearLayout><include /></LinearLayout>" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected error for include without layout"
+
+let test_onclick_attr () =
+  let d =
+    Layouts.Layout.parse_exn ~name:"x"
+      {|<LinearLayout><Button android:onClick="doIt" /></LinearLayout>|}
+  in
+  (match Layouts.Layout.find d [ 0 ] with
+  | Some n -> Alcotest.check Alcotest.(option string) "handler" (Some "doIt") n.onclick
+  | None -> Alcotest.fail "missing child");
+  (* roundtrips through printing *)
+  let d2 = Layouts.Layout.parse_exn ~name:"x" (Fmt.str "%a" Layouts.Layout.pp d) in
+  Alcotest.check Alcotest.bool "roundtrip" true (d = d2)
+
+let test_fragment_tag_parse () =
+  let d =
+    Layouts.Layout.parse_exn ~name:"x"
+      {|<LinearLayout><fragment android:name="MyFrag" android:id="@+id/slot" /></LinearLayout>|}
+  in
+  (match Layouts.Layout.find d [ 0 ] with
+  | Some n ->
+      Alcotest.check Alcotest.(option string) "class" (Some "MyFrag") n.fragment_class;
+      Alcotest.check Alcotest.string "placeholder container" "FrameLayout" n.view_class;
+      Alcotest.check Alcotest.(option string) "id kept" (Some "slot") n.id
+  | None -> Alcotest.fail "missing child");
+  let d2 = Layouts.Layout.parse_exn ~name:"x" (Fmt.str "%a" Layouts.Layout.pp d) in
+  Alcotest.check Alcotest.bool "roundtrip" true (d = d2)
+
+let test_fragment_tag_requires_name () =
+  match Layouts.Layout.parse ~name:"x" "<LinearLayout><fragment /></LinearLayout>" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "nameless fragment accepted"
+
+let suite =
+  [
+    Alcotest.test_case "classes and ids" `Quick test_parse_classes_and_ids;
+    Alcotest.test_case "include expansion" `Quick test_include_expansion;
+    Alcotest.test_case "include id override" `Quick test_include_id_override;
+    Alcotest.test_case "merge splice" `Quick test_merge_splice;
+    Alcotest.test_case "direct merge root" `Quick test_merge_direct_root;
+    Alcotest.test_case "nested includes" `Quick test_nested_includes;
+    Alcotest.test_case "include cycles reported" `Quick test_include_cycle_reported;
+    Alcotest.test_case "unknown include reported" `Quick test_unknown_include_reported;
+    Alcotest.test_case "include without layout attr" `Quick test_include_without_layout_attr;
+    Alcotest.test_case "android:onClick attribute" `Quick test_onclick_attr;
+    Alcotest.test_case "fragment tag parse" `Quick test_fragment_tag_parse;
+    Alcotest.test_case "fragment tag requires name" `Quick test_fragment_tag_requires_name;
+    Alcotest.test_case "size and nodes" `Quick test_size_and_nodes;
+    Alcotest.test_case "preorder paths" `Quick test_paths;
+    Alcotest.test_case "find by path" `Quick test_find;
+    Alcotest.test_case "find by id" `Quick test_find_by_id;
+    Alcotest.test_case "edges" `Quick test_edges;
+    Alcotest.test_case "xml roundtrip" `Quick test_xml_roundtrip;
+    Alcotest.test_case "@id syntax" `Quick test_at_id_syntax;
+    Alcotest.test_case "malformed android:id" `Quick test_malformed_id;
+    Alcotest.test_case "resource table" `Quick test_resource_table;
+    Alcotest.test_case "register" `Quick test_register;
+    Alcotest.test_case "package" `Quick test_package;
+    Alcotest.test_case "package xml errors" `Quick test_package_add_xml_error;
+  ]

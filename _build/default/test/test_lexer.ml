@@ -1,0 +1,71 @@
+open Jir.Lexer
+
+let tokens src = List.map (fun l -> l.token) (tokenize src)
+
+let token_testable = Alcotest.testable pp_token ( = )
+
+let check_tokens msg expected src =
+  Alcotest.check (Alcotest.list token_testable) msg expected (tokens src)
+
+let test_keywords () =
+  check_tokens "keywords"
+    [ KW_CLASS; KW_INTERFACE; KW_EXTENDS; KW_IMPLEMENTS; KW_FIELD; KW_METHOD; KW_VAR; KW_NEW;
+      KW_RETURN; KW_NULL; KW_INT; KW_VOID; KW_R ]
+    "class interface extends implements field method var new return null int void R"
+
+let test_identifiers () =
+  check_tokens "identifiers"
+    [ IDENT "foo"; IDENT "Bar_9"; IDENT "_x"; IDENT "$y"; IDENT "Rx" ]
+    "foo Bar_9 _x $y Rx"
+
+let test_numbers () = check_tokens "decimal and hex" [ INT 42; INT 0x7f030000 ] "42 0x7f030000"
+
+let test_punctuation () =
+  check_tokens "punctuation"
+    [ LBRACE; RBRACE; LPAREN; RPAREN; SEMI; COLON; COMMA; DOT; EQUALS ]
+    "{ } ( ) ; : , . ="
+
+let test_line_comment () = check_tokens "line comment" [ IDENT "a"; IDENT "b" ] "a // c d e\nb"
+
+let test_block_comment () = check_tokens "block comment" [ IDENT "a"; IDENT "b" ] "a /* x\ny */ b"
+
+let test_unterminated_comment () =
+  match tokenize "a /* never closed" with
+  | exception Lex_error (_, _) -> ()
+  | _ -> Alcotest.fail "expected a lexical error"
+
+let test_illegal_char () =
+  match tokenize "a # b" with
+  | exception Lex_error (msg, pos) ->
+      Alcotest.check Alcotest.int "column" 3 pos.col;
+      Alcotest.check Alcotest.bool "mentions char" true (String.contains msg '#')
+  | _ -> Alcotest.fail "expected a lexical error"
+
+let test_positions () =
+  match tokenize "ab\n  cd" with
+  | [ a; b ] ->
+      Alcotest.check Alcotest.(pair int int) "first" (1, 1) (a.pos.line, a.pos.col);
+      Alcotest.check Alcotest.(pair int int) "second" (2, 3) (b.pos.line, b.pos.col)
+  | _ -> Alcotest.fail "expected two tokens"
+
+let test_no_space_needed () =
+  check_tokens "tight statement"
+    [ IDENT "x"; EQUALS; IDENT "y"; DOT; IDENT "f"; SEMI ]
+    "x=y.f;"
+
+let test_empty () = check_tokens "empty input" [] "   \n\t  "
+
+let suite =
+  [
+    Alcotest.test_case "keywords" `Quick test_keywords;
+    Alcotest.test_case "identifiers" `Quick test_identifiers;
+    Alcotest.test_case "numbers" `Quick test_numbers;
+    Alcotest.test_case "punctuation" `Quick test_punctuation;
+    Alcotest.test_case "line comment" `Quick test_line_comment;
+    Alcotest.test_case "block comment" `Quick test_block_comment;
+    Alcotest.test_case "unterminated comment" `Quick test_unterminated_comment;
+    Alcotest.test_case "illegal character" `Quick test_illegal_char;
+    Alcotest.test_case "positions" `Quick test_positions;
+    Alcotest.test_case "no whitespace needed" `Quick test_no_space_needed;
+    Alcotest.test_case "empty input" `Quick test_empty;
+  ]

@@ -1,0 +1,70 @@
+open Gator
+
+let test_avg_empty () = Alcotest.check Alcotest.bool "none" true (Metrics.avg [] = None)
+
+let test_avg_skips_empty_sets () =
+  Alcotest.check Alcotest.(option (float 0.001)) "zeros skipped" (Some 2.0)
+    (Metrics.avg [ 0; 2; 0; 2 ])
+
+let test_avg_all_zero () =
+  Alcotest.check Alcotest.bool "all-zero is none" true (Metrics.avg [ 0; 0 ] = None)
+
+let test_avg_mean () =
+  Alcotest.check Alcotest.(option (float 0.001)) "mean" (Some 2.0) (Metrics.avg [ 1; 2; 3 ])
+
+let analysis () = Analysis.analyze (Corpus.Connectbot.app ())
+
+let test_table1_connectbot () =
+  let t = Metrics.table1 (analysis ()) in
+  Alcotest.check Alcotest.int "classes" 3 t.t1_classes;
+  Alcotest.check Alcotest.int "methods" 5 t.t1_methods;
+  Alcotest.check Alcotest.int "layouts" 2 t.t1_layout_ids;
+  (* act_console: console_flip, keyboard_group, button_esc, button_ctrl,
+     button_up, button_down; item_terminal: terminal_overlay *)
+  Alcotest.check Alcotest.int "view ids" 7 t.t1_view_ids;
+  (* 7 act_console nodes + 2 item_terminal nodes *)
+  Alcotest.check Alcotest.int "inflated" 9 t.t1_views_inflated;
+  Alcotest.check Alcotest.int "allocated views" 1 t.t1_views_allocated;
+  Alcotest.check Alcotest.int "listeners" 1 t.t1_listeners;
+  Alcotest.check Alcotest.int "activities" 1 t.t1_activities;
+  Alcotest.check Alcotest.int "inflate ops" 2 t.t1_inflate_ops;
+  (* findViewById x3 (lines 10/13 + helper) + getCurrentView *)
+  Alcotest.check Alcotest.int "findview ops" 4 t.t1_findview_ops;
+  Alcotest.check Alcotest.int "addview ops" 2 t.t1_addview_ops;
+  Alcotest.check Alcotest.int "setid ops" 1 t.t1_setid_ops;
+  Alcotest.check Alcotest.int "setlistener ops" 1 t.t1_setlistener_ops
+
+let test_table2_connectbot () =
+  let t = Metrics.table2 (analysis ()) in
+  let value = function Some v -> v | None -> Alcotest.fail "expected a value" in
+  Alcotest.check Alcotest.bool "receivers near 1" true (value t.t2_receivers < 1.5);
+  Alcotest.check Alcotest.bool "parameters 1" true (value t.t2_parameters = 1.0);
+  Alcotest.check Alcotest.bool "results small" true (value t.t2_results <= 2.0);
+  Alcotest.check Alcotest.bool "listeners 1" true (value t.t2_listeners = 1.0);
+  Alcotest.check Alcotest.bool "time nonneg" true (t.t2_seconds >= 0.0)
+
+let test_table2_dashes () =
+  (* no AddView / SetListener ops: the paper prints "-" *)
+  let r =
+    match
+      Framework.App.of_source ~name:"T"
+        ~code:"class A extends Activity { method onCreate(): void { } }" ~layouts:[]
+    with
+    | Ok app -> Analysis.analyze app
+    | Error e -> Alcotest.fail e
+  in
+  let t = Metrics.table2 r in
+  Alcotest.check Alcotest.bool "parameters dash" true (t.t2_parameters = None);
+  Alcotest.check Alcotest.bool "listeners dash" true (t.t2_listeners = None);
+  Alcotest.check Alcotest.bool "receivers dash" true (t.t2_receivers = None)
+
+let suite =
+  [
+    Alcotest.test_case "avg of empty" `Quick test_avg_empty;
+    Alcotest.test_case "avg skips empty sets" `Quick test_avg_skips_empty_sets;
+    Alcotest.test_case "avg of all-zero" `Quick test_avg_all_zero;
+    Alcotest.test_case "avg mean" `Quick test_avg_mean;
+    Alcotest.test_case "Table 1 on Figure 1" `Quick test_table1_connectbot;
+    Alcotest.test_case "Table 2 on Figure 1" `Quick test_table2_connectbot;
+    Alcotest.test_case "Table 2 dashes" `Quick test_table2_dashes;
+  ]

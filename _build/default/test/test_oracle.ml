@@ -1,0 +1,150 @@
+(* Soundness: everything the dynamic semantics observes must be in the
+   static solution — on the running example, on targeted programs, on
+   the 20-app corpus, and on random apps (property-based). *)
+
+let app_of ?(layouts = []) code =
+  match Framework.App.of_source ~name:"T" ~code ~layouts with
+  | Ok app -> app
+  | Error e -> Alcotest.failf "app_of: %s" e
+
+let coverage ?config app =
+  let r = Gator.Analysis.analyze ?config app in
+  Dynamic.Oracle.check r (Dynamic.Interp.run app)
+
+let assert_sound ?config app =
+  let c = coverage ?config app in
+  if not (Dynamic.Oracle.is_sound c) then
+    Alcotest.failf "unsound: %a" (fun ppf -> Dynamic.Oracle.pp_coverage ppf) c
+
+let test_connectbot_sound () = assert_sound (Corpus.Connectbot.app ())
+
+let test_connectbot_nontrivial () =
+  let c = coverage (Corpus.Connectbot.app ()) in
+  Alcotest.check Alcotest.bool "checked a real trace" true (c.cov_total > 10)
+
+let handler_param_code =
+  {|class A extends Activity {
+      method onCreate(): void {
+        p = new LinearLayout();
+        c = new Button();
+        p.addView(c);
+        this.setContentView(p);
+        j = new L();
+        c.setOnClickListener(j);
+      } }
+    class L implements OnClickListener {
+      method onClick(v: View): void { q = v.getParent(); } }|}
+
+let test_handler_param_needs_callback_modeling () =
+  (* With callback modeling the handler's use of its view parameter is
+     covered; without it the GetParent receiver is missed — showing the
+     SETLISTENER [y.n(x)] modeling is load-bearing for soundness. *)
+  assert_sound (app_of handler_param_code);
+  let off = { Gator.Config.default with listener_callbacks = false } in
+  let c = coverage ~config:off (app_of handler_param_code) in
+  Alcotest.check Alcotest.bool "unsound without callbacks" false (Dynamic.Oracle.is_sound c)
+
+let test_dialog_needs_modeling () =
+  let code =
+    {|class A extends Activity { method onCreate(): void { d = new MyDialog(); } }
+      class MyDialog extends Dialog {
+        method onCreate(): void {
+          b = new Button();
+          this.setContentView(b);
+          b.setId(i);
+          i = 5;
+        } }|}
+  in
+  assert_sound (app_of code)
+
+let test_findone_refinement_sound () =
+  (* children-only refinement must still cover the dynamic behavior *)
+  let code =
+    {|class A extends Activity {
+        method onCreate(): void {
+          f = new ViewFlipper();
+          a = new Button();
+          f.addView(a);
+          v = f.getCurrentView();
+          w = f.findFocus();
+        } }|}
+  in
+  assert_sound (app_of code);
+  assert_sound ~config:{ Gator.Config.default with findone_refinement = false } (app_of code)
+
+let test_corpus_sound () =
+  List.iter
+    (fun spec -> assert_sound (Corpus.Gen.generate spec))
+    (List.filter_map Corpus.Apps.by_name [ "APV"; "NotePad"; "VuDroid"; "TippyTipper"; "SuperGenPass" ])
+
+let test_corpus_xbmc_sound () =
+  assert_sound (Corpus.Gen.generate (Option.get (Corpus.Apps.by_name "XBMC")))
+
+let random_soundness =
+  QCheck.Test.make ~name:"random apps: dynamic trace covered by static solution" ~count:40
+    QCheck.(make Gen.(int_range 0 1_000_000))
+    (fun seed ->
+      let rng = Util.Prng.create seed in
+      let spec = Corpus.Gen.random_spec rng in
+      let app = Corpus.Gen.generate spec in
+      let r = Gator.Analysis.analyze app in
+      let c = Dynamic.Oracle.check r (Dynamic.Interp.run app) in
+      if Dynamic.Oracle.is_sound c then true
+      else
+        QCheck.Test.fail_reportf "seed %d unsound: %s" seed
+          (Fmt.str "%a" Dynamic.Oracle.pp_coverage c))
+
+let random_soundness_baselineish =
+  (* the sound core must stay sound under precision refinements *)
+  QCheck.Test.make ~name:"random apps: soundness with refinements toggled" ~count:15
+    QCheck.(make Gen.(int_range 0 1_000_000))
+    (fun seed ->
+      let rng = Util.Prng.create seed in
+      let spec = Corpus.Gen.random_spec rng in
+      let app = Corpus.Gen.generate spec in
+      List.for_all
+        (fun config ->
+          let r = Gator.Analysis.analyze ~config app in
+          Dynamic.Oracle.is_sound (Dynamic.Oracle.check r (Dynamic.Interp.run app)))
+        [
+          Gator.Config.default;
+          { Gator.Config.default with findone_refinement = false };
+          { Gator.Config.default with cast_filtering = false };
+          { Gator.Config.default with inline_depth = 1 };
+          { Gator.Config.default with inline_depth = 2 };
+        ])
+
+let test_dynamic_averages () =
+  let app = Corpus.Connectbot.app () in
+  let outcome = Dynamic.Interp.run app in
+  let dyn = Dynamic.Oracle.dynamic_averages outcome in
+  (match dyn.dyn_receivers with
+  | Some v -> Alcotest.check Alcotest.bool "receivers >= 1" true (v >= 1.0)
+  | None -> Alcotest.fail "expected receiver observations");
+  match dyn.dyn_results with
+  | Some v -> Alcotest.check Alcotest.bool "results >= 1" true (v >= 1.0)
+  | None -> Alcotest.fail "expected result observations"
+
+let test_coverage_counts () =
+  let app = Corpus.Connectbot.app () in
+  let r = Gator.Analysis.analyze app in
+  let outcome = Dynamic.Interp.run app in
+  let c = Dynamic.Oracle.check r outcome in
+  Alcotest.check Alcotest.int "covered = total when sound"
+    c.cov_total c.cov_covered
+
+let suite =
+  [
+    Alcotest.test_case "ConnectBot sound" `Quick test_connectbot_sound;
+    Alcotest.test_case "ConnectBot trace non-trivial" `Quick test_connectbot_nontrivial;
+    Alcotest.test_case "handler params need callback modeling" `Quick
+      test_handler_param_needs_callback_modeling;
+    Alcotest.test_case "dialogs covered" `Quick test_dialog_needs_modeling;
+    Alcotest.test_case "FindOne refinement stays sound" `Quick test_findone_refinement_sound;
+    Alcotest.test_case "corpus apps sound (sample)" `Quick test_corpus_sound;
+    Alcotest.test_case "XBMC sound" `Slow test_corpus_xbmc_sound;
+    QCheck_alcotest.to_alcotest random_soundness;
+    QCheck_alcotest.to_alcotest random_soundness_baselineish;
+    Alcotest.test_case "dynamic averages" `Quick test_dynamic_averages;
+    Alcotest.test_case "coverage counts" `Quick test_coverage_counts;
+  ]

@@ -1,0 +1,33 @@
+let test_truncate_short () =
+  Alcotest.check Alcotest.string "fits" "abc" (Util.Pretty.truncate_string 5 "abc")
+
+let test_truncate_long () =
+  Alcotest.check Alcotest.string "ellipsis" "ab..." (Util.Pretty.truncate_string 5 "abcdefgh")
+
+let test_truncate_tiny () =
+  Alcotest.check Alcotest.string "hard cut" "ab" (Util.Pretty.truncate_string 2 "abcdefgh")
+
+let test_quote_plain () = Alcotest.check Alcotest.string "plain" "\"abc\"" (Util.Pretty.quote "abc")
+
+let test_quote_escapes () =
+  Alcotest.check Alcotest.string "escapes" "\"a\\\"b\\\\c\"" (Util.Pretty.quote "a\"b\\c")
+
+let test_pp_set () =
+  Alcotest.check Alcotest.string "set notation" "{1, 2, 3}"
+    (Fmt.str "%a" (Util.Pretty.pp_set Fmt.int) [ 1; 2; 3 ])
+
+let qcheck_truncate_bound =
+  QCheck.Test.make ~name:"truncate never exceeds bound" ~count:500
+    QCheck.(pair (int_range 0 30) (string_of_size Gen.(0 -- 60)))
+    (fun (n, s) -> String.length (Util.Pretty.truncate_string n s) <= max n (min n (String.length s)))
+
+let suite =
+  [
+    Alcotest.test_case "truncate short" `Quick test_truncate_short;
+    Alcotest.test_case "truncate long" `Quick test_truncate_long;
+    Alcotest.test_case "truncate tiny" `Quick test_truncate_tiny;
+    Alcotest.test_case "quote plain" `Quick test_quote_plain;
+    Alcotest.test_case "quote escapes" `Quick test_quote_escapes;
+    Alcotest.test_case "pp_set" `Quick test_pp_set;
+    QCheck_alcotest.to_alcotest qcheck_truncate_bound;
+  ]

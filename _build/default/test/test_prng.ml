@@ -1,0 +1,132 @@
+let check = Alcotest.check
+
+let test_determinism () =
+  let a = Util.Prng.create 7 in
+  let b = Util.Prng.create 7 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "equal streams" (Util.Prng.next a) (Util.Prng.next b)
+  done
+
+let test_different_seeds () =
+  let a = Util.Prng.create 1 in
+  let b = Util.Prng.create 2 in
+  let xs = List.init 10 (fun _ -> Util.Prng.next a) in
+  let ys = List.init 10 (fun _ -> Util.Prng.next b) in
+  check Alcotest.bool "streams differ" true (xs <> ys)
+
+let test_copy_independent () =
+  let a = Util.Prng.create 3 in
+  ignore (Util.Prng.next a);
+  let b = Util.Prng.copy a in
+  check Alcotest.int64 "copy continues identically" (Util.Prng.next a) (Util.Prng.next b);
+  ignore (Util.Prng.next a);
+  (* advancing [a] does not advance [b] *)
+  let a' = Util.Prng.next a in
+  let b' = Util.Prng.next b in
+  check Alcotest.bool "copies advance independently" true (a' <> b' || a' = b')
+
+let test_int_range () =
+  let rng = Util.Prng.create 11 in
+  for _ = 1 to 10_000 do
+    let v = Util.Prng.int rng 7 in
+    if v < 0 || v >= 7 then Alcotest.failf "out of range: %d" v
+  done
+
+let test_int_rejects_nonpositive () =
+  let rng = Util.Prng.create 1 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Prng.int: bound must be positive") (fun () ->
+      ignore (Util.Prng.int rng 0))
+
+let test_int_in_inclusive () =
+  let rng = Util.Prng.create 13 in
+  let seen = Array.make 3 false in
+  for _ = 1 to 1000 do
+    let v = Util.Prng.int_in rng 5 7 in
+    if v < 5 || v > 7 then Alcotest.failf "out of range: %d" v;
+    seen.(v - 5) <- true
+  done;
+  check Alcotest.bool "all values hit" true (Array.for_all Fun.id seen)
+
+let test_int_covers_all_residues () =
+  (* regression: a signed-overflow bug made large draws negative *)
+  let rng = Util.Prng.create 97 in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 100_000 do
+    let v = Util.Prng.int rng 10 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iteri
+    (fun i c -> if c < 8_000 then Alcotest.failf "residue %d badly skewed: %d/100000" i c)
+    counts
+
+let test_chance_extremes () =
+  let rng = Util.Prng.create 17 in
+  check Alcotest.bool "p=0 never" false (Util.Prng.chance rng 0.0);
+  check Alcotest.bool "p=1 always" true (Util.Prng.chance rng 1.0)
+
+let test_chance_rate () =
+  let rng = Util.Prng.create 19 in
+  let hits = ref 0 in
+  for _ = 1 to 10_000 do
+    if Util.Prng.chance rng 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. 10_000.0 in
+  if rate < 0.25 || rate > 0.35 then Alcotest.failf "chance 0.3 measured %.3f" rate
+
+let test_choose_singleton () =
+  let rng = Util.Prng.create 23 in
+  check Alcotest.int "singleton" 42 (Util.Prng.choose rng [ 42 ])
+
+let test_choose_empty () =
+  let rng = Util.Prng.create 23 in
+  Alcotest.check_raises "empty" (Invalid_argument "Prng.choose: empty list") (fun () ->
+      ignore (Util.Prng.choose rng []))
+
+let test_choose_weighted () =
+  let rng = Util.Prng.create 29 in
+  let a = ref 0 and b = ref 0 in
+  for _ = 1 to 10_000 do
+    match Util.Prng.choose_weighted rng [ (9, `A); (1, `B) ] with
+    | `A -> incr a
+    | `B -> incr b
+  done;
+  if !a < 8_500 || !b < 500 then Alcotest.failf "weights skewed: %d/%d" !a !b
+
+let test_choose_weighted_ignores_nonpositive () =
+  let rng = Util.Prng.create 31 in
+  for _ = 1 to 100 do
+    check Alcotest.char "zero weights never chosen" 'x'
+      (Util.Prng.choose_weighted rng [ (0, 'y'); (3, 'x'); (-5, 'z') ])
+  done
+
+let test_shuffle_is_permutation () =
+  let rng = Util.Prng.create 37 in
+  let xs = List.init 50 Fun.id in
+  let ys = Util.Prng.shuffle rng xs in
+  check (Alcotest.list Alcotest.int) "same multiset" xs (List.sort compare ys)
+
+let test_split_diverges () =
+  let a = Util.Prng.create 41 in
+  let b = Util.Prng.split a in
+  let xs = List.init 5 (fun _ -> Util.Prng.next a) in
+  let ys = List.init 5 (fun _ -> Util.Prng.next b) in
+  check Alcotest.bool "split stream differs" true (xs <> ys)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "different seeds" `Quick test_different_seeds;
+    Alcotest.test_case "copy" `Quick test_copy_independent;
+    Alcotest.test_case "int range" `Quick test_int_range;
+    Alcotest.test_case "int rejects nonpositive bound" `Quick test_int_rejects_nonpositive;
+    Alcotest.test_case "int_in inclusive and total" `Quick test_int_in_inclusive;
+    Alcotest.test_case "int covers residues uniformly" `Quick test_int_covers_all_residues;
+    Alcotest.test_case "chance extremes" `Quick test_chance_extremes;
+    Alcotest.test_case "chance rate" `Quick test_chance_rate;
+    Alcotest.test_case "choose singleton" `Quick test_choose_singleton;
+    Alcotest.test_case "choose empty" `Quick test_choose_empty;
+    Alcotest.test_case "weighted choice follows weights" `Quick test_choose_weighted;
+    Alcotest.test_case "weighted choice ignores nonpositive" `Quick test_choose_weighted_ignores_nonpositive;
+    Alcotest.test_case "shuffle is a permutation" `Quick test_shuffle_is_permutation;
+    Alcotest.test_case "split diverges" `Quick test_split_diverges;
+  ]

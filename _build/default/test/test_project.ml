@@ -1,0 +1,150 @@
+(* Project-directory loading and solution diffing. *)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "gator_test" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      let rec rm path =
+        if Sys.is_directory path then begin
+          Array.iter (fun f -> rm (Filename.concat path f)) (Sys.readdir path);
+          Unix.rmdir path
+        end
+        else Sys.remove path
+      in
+      rm dir)
+    (fun () -> f dir)
+
+let write path content =
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc
+
+let scaffold dir =
+  Unix.mkdir (Filename.concat dir "src") 0o755;
+  Unix.mkdir (Filename.concat dir "res") 0o755;
+  Unix.mkdir (Filename.concat dir "res/layout") 0o755;
+  write
+    (Filename.concat dir "src/main.alite")
+    {|class Main extends Activity {
+        method onCreate(): void {
+          l = R.layout.screen;
+          this.setContentView(l);
+          a = R.id.ok;
+          v = this.findViewById(a);
+          j = new L();
+          v.setOnClickListener(j);
+        } }|};
+  write
+    (Filename.concat dir "src/listener.alite")
+    {|class L implements OnClickListener { method onClick(v: View): void { } }|};
+  write
+    (Filename.concat dir "res/layout/screen.xml")
+    {|<LinearLayout><Button android:id="@+id/ok" /></LinearLayout>|}
+
+let test_load_project_layout () =
+  with_temp_dir (fun dir ->
+      scaffold dir;
+      match Project.load dir with
+      | Error e -> Alcotest.fail e
+      | Ok app ->
+          Alcotest.check Alcotest.int "classes from both files" 2
+            (List.length app.program.p_classes);
+          Alcotest.check Alcotest.bool "layout loaded" true
+            (Layouts.Package.find app.package "screen" <> None);
+          let r = Gator.Analysis.analyze app in
+          Alcotest.check Alcotest.int "interaction derived" 1
+            (List.length (Gator.Analysis.interactions r)))
+
+let test_load_flat_layout () =
+  with_temp_dir (fun dir ->
+      write (Filename.concat dir "app.alite") "class A extends Activity { }";
+      write (Filename.concat dir "main.xml") "<LinearLayout />";
+      match Project.load dir with
+      | Error e -> Alcotest.fail e
+      | Ok app ->
+          Alcotest.check Alcotest.int "one class" 1 (List.length app.program.p_classes);
+          Alcotest.check Alcotest.bool "flat layout" true
+            (Layouts.Package.find app.package "main" <> None))
+
+let test_load_errors () =
+  (match Project.load "/nonexistent/dir" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing dir accepted");
+  with_temp_dir (fun dir ->
+      match Project.load dir with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "empty dir accepted")
+
+let test_parse_error_propagates () =
+  with_temp_dir (fun dir ->
+      write (Filename.concat dir "bad.alite") "banana";
+      match Project.load dir with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "bad source accepted")
+
+(* ------------- diff ------------- *)
+
+let analyze ?config code =
+  match Framework.App.of_source ~name:"T" ~code ~layouts:[] with
+  | Ok app -> Gator.Analysis.analyze ?config app
+  | Error e -> Alcotest.fail e
+
+let diff_code =
+  {|class A extends Activity {
+      field f: View;
+      method onCreate(): void {
+        x = new Button();
+        this.f = x;
+        y = new LinearLayout();
+        this.f = y;
+        u = this.f;
+        w = (Button) u;
+        i = 5;
+        w.setId(i);
+      } }|}
+
+let test_diff_identity () =
+  let a = analyze diff_code in
+  let b = analyze diff_code in
+  let d = Gator.Diff.compare a b in
+  Alcotest.check Alcotest.bool "no differences" true (Gator.Diff.is_empty d)
+
+let test_diff_configs () =
+  let refined = analyze diff_code in
+  let loose = analyze ~config:{ Gator.Config.default with cast_filtering = false } diff_code in
+  let d = Gator.Diff.compare refined loose in
+  Alcotest.check Alcotest.bool "differences found" false (Gator.Diff.is_empty d);
+  (* the loose side has strictly more receivers at the setId op *)
+  match d.d_changed with
+  | [ change ] ->
+      Alcotest.check Alcotest.string "role" "receivers" change.oc_role;
+      Alcotest.check Alcotest.int "nothing lost" 0 change.oc_only_left;
+      Alcotest.check Alcotest.int "one extra receiver" 1 change.oc_only_right
+  | other -> Alcotest.failf "expected one change, got %d" (List.length other)
+
+let test_diff_code_edit () =
+  let before = analyze "class A extends Activity { method onCreate(): void { v = new Button(); i = 5; v.setId(i); } }" in
+  let after = analyze "class A extends Activity { method onCreate(): void { v = new Button(); } }" in
+  let d = Gator.Diff.compare before after in
+  Alcotest.check Alcotest.int "op disappeared" 1 (List.length d.d_ops_only_left);
+  Alcotest.check Alcotest.int "none added" 0 (List.length d.d_ops_only_right)
+
+let test_diff_pp () =
+  let a = analyze diff_code in
+  let loose = analyze ~config:Gator.Config.baseline diff_code in
+  let text = Fmt.str "%a" Gator.Diff.pp (Gator.Diff.compare a loose) in
+  Alcotest.check Alcotest.bool "mentions diff" true (String.length text > 10)
+
+let suite =
+  [
+    Alcotest.test_case "load src/res project" `Quick test_load_project_layout;
+    Alcotest.test_case "load flat directory" `Quick test_load_flat_layout;
+    Alcotest.test_case "load errors" `Quick test_load_errors;
+    Alcotest.test_case "parse errors propagate" `Quick test_parse_error_propagates;
+    Alcotest.test_case "diff: identity" `Quick test_diff_identity;
+    Alcotest.test_case "diff: config changes" `Quick test_diff_configs;
+    Alcotest.test_case "diff: code edits" `Quick test_diff_code_edit;
+    Alcotest.test_case "diff: rendering" `Quick test_diff_pp;
+  ]

@@ -1,0 +1,75 @@
+let contains s sub =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let test_render_alignment () =
+  let out =
+    Report.Table.render ~header:[ "name"; "n" ] [ [ "a"; "1" ]; [ "long-name"; "22" ] ]
+  in
+  let lines = String.split_on_char '\n' out in
+  Alcotest.check Alcotest.int "header + rule + rows" 4 (List.length lines);
+  (* all lines equally wide *)
+  match lines with
+  | first :: rest ->
+      List.iter
+        (fun line -> Alcotest.check Alcotest.int "width" (String.length first) (String.length line))
+        rest
+  | [] -> Alcotest.fail "no output"
+
+let test_cells () =
+  Alcotest.check Alcotest.string "float" "3.14" (Report.Table.cell_float (Some 3.1415));
+  Alcotest.check Alcotest.string "dash" "-" (Report.Table.cell_float None);
+  Alcotest.check Alcotest.string "int" "7" (Report.Table.cell_int 7);
+  Alcotest.check Alcotest.string "seconds" "0.50" (Report.Table.cell_seconds 0.5)
+
+let test_paper_values () =
+  (match Report.Paper.table2 "XBMC" with
+  | Some p ->
+      Alcotest.check (Alcotest.float 0.001) "receivers" 8.81 p.p2_receivers;
+      Alcotest.check (Alcotest.float 0.001) "time" 1.74 p.p2_seconds
+  | None -> Alcotest.fail "XBMC missing");
+  Alcotest.check Alcotest.bool "all 20 present" true
+    (List.for_all (fun n -> Report.Paper.table2 n <> None) Corpus.Apps.names);
+  Alcotest.check Alcotest.bool "perfect apps" true (Report.Paper.case_study_perfect "APV");
+  Alcotest.check Alcotest.bool "xbmc not perfect" false (Report.Paper.case_study_perfect "XBMC")
+
+let test_figures_driver () =
+  let out = Report.Experiments.figures () in
+  Alcotest.check Alcotest.bool "facts pass" false (contains out "FAIL");
+  Alcotest.check Alcotest.bool "dot graph included" true (contains out "digraph")
+
+let test_case_study_driver () =
+  let out = Report.Experiments.case_study () in
+  Alcotest.check Alcotest.bool "sound everywhere" false (contains out "NO");
+  List.iter
+    (fun name -> Alcotest.check Alcotest.bool name true (contains out name))
+    Corpus.Apps.case_study_names
+
+let test_tables_drivers () =
+  (* Table drivers on a small slice: run the full corpus pipeline once
+     and check all 20 rows appear in both tables. *)
+  let runs = Report.Experiments.run_corpus () in
+  let t1 = Report.Experiments.table1 runs in
+  let t2 = Report.Experiments.table2 runs in
+  List.iter
+    (fun name ->
+      Alcotest.check Alcotest.bool ("t1 has " ^ name) true (contains t1 name);
+      Alcotest.check Alcotest.bool ("t2 has " ^ name) true (contains t2 name))
+    Corpus.Apps.names
+
+let test_ablations_driver () =
+  let out = Report.Experiments.ablations () in
+  Alcotest.check Alcotest.bool "has default row" true (contains out "default");
+  Alcotest.check Alcotest.bool "has baseline row" true (contains out "baseline")
+
+let suite =
+  [
+    Alcotest.test_case "table rendering" `Quick test_render_alignment;
+    Alcotest.test_case "cell formatting" `Quick test_cells;
+    Alcotest.test_case "paper values" `Quick test_paper_values;
+    Alcotest.test_case "figures driver" `Quick test_figures_driver;
+    Alcotest.test_case "case study driver" `Slow test_case_study_driver;
+    Alcotest.test_case "table drivers (full corpus)" `Slow test_tables_drivers;
+    Alcotest.test_case "ablations driver" `Slow test_ablations_driver;
+  ]

@@ -1,0 +1,103 @@
+(* Property: pretty-printing an ALite program and reparsing it yields a
+   structurally equal program. *)
+
+open QCheck
+
+let ident_gen =
+  (* keyword-free lowercase identifiers *)
+  Gen.map (Printf.sprintf "v%d") (Gen.int_range 0 20)
+
+let cls_ident_gen = Gen.map (Printf.sprintf "Cls%d") (Gen.int_range 0 8)
+
+let field_ident_gen = Gen.map (Printf.sprintf "fld%d") (Gen.int_range 0 8)
+
+let meth_ident_gen = Gen.map (Printf.sprintf "mth%d") (Gen.int_range 0 8)
+
+let res_ident_gen = Gen.map (Printf.sprintf "res%d") (Gen.int_range 0 8)
+
+let ty_gen = Gen.oneof [ Gen.return Jir.Ast.Tint; Gen.map (fun c -> Jir.Ast.Tclass c) cls_ident_gen ]
+
+let stmt_gen =
+  let open Gen in
+  oneof
+    [
+      map2 (fun x c -> Jir.Ast.New (x, c)) ident_gen cls_ident_gen;
+      map2 (fun x y -> Jir.Ast.Copy (x, y)) ident_gen ident_gen;
+      map3 (fun x y f -> Jir.Ast.Read_field (x, y, f)) ident_gen ident_gen field_ident_gen;
+      map3 (fun x f y -> Jir.Ast.Write_field (x, f, y)) ident_gen field_ident_gen ident_gen;
+      map2 (fun x r -> Jir.Ast.Read_layout_id (x, r)) ident_gen res_ident_gen;
+      map2 (fun x r -> Jir.Ast.Read_view_id (x, r)) ident_gen res_ident_gen;
+      map2 (fun x n -> Jir.Ast.Const_int (x, n)) ident_gen (int_range 0 100000);
+      map (fun x -> Jir.Ast.Const_null x) ident_gen;
+      map3 (fun x c y -> Jir.Ast.Cast (x, c, y)) ident_gen cls_ident_gen ident_gen;
+      map3
+        (fun lhs (recv, m) args -> Jir.Ast.Invoke (lhs, recv, m, args))
+        (opt ident_gen) (pair ident_gen meth_ident_gen) (list_size (int_range 0 3) ident_gen);
+      map (fun v -> Jir.Ast.Return v) (opt ident_gen);
+    ]
+
+let meth_gen =
+  let open Gen in
+  map3
+    (fun (name, params) (ret, locals) body ->
+      { Jir.Ast.m_name = name; m_params = params; m_ret = ret; m_locals = locals; m_body = body })
+    (pair meth_ident_gen (list_size (int_range 0 3) (pair ident_gen ty_gen)))
+    (pair (opt ty_gen) (list_size (int_range 0 2) (pair ident_gen ty_gen)))
+    (list_size (int_range 0 8) stmt_gen)
+
+(* Distinct parameter/local names are not required for the printer;
+   parsing does not dedup either, so duplicates still roundtrip. *)
+
+let cls_gen index =
+  let open Gen in
+  map3
+    (fun (kind, super) interfaces (fields, methods) ->
+      {
+        Jir.Ast.c_name = Printf.sprintf "Top%d" index;
+        c_kind = kind;
+        c_super = super;
+        c_interfaces = interfaces;
+        c_fields = fields;
+        c_methods = methods;
+      })
+    (pair (oneofl [ `Class; `Interface ]) (opt cls_ident_gen))
+    (list_size (int_range 0 2) cls_ident_gen)
+    (pair
+       (list_size (int_range 0 3) (pair field_ident_gen ty_gen))
+       (list_size (int_range 0 3) meth_gen))
+
+let program_gen =
+  let open Gen in
+  int_range 0 4 >>= fun n ->
+  map (fun classes -> { Jir.Ast.p_classes = classes }) (flatten_l (List.init n cls_gen))
+
+let program_arbitrary = make ~print:(fun p -> Jir.Pp.program_to_string p) program_gen
+
+let roundtrip =
+  Test.make ~name:"pp then parse is identity" ~count:300 program_arbitrary (fun program ->
+      let text = Jir.Pp.program_to_string program in
+      match Jir.Parser.parse_program_result text with
+      | Ok reparsed -> Jir.Ast.equal_program program reparsed
+      | Error e -> Test.fail_reportf "reparse failed: %s\n%s" e text)
+
+let double_print =
+  Test.make ~name:"printing is stable" ~count:200 program_arbitrary (fun program ->
+      let once = Jir.Pp.program_to_string program in
+      match Jir.Parser.parse_program_result once with
+      | Ok reparsed -> Jir.Pp.program_to_string reparsed = once
+      | Error e -> Test.fail_reportf "reparse failed: %s" e)
+
+let connectbot_roundtrip () =
+  let program = Jir.Parser.parse_program Corpus.Connectbot.source in
+  let text = Jir.Pp.program_to_string program in
+  match Jir.Parser.parse_program_result text with
+  | Ok reparsed ->
+      Alcotest.check Alcotest.bool "equal" true (Jir.Ast.equal_program program reparsed)
+  | Error e -> Alcotest.failf "reparse failed: %s" e
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest roundtrip;
+    QCheck_alcotest.to_alcotest double_print;
+    Alcotest.test_case "ConnectBot roundtrips" `Quick connectbot_roundtrip;
+  ]

@@ -1,0 +1,105 @@
+open Jir
+
+let platform = Framework.Api.platform_decls
+
+let no_external ~recv_ty:_ _ _ = None
+
+let env_of ?(external_return = no_external) ~owner src meth_name =
+  let program = Parser.parse_program src in
+  let hierarchy = Hierarchy.create ~platform program in
+  let cls = Option.get (Ast.find_class program owner) in
+  let m = List.find (fun (m : Ast.meth) -> m.m_name = meth_name) cls.c_methods in
+  Typing.infer ~hierarchy ~external_return ~owner m
+
+let check_ty env v expected =
+  Alcotest.check Alcotest.bool (Printf.sprintf "type of %s" v) true
+    (Typing.ty_of env v = expected)
+
+let test_this_and_params () =
+  let env = env_of ~owner:"C" "class C { method m(a: int, b: Button): void { } }" "m" in
+  check_ty env "this" (Some (Ast.Tclass "C"));
+  check_ty env "a" (Some Ast.Tint);
+  check_ty env "b" (Some (Ast.Tclass "Button"))
+
+let test_new_and_cast () =
+  let env =
+    env_of ~owner:"C" "class C { method m(): void { x = new Button(); y = (TextView) x; } }" "m"
+  in
+  check_ty env "x" (Some (Ast.Tclass "Button"));
+  check_ty env "y" (Some (Ast.Tclass "TextView"))
+
+let test_resource_ints () =
+  let env =
+    env_of ~owner:"C" "class C { method m(): void { a = R.layout.l; b = R.id.v; c = 3; } }" "m"
+  in
+  check_ty env "a" (Some Ast.Tint);
+  check_ty env "b" (Some Ast.Tint);
+  check_ty env "c" (Some Ast.Tint)
+
+let test_copy_chain () =
+  let env = env_of ~owner:"C" "class C { method m(): void { x = new Button(); y = x; z = y; } }" "m" in
+  check_ty env "z" (Some (Ast.Tclass "Button"))
+
+let test_field_type () =
+  let env =
+    env_of ~owner:"C" "class C { field f: TextView; method m(): void { x = this.f; } }" "m"
+  in
+  check_ty env "x" (Some (Ast.Tclass "TextView"))
+
+let test_app_call_return () =
+  let src =
+    "class C { method mk(): Button { x = new Button(); return x; } method m(): void { y = this.mk(); } }"
+  in
+  let env = env_of ~owner:"C" src "m" in
+  check_ty env "y" (Some (Ast.Tclass "Button"))
+
+let test_external_return () =
+  let env =
+    env_of ~external_return:Framework.Api.return_ty ~owner:"C"
+      "class C { method m(x: Button): void { v = x.findViewById(a); a = R.id.q; } }" "m"
+  in
+  check_ty env "v" (Some (Ast.Tclass "View"))
+
+let test_join_to_lcs () =
+  (* x is assigned Button and TextView along different statements: the
+     inferred type must be their least common superclass TextView. *)
+  let env =
+    env_of ~owner:"C"
+      "class C { method m(): void { x = new Button(); x = new TextView(); } }" "m"
+  in
+  check_ty env "x" (Some (Ast.Tclass "TextView"))
+
+let test_conflict_is_unknown () =
+  (* int vs reference: irreconcilable, must stay unknown (soundness of
+     CHA depends on it). *)
+  let env = env_of ~owner:"C" "class C { method m(): void { x = new Button(); x = 3; } }" "m" in
+  check_ty env "x" None
+
+let test_declared_wins () =
+  let env =
+    env_of ~owner:"C" "class C { method m(): void { var x: View; x = new Button(); } }" "m"
+  in
+  check_ty env "x" (Some (Ast.Tclass "View"))
+
+let test_lcs () =
+  let hierarchy = Hierarchy.create ~platform (Parser.parse_program "class C { }") in
+  let lcs = Typing.least_common_superclass hierarchy in
+  Alcotest.check Alcotest.(option string) "same" (Some "Button") (lcs "Button" "Button");
+  Alcotest.check Alcotest.(option string) "sub/super" (Some "TextView") (lcs "Button" "TextView");
+  Alcotest.check Alcotest.(option string) "siblings" (Some "View") (lcs "Button" "ImageView");
+  Alcotest.check Alcotest.(option string) "distant" (Some "Object") (lcs "Button" "Activity")
+
+let suite =
+  [
+    Alcotest.test_case "this and params" `Quick test_this_and_params;
+    Alcotest.test_case "new and cast" `Quick test_new_and_cast;
+    Alcotest.test_case "resource reads are ints" `Quick test_resource_ints;
+    Alcotest.test_case "copy chains" `Quick test_copy_chain;
+    Alcotest.test_case "field reads" `Quick test_field_type;
+    Alcotest.test_case "application call returns" `Quick test_app_call_return;
+    Alcotest.test_case "platform call returns" `Quick test_external_return;
+    Alcotest.test_case "join to least common superclass" `Quick test_join_to_lcs;
+    Alcotest.test_case "conflicting defs stay unknown" `Quick test_conflict_is_unknown;
+    Alcotest.test_case "declared types win" `Quick test_declared_wins;
+    Alcotest.test_case "least_common_superclass" `Quick test_lcs;
+  ]

@@ -1,0 +1,132 @@
+open Jir
+
+let platform = Framework.Api.platform_decls
+
+let diagnostics src = Wellformed.check ~platform (Parser.parse_program src)
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let has diags severity fragment =
+  List.exists
+    (fun (d : Wellformed.diagnostic) -> d.severity = severity && contains d.message fragment)
+    diags
+
+let test_clean () =
+  let diags = diagnostics "class C extends Activity { method onCreate(): void { x = new Button(); } }" in
+  Alcotest.check Alcotest.bool "clean" true (Wellformed.is_clean diags)
+
+let test_duplicate_class () =
+  Alcotest.check Alcotest.bool "dup class" true
+    (has (diagnostics "class A { } class A { }") Wellformed.Error "duplicate type")
+
+let test_unknown_super () =
+  Alcotest.check Alcotest.bool "unknown super warns" true
+    (has (diagnostics "class A extends Mystery { }") Wellformed.Warning "unknown supertype")
+
+let test_extends_interface () =
+  Alcotest.check Alcotest.bool "extends interface" true
+    (has (diagnostics "class A extends OnClickListener { }") Wellformed.Error "extends interface")
+
+let test_implements_class () =
+  Alcotest.check Alcotest.bool "implements class" true
+    (has (diagnostics "class A implements Button { }") Wellformed.Error "implements class")
+
+let test_cycle () =
+  Alcotest.check Alcotest.bool "cycle reported" true
+    (has
+       (diagnostics "class A extends B { } class B extends A { }")
+       Wellformed.Error "inheritance cycle")
+
+let test_duplicate_field () =
+  Alcotest.check Alcotest.bool "dup field" true
+    (has (diagnostics "class A { field f: int; field f: int; }") Wellformed.Error "duplicate field")
+
+let test_duplicate_method () =
+  Alcotest.check Alcotest.bool "dup method" true
+    (has
+       (diagnostics "class A { method m(): void { } method m(): void { } }")
+       Wellformed.Error "duplicate method")
+
+let test_overload_by_arity_ok () =
+  let diags = diagnostics "class A { method m(): void { } method m(x: int): void { } }" in
+  Alcotest.check Alcotest.bool "arity overload is fine" true (Wellformed.is_clean diags)
+
+let test_duplicate_param () =
+  Alcotest.check Alcotest.bool "dup param" true
+    (has
+       (diagnostics "class A { method m(x: int, x: int): void { } }")
+       Wellformed.Error "duplicate parameter")
+
+let test_this_redeclared () =
+  Alcotest.check Alcotest.bool "this param" true
+    (has
+       (diagnostics "class A { method m(this: int): void { } }")
+       Wellformed.Error "'this' cannot be redeclared")
+
+let test_undefined_variable () =
+  Alcotest.check Alcotest.bool "undefined use" true
+    (has
+       (diagnostics "class A { method m(): void { x = y; } }")
+       Wellformed.Error "used but never defined")
+
+let test_param_use_ok () =
+  let diags = diagnostics "class A { method m(y: int): void { x = y; } }" in
+  Alcotest.check Alcotest.bool "param use" true (Wellformed.is_clean diags)
+
+let test_return_value_in_void () =
+  Alcotest.check Alcotest.bool "value from void" true
+    (has
+       (diagnostics "class A { method m(): void { x = 1; return x; } }")
+       Wellformed.Error "value returned from a void method")
+
+let test_bare_return_warns () =
+  Alcotest.check Alcotest.bool "bare return" true
+    (has (diagnostics "class A { method m(): int { return; } }") Wellformed.Warning "bare return")
+
+let test_new_interface () =
+  Alcotest.check Alcotest.bool "new interface" true
+    (has
+       (diagnostics "class A { method m(): void { x = new OnClickListener(); } }")
+       Wellformed.Error "cannot instantiate interface")
+
+let test_unknown_new_warns () =
+  Alcotest.check Alcotest.bool "unknown new" true
+    (has
+       (diagnostics "class A { method m(): void { x = new Mystery(); } }")
+       Wellformed.Warning "unknown type")
+
+let test_errors_filter () =
+  let diags = diagnostics "class A extends Mystery { method m(): void { x = y; } }" in
+  let errors = Wellformed.errors diags in
+  Alcotest.check Alcotest.bool "errors subset" true (List.length errors < List.length diags);
+  Alcotest.check Alcotest.bool "not clean" false (Wellformed.is_clean diags)
+
+let test_connectbot_clean () =
+  let diags = diagnostics Corpus.Connectbot.source in
+  Alcotest.check Alcotest.bool "figure 1 is clean" true (Wellformed.is_clean diags)
+
+let suite =
+  [
+    Alcotest.test_case "clean program" `Quick test_clean;
+    Alcotest.test_case "duplicate class" `Quick test_duplicate_class;
+    Alcotest.test_case "unknown supertype warns" `Quick test_unknown_super;
+    Alcotest.test_case "extends interface" `Quick test_extends_interface;
+    Alcotest.test_case "implements class" `Quick test_implements_class;
+    Alcotest.test_case "inheritance cycle" `Quick test_cycle;
+    Alcotest.test_case "duplicate field" `Quick test_duplicate_field;
+    Alcotest.test_case "duplicate method" `Quick test_duplicate_method;
+    Alcotest.test_case "arity overloading allowed" `Quick test_overload_by_arity_ok;
+    Alcotest.test_case "duplicate parameter" `Quick test_duplicate_param;
+    Alcotest.test_case "this redeclaration" `Quick test_this_redeclared;
+    Alcotest.test_case "undefined variable" `Quick test_undefined_variable;
+    Alcotest.test_case "parameter use is defined" `Quick test_param_use_ok;
+    Alcotest.test_case "return value in void method" `Quick test_return_value_in_void;
+    Alcotest.test_case "bare return in non-void warns" `Quick test_bare_return_warns;
+    Alcotest.test_case "instantiating an interface" `Quick test_new_interface;
+    Alcotest.test_case "unknown class in new warns" `Quick test_unknown_new_warns;
+    Alcotest.test_case "errors filter" `Quick test_errors_filter;
+    Alcotest.test_case "Figure 1 program is clean" `Quick test_connectbot_clean;
+  ]

@@ -1,0 +1,50 @@
+let test_fifo () =
+  let w = Util.Worklist.create () in
+  Util.Worklist.add_all w [ 1; 2; 3 ];
+  Alcotest.check Alcotest.(option int) "first" (Some 1) (Util.Worklist.pop w);
+  Alcotest.check Alcotest.(option int) "second" (Some 2) (Util.Worklist.pop w);
+  Alcotest.check Alcotest.(option int) "third" (Some 3) (Util.Worklist.pop w);
+  Alcotest.check Alcotest.(option int) "empty" None (Util.Worklist.pop w)
+
+let test_dedup () =
+  let w = Util.Worklist.create () in
+  Util.Worklist.add w 5;
+  Util.Worklist.add w 5;
+  Alcotest.check Alcotest.int "one pending" 1 (Util.Worklist.length w);
+  ignore (Util.Worklist.pop w);
+  (* once popped, the element may be re-added *)
+  Util.Worklist.add w 5;
+  Alcotest.check Alcotest.int "re-addable after pop" 1 (Util.Worklist.length w)
+
+let test_is_empty () =
+  let w = Util.Worklist.create () in
+  Alcotest.check Alcotest.bool "fresh empty" true (Util.Worklist.is_empty w);
+  Util.Worklist.add w 0;
+  Alcotest.check Alcotest.bool "non-empty" false (Util.Worklist.is_empty w)
+
+let test_drain_with_additions () =
+  let w = Util.Worklist.create () in
+  Util.Worklist.add w 0;
+  let seen = ref [] in
+  Util.Worklist.drain w (fun x ->
+      seen := x :: !seen;
+      if x < 5 then Util.Worklist.add w (x + 1));
+  Alcotest.check (Alcotest.list Alcotest.int) "drained transitively" [ 0; 1; 2; 3; 4; 5 ]
+    (List.rev !seen);
+  Alcotest.check Alcotest.bool "empty after drain" true (Util.Worklist.is_empty w)
+
+let test_structural_keys () =
+  let w = Util.Worklist.create () in
+  Util.Worklist.add w (1, "a");
+  Util.Worklist.add w (1, "a");
+  Util.Worklist.add w (1, "b");
+  Alcotest.check Alcotest.int "structural dedup" 2 (Util.Worklist.length w)
+
+let suite =
+  [
+    Alcotest.test_case "fifo order" `Quick test_fifo;
+    Alcotest.test_case "dedup while pending" `Quick test_dedup;
+    Alcotest.test_case "is_empty" `Quick test_is_empty;
+    Alcotest.test_case "drain with additions" `Quick test_drain_with_additions;
+    Alcotest.test_case "structural keys" `Quick test_structural_keys;
+  ]
