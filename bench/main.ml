@@ -19,6 +19,8 @@ let print_reproduction () =
   print_newline ();
   print_endline (Report.Experiments.table2 runs);
   print_newline ();
+  print_endline (Report.Experiments.solver_stats runs);
+  print_newline ();
   print_endline (Report.Experiments.case_study ());
   print_newline ();
   print_endline (Report.Experiments.ablations ());
@@ -79,6 +81,18 @@ let tests () =
       (Staged.stage
          (let r = Gator.Analysis.analyze connectbot in
           fun () -> Fmt.str "%a" Gator.Graph.pp_dot r.Gator.Analysis.graph));
+    (* Solver engines head to head on the largest app: same extracted
+       graph, naive re-iteration vs delta scheduling *)
+    Test.make ~name:"analysis/naive(XBMC)"
+      (Staged.stage
+         (let graph = Gator.Extract.run Gator.Config.default xbmc in
+          let config = { Gator.Config.default with solver = Gator.Config.Naive } in
+          fun () -> Gator.Solve.run config xbmc graph));
+    Test.make ~name:"analysis/delta(XBMC)"
+      (Staged.stage
+         (let graph = Gator.Extract.run Gator.Config.default xbmc in
+          let config = { Gator.Config.default with solver = Gator.Config.Delta } in
+          fun () -> Gator.Solve.run config xbmc graph));
     (* Ablations: each knob on the XBMC outlier *)
     config_bench "ablation/default(XBMC)" Gator.Config.default xbmc;
     config_bench "ablation/no-cast-filter(XBMC)"
@@ -92,6 +106,50 @@ let tests () =
       { Gator.Config.default with inline_depth = 2 }
       xbmc;
   ]
+
+(* Machine-readable results: per-test median nanoseconds plus the
+   solver work counters, for regression tracking across commits. *)
+let write_json_results rows =
+  let solver_counters =
+    let app = app_named "XBMC" in
+    List.map
+      (fun solver ->
+        let config = { Gator.Config.default with solver } in
+        let row = Gator.Metrics.solver_stats (Gator.Analysis.analyze ~config app) in
+        Util.Json.Obj
+          [
+            ("app", Util.Json.String row.Gator.Metrics.sv_app);
+            ("solver", Util.Json.String row.sv_solver);
+            ("ops", Util.Json.Int row.sv_ops);
+            ("iterations", Util.Json.Int row.sv_iterations);
+            ("op_applications", Util.Json.Int row.sv_op_applications);
+            ("naive_equivalent", Util.Json.Int row.sv_naive_equivalent);
+            ("propagations", Util.Json.Int row.sv_propagations);
+            ("delta_pushes", Util.Json.Int row.sv_delta_pushes);
+            ("desc_cache_hits", Util.Json.Int row.sv_desc_hits);
+            ("desc_cache_misses", Util.Json.Int row.sv_desc_misses);
+          ])
+      [ Gator.Config.Naive; Gator.Config.Delta ]
+  in
+  let json =
+    Util.Json.Obj
+      [
+        ( "benchmarks",
+          Util.Json.List
+            (List.map
+               (fun (name, nanos) ->
+                 Util.Json.Obj
+                   [ ("name", Util.Json.String name); ("nanos", Util.Json.Float nanos) ])
+               rows) );
+        ("solver_stats", Util.Json.List solver_counters);
+      ]
+  in
+  let path = "BENCH_results.json" in
+  let oc = open_out path in
+  output_string oc (Util.Json.to_string ~pretty:true json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nWrote %s\n" path
 
 let run_benchmarks () =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
@@ -119,7 +177,8 @@ let run_benchmarks () =
         else Printf.sprintf "%8.3f us" (nanos /. 1e3)
       in
       Printf.printf "  %-45s %s\n" name pretty)
-    rows
+    rows;
+  write_json_results rows
 
 let () =
   print_reproduction ();

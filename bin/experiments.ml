@@ -9,6 +9,10 @@ let run_table2 () =
   let runs = Report.Experiments.run_corpus () in
   print_endline (Report.Experiments.table2 runs)
 
+let run_solverstats () =
+  let runs = Report.Experiments.run_corpus () in
+  print_endline (Report.Experiments.solver_stats runs)
+
 let run_casestudy () = print_endline (Report.Experiments.case_study ())
 
 let run_figures () = print_endline (Report.Experiments.figures ())
@@ -24,6 +28,8 @@ let run_all () =
   print_endline (Report.Experiments.table1 runs);
   print_newline ();
   print_endline (Report.Experiments.table2 runs);
+  print_newline ();
+  print_endline (Report.Experiments.solver_stats runs);
   print_newline ();
   print_endline (Report.Experiments.case_study ());
   print_newline ();
@@ -49,6 +55,8 @@ let () =
     [
       simple "table1" "Table 1: app features and constraint-graph populations." run_table1;
       simple "table2" "Table 2: analysis time and average solution sizes." run_table2;
+      simple "solverstats" "Solver work counters: delta scheduling vs naive re-iteration."
+        run_solverstats;
       simple "casestudy" "Section 5 precision case study against the dynamic oracle." run_casestudy;
       simple "figures" "Figures 1/3/4: ConnectBot facts and constraint graph." run_figures;
       simple "ablations" "Precision impact of disabling each refinement." run_ablations;

@@ -201,9 +201,10 @@ let pp_summary ppf t =
   let inflated = List.length (Graph.inflated_views t.graph) in
   Fmt.pf ppf
     "@[<v>app %s: %d ops, %d allocation sites, %d inflated views,@ %d locations, %d flow edges,@ \
-     solved in %d rounds (%d propagations, %.3fs)@]"
+     solved in %d rounds (%d op applications, %d propagations, %.3fs)@]"
     t.app.Framework.App.name op_count
     (List.length (Graph.allocs t.graph))
     inflated
     (List.length (Graph.locations t.graph))
-    (Graph.edge_count t.graph) t.stats.Solve.iterations t.stats.Solve.propagations t.solve_seconds
+    (Graph.edge_count t.graph) t.stats.Solve.iterations t.stats.Solve.op_applications
+    t.stats.Solve.propagations t.solve_seconds

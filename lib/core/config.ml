@@ -1,3 +1,7 @@
+type solver = Naive | Delta
+
+let solver_name = function Naive -> "naive" | Delta -> "delta"
+
 type t = {
   cast_filtering : bool;
   findone_refinement : bool;
@@ -5,6 +9,7 @@ type t = {
   model_dialogs : bool;
   inline_depth : int;
   max_iterations : int;
+  solver : solver;
 }
 
 let default =
@@ -15,6 +20,7 @@ let default =
     model_dialogs = true;
     inline_depth = 0;
     max_iterations = 1000;
+    solver = Delta;
   }
 
 let baseline =
@@ -25,4 +31,5 @@ let baseline =
     model_dialogs = false;
     inline_depth = 0;
     max_iterations = 1000;
+    solver = Delta;
   }

@@ -5,6 +5,14 @@
     switch exists for the ablation benchmarks documented in
     DESIGN.md. *)
 
+(** Fixed-point engine selection.  Both compute the same solution;
+    [Naive] re-applies every operation against full sets each round,
+    [Delta] (the default) schedules only ops whose inputs grew, via the
+    graph's dependency index and per-node delta sets. *)
+type solver = Naive | Delta
+
+val solver_name : solver -> string
+
 type t = {
   cast_filtering : bool;
       (** Drop abstract objects that cannot pass a [(C) x] cast.  The
@@ -29,6 +37,7 @@ type t = {
           context sensitivity as the cure for the XBMC receivers
           outlier — see the ablation benches. *)
   max_iterations : int;  (** fixed-point safety valve *)
+  solver : solver;  (** fixed-point engine; results are identical *)
 }
 
 val default : t

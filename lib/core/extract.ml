@@ -192,6 +192,10 @@ let seed_dialog_callbacks (app : Framework.App.t) graph =
     (Graph.allocs graph)
 
 let run config (app : Framework.App.t) =
+  (* Clone names must be deterministic per extraction, not per process:
+     two runs over the same app (e.g. the naive/delta equivalence
+     tests, or Diff) must name inlined variables identically. *)
+  clone_counter := 0;
   let graph = Graph.create () in
   List.iter
     (fun (cls : Jir.Ast.cls) ->

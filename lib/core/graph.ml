@@ -7,13 +7,15 @@ end)
 module View_set = Set.Make (struct
   type t = Node.view_abs
 
-  let compare = Stdlib.compare
+  let compare = Node.compare_view
 end)
 
 module Listener_set = Set.Make (struct
   type t = Node.listener_abs * string
 
-  let compare = Stdlib.compare
+  let compare (l1, i1) (l2, i2) =
+    let c = Node.compare_listener l1 l2 in
+    if c <> 0 then c else String.compare i1 i2
 end)
 
 module Int_set = Set.Make (Int)
@@ -24,17 +26,47 @@ type edge_kind = E_direct | E_cast of string
 
 type op = { site : Node.op_site; op_recv : Node.t; op_args : Node.t list; op_out : Node.t option }
 
+(* Dependency index for the delta solver: which ops read a given
+   points-to set, and which ops read each view relation.  Built once
+   from the (static) op list. *)
+type dep_index = {
+  di_node : (Node.t, op list) Hashtbl.t;  (** recv/arg node -> ops reading it *)
+  di_children : op list;  (** ops reading the parent/child relation *)
+  di_ids : op list;  (** ops reading view=>id associations *)
+  di_roots : op list;  (** ops reading holder=>root associations *)
+}
+
+(* Which view relations grew since the last [take_rel_changes]. *)
+type rel_changes = {
+  rc_children : bool;
+  rc_ids : bool;
+  rc_roots : bool;
+  rc_onclick : bool;
+  rc_fragments : bool;
+}
+
 type t = {
   edges : (Node.t, (edge_kind * Node.t) list) Hashtbl.t;
   edge_seen : (Node.t * edge_kind * Node.t, unit) Hashtbl.t;
   mutable edge_total : int;
   seed_tbl : (Node.t, VS.t) Hashtbl.t;
   sets : (Node.t, VS.t) Hashtbl.t;
+  delta_tbl : (Node.t, Node.value list) Hashtbl.t;
+      (** values added since the node's last drain, newest first; a
+          list because [add_value] already guarantees uniqueness *)
+  mutable track_deltas : bool;  (** delta bookkeeping on (delta solver only) *)
   mutable op_list : op list;  (** reversed creation order *)
+  mutable dep_index : dep_index option;  (** lazily built, invalidated by [fresh_op] *)
   mutable alloc_list : Node.alloc_site list;  (** reversed creation order *)
+  alloc_seen : (Node.alloc_site, unit) Hashtbl.t;
   children_tbl : (Node.view_abs, View_set.t) Hashtbl.t;
   parents_tbl : (Node.view_abs, View_set.t) Hashtbl.t;
+  desc_cache : (Node.view_abs, View_set.t) Hashtbl.t;
+      (** memoized strict descendants closures, invalidated by [add_child] *)
+  mutable desc_hits : int;
+  mutable desc_misses : int;
   ids_tbl : (Node.view_abs, Int_set.t) Hashtbl.t;
+  views_by_id_tbl : (int, View_set.t) Hashtbl.t;  (** reverse of [ids_tbl] *)
   roots_tbl : (Node.holder, View_set.t) Hashtbl.t;
   listeners_tbl : (Node.view_abs, Listener_set.t) Hashtbl.t;
   root_layout_tbl : (Node.view_abs, Int_set.t) Hashtbl.t;
@@ -42,6 +74,11 @@ type t = {
   transitions_tbl : (string * string, unit) Hashtbl.t;  (** activity transition edges *)
   onclick_tbl : (Node.view_abs, String_set.t) Hashtbl.t;  (** android:onClick handler names *)
   declared_fragments_tbl : (Node.view_abs, String_set.t) Hashtbl.t;  (** <fragment> classes *)
+  mutable rc_children : bool;
+  mutable rc_ids : bool;
+  mutable rc_roots : bool;
+  mutable rc_onclick : bool;
+  mutable rc_fragments : bool;
 }
 
 let create () =
@@ -51,11 +88,19 @@ let create () =
     edge_total = 0;
     seed_tbl = Hashtbl.create 128;
     sets = Hashtbl.create 256;
+    delta_tbl = Hashtbl.create 256;
+    track_deltas = false;
     op_list = [];
+    dep_index = None;
     alloc_list = [];
+    alloc_seen = Hashtbl.create 64;
     children_tbl = Hashtbl.create 64;
     parents_tbl = Hashtbl.create 64;
+    desc_cache = Hashtbl.create 64;
+    desc_hits = 0;
+    desc_misses = 0;
     ids_tbl = Hashtbl.create 64;
+    views_by_id_tbl = Hashtbl.create 64;
     roots_tbl = Hashtbl.create 16;
     listeners_tbl = Hashtbl.create 32;
     root_layout_tbl = Hashtbl.create 16;
@@ -63,18 +108,27 @@ let create () =
     transitions_tbl = Hashtbl.create 16;
     onclick_tbl = Hashtbl.create 16;
     declared_fragments_tbl = Hashtbl.create 16;
+    rc_children = false;
+    rc_ids = false;
+    rc_roots = false;
+    rc_onclick = false;
+    rc_fragments = false;
   }
 
 (* Idempotent per site: inlined clones of a statement denote the same
    allocation abstraction. *)
 let fresh_alloc t ~cls ~site =
   let alloc = { Node.a_site = site; a_cls = cls } in
-  if not (List.mem alloc t.alloc_list) then t.alloc_list <- alloc :: t.alloc_list;
+  if not (Hashtbl.mem t.alloc_seen alloc) then begin
+    Hashtbl.add t.alloc_seen alloc ();
+    t.alloc_list <- alloc :: t.alloc_list
+  end;
   alloc
 
 let fresh_op t ~kind ~site ~recv ~args ~out =
   let op = { site = { Node.o_site = site; o_kind = kind }; op_recv = recv; op_args = args; op_out = out } in
   t.op_list <- op :: t.op_list;
+  t.dep_index <- None;
   op
 
 let add_edge t ?(kind = E_direct) src dst =
@@ -94,11 +148,31 @@ let set_of t node = Option.value (Hashtbl.find_opt t.sets node) ~default:VS.empt
 
 let add_value t node value =
   let existing = set_of t node in
-  if VS.mem value existing then false
+  (* [Set.add] returns the argument physically when the element is
+     already present: one traversal does membership test and insert. *)
+  let updated = VS.add value existing in
+  if updated == existing then false
   else begin
-    Hashtbl.replace t.sets node (VS.add value existing);
+    Hashtbl.replace t.sets node updated;
+    if t.track_deltas then begin
+      let d = Option.value (Hashtbl.find_opt t.delta_tbl node) ~default:[] in
+      Hashtbl.replace t.delta_tbl node (value :: d)
+    end;
     true
   end
+
+let set_track_deltas t flag = t.track_deltas <- flag
+
+let delta_of t node = Option.value (Hashtbl.find_opt t.delta_tbl node) ~default:[]
+
+(* Consume a node's delta: the caller commits to having pushed every
+   returned value, so the slate is wiped for the next round. *)
+let take_delta t node =
+  match Hashtbl.find_opt t.delta_tbl node with
+  | None -> []
+  | Some d ->
+      Hashtbl.remove t.delta_tbl node;
+      d
 
 let views_of t node =
   VS.fold
@@ -111,34 +185,72 @@ let seeds t = Hashtbl.fold (fun node vs acc -> (node, vs) :: acc) t.seed_tbl []
 
 let reset_sets t =
   Hashtbl.reset t.sets;
+  Hashtbl.reset t.delta_tbl;
+  t.track_deltas <- false;
   Hashtbl.reset t.children_tbl;
   Hashtbl.reset t.parents_tbl;
+  Hashtbl.reset t.desc_cache;
+  t.desc_hits <- 0;
+  t.desc_misses <- 0;
   Hashtbl.reset t.ids_tbl;
+  Hashtbl.reset t.views_by_id_tbl;
   Hashtbl.reset t.roots_tbl;
   Hashtbl.reset t.listeners_tbl;
   Hashtbl.reset t.root_layout_tbl;
   Hashtbl.reset t.inflations;
   Hashtbl.reset t.transitions_tbl;
   Hashtbl.reset t.onclick_tbl;
-  Hashtbl.reset t.declared_fragments_tbl
+  Hashtbl.reset t.declared_fragments_tbl;
+  t.rc_children <- false;
+  t.rc_ids <- false;
+  t.rc_roots <- false;
+  t.rc_onclick <- false;
+  t.rc_fragments <- false
 
 (* Generic set-valued relation update returning whether it grew. *)
 let add_to_set_tbl (type s elt) (module S : Set.S with type t = s and type elt = elt) tbl key v =
   let existing = Option.value (Hashtbl.find_opt tbl key) ~default:S.empty in
-  if S.mem v existing then false
+  let updated = S.add v existing in
+  if updated == existing then false
   else begin
-    Hashtbl.replace tbl key (S.add v existing);
+    Hashtbl.replace tbl key updated;
     true
   end
-
-let add_child t ~parent ~child =
-  let grew = add_to_set_tbl (module View_set) t.children_tbl parent child in
-  if grew then ignore (add_to_set_tbl (module View_set) t.parents_tbl child parent);
-  grew
 
 let children_of t view = Option.value (Hashtbl.find_opt t.children_tbl view) ~default:View_set.empty
 
 let parents_of t view = Option.value (Hashtbl.find_opt t.parents_tbl view) ~default:View_set.empty
+
+(* Reflexive upward closure over the parent relation (cycle-safe). *)
+let ancestors t view =
+  let visited = ref (View_set.singleton view) in
+  let queue = Queue.create () in
+  Queue.add view queue;
+  while not (Queue.is_empty queue) do
+    let current = Queue.take queue in
+    View_set.iter
+      (fun parent ->
+        if not (View_set.mem parent !visited) then begin
+          visited := View_set.add parent !visited;
+          Queue.add parent queue
+        end)
+      (parents_of t current)
+  done;
+  !visited
+
+let add_child t ~parent ~child =
+  let grew = add_to_set_tbl (module View_set) t.children_tbl parent child in
+  if grew then begin
+    ignore (add_to_set_tbl (module View_set) t.parents_tbl child parent);
+    t.rc_children <- true;
+    (* Exactly the views whose descendant closure can now reach [child]
+       are [parent] and the views above it; drop their cached closures.
+       (The edge cannot create new paths *to* [parent], so the ancestor
+       set read here is the same before and after the insertion.) *)
+    if Hashtbl.length t.desc_cache > 0 then
+      View_set.iter (fun v -> Hashtbl.remove t.desc_cache v) (ancestors t parent)
+  end;
+  grew
 
 let descendants t ~include_self view =
   let visited = ref (if include_self then View_set.singleton view else View_set.empty) in
@@ -156,11 +268,42 @@ let descendants t ~include_self view =
   done;
   !visited
 
-let add_view_id t view id = add_to_set_tbl (module Int_set) t.ids_tbl view id
+(* Memoized variant of [descendants].  The cache stores the *strict*
+   closure (views reachable through at least one child edge, which under
+   cycles may include [view] itself); both reflexive and strict results
+   derive from it, matching [descendants] exactly. *)
+let descendants_cached t ~include_self view =
+  let strict =
+    match Hashtbl.find_opt t.desc_cache view with
+    | Some s ->
+        t.desc_hits <- t.desc_hits + 1;
+        s
+    | None ->
+        t.desc_misses <- t.desc_misses + 1;
+        let s = descendants t ~include_self:false view in
+        Hashtbl.replace t.desc_cache view s;
+        s
+  in
+  if include_self then View_set.add view strict else strict
+
+let desc_cache_counters t = (t.desc_hits, t.desc_misses)
+
+let add_view_id t view id =
+  let grew = add_to_set_tbl (module Int_set) t.ids_tbl view id in
+  if grew then begin
+    ignore (add_to_set_tbl (module View_set) t.views_by_id_tbl id view);
+    t.rc_ids <- true
+  end;
+  grew
 
 let ids_of_view t view = Option.value (Hashtbl.find_opt t.ids_tbl view) ~default:Int_set.empty
 
-let add_holder_root t holder root = add_to_set_tbl (module View_set) t.roots_tbl holder root
+let views_by_id t id = Option.value (Hashtbl.find_opt t.views_by_id_tbl id) ~default:View_set.empty
+
+let add_holder_root t holder root =
+  let grew = add_to_set_tbl (module View_set) t.roots_tbl holder root in
+  if grew then t.rc_roots <- true;
+  grew
 
 let roots_of_holder t holder = Option.value (Hashtbl.find_opt t.roots_tbl holder) ~default:View_set.empty
 
@@ -179,15 +322,22 @@ let add_root_layout t view id = add_to_set_tbl (module Int_set) t.root_layout_tb
 let layouts_of_root t view =
   Option.value (Hashtbl.find_opt t.root_layout_tbl view) ~default:Int_set.empty
 
-let add_onclick t view handler = add_to_set_tbl (module String_set) t.onclick_tbl view handler
+let add_onclick t view handler =
+  let grew = add_to_set_tbl (module String_set) t.onclick_tbl view handler in
+  if grew then t.rc_onclick <- true;
+  grew
 
 let onclicks_of t view =
   match Hashtbl.find_opt t.onclick_tbl view with
   | Some s -> String_set.elements s
   | None -> []
 
+let views_with_onclick t = Hashtbl.fold (fun v _ acc -> v :: acc) t.onclick_tbl []
+
 let add_declared_fragment t view cls =
-  add_to_set_tbl (module String_set) t.declared_fragments_tbl view cls
+  let grew = add_to_set_tbl (module String_set) t.declared_fragments_tbl view cls in
+  if grew then t.rc_fragments <- true;
+  grew
 
 let declared_fragments_of t view =
   match Hashtbl.find_opt t.declared_fragments_tbl view with
@@ -212,9 +362,81 @@ let record_inflation t ~site ~layout views = Hashtbl.replace t.inflations (site,
 
 let inflated_views t = Hashtbl.fold (fun _ views acc -> views @ acc) t.inflations []
 
+let take_rel_changes t =
+  let c : rel_changes =
+    {
+      rc_children = t.rc_children;
+      rc_ids = t.rc_ids;
+      rc_roots = t.rc_roots;
+      rc_onclick = t.rc_onclick;
+      rc_fragments = t.rc_fragments;
+    }
+  in
+  t.rc_children <- false;
+  t.rc_ids <- false;
+  t.rc_roots <- false;
+  t.rc_onclick <- false;
+  t.rc_fragments <- false;
+  c
+
 let ops t = List.rev t.op_list
 
 let allocs t = List.rev t.alloc_list
+
+(* Which relations an op's [apply] consults beyond its recv/arg sets:
+   FindView resolves ids over holder roots and their descendants;
+   FindOne/GetParent walk the hierarchy; SetListener re-injects handler
+   flows over the receiver's children (list-item propagation);
+   FragmentAdd resolves container ids over roots and hierarchies. *)
+let reads_children op =
+  match op.site.Node.o_kind with
+  | Framework.Api.Find_view | Find_one _ | Get_parent | Set_listener _ | Fragment_add -> true
+  | _ -> false
+
+let reads_ids op =
+  match op.site.Node.o_kind with Framework.Api.Find_view | Fragment_add -> true | _ -> false
+
+let reads_roots op =
+  match op.site.Node.o_kind with Framework.Api.Find_view | Fragment_add -> true | _ -> false
+
+let dep_index t =
+  match t.dep_index with
+  | Some di -> di
+  | None ->
+      let di_node = Hashtbl.create 256 in
+      let note node op =
+        let existing = Option.value (Hashtbl.find_opt di_node node) ~default:[] in
+        Hashtbl.replace di_node node (op :: existing)
+      in
+      let children = ref [] and ids = ref [] and roots = ref [] in
+      List.iter
+        (fun op ->
+          note op.op_recv op;
+          List.iter (fun arg -> note arg op) op.op_args;
+          if reads_children op then children := op :: !children;
+          if reads_ids op then ids := op :: !ids;
+          if reads_roots op then roots := op :: !roots)
+        (ops t);
+      Hashtbl.filter_map_inplace (fun _ l -> Some (List.rev l)) di_node;
+      let di =
+        {
+          di_node;
+          di_children = List.rev !children;
+          di_ids = List.rev !ids;
+          di_roots = List.rev !roots;
+        }
+      in
+      t.dep_index <- Some di;
+      di
+
+let ops_reading t node =
+  Option.value (Hashtbl.find_opt (dep_index t).di_node node) ~default:[]
+
+let ops_reading_children t = (dep_index t).di_children
+
+let ops_reading_ids t = (dep_index t).di_ids
+
+let ops_reading_roots t = (dep_index t).di_roots
 
 let locations t =
   let seen = Hashtbl.create 256 in

@@ -29,6 +29,15 @@ type op = {
   op_out : Node.t option;
 }
 
+(** Which view relations grew since the last {!take_rel_changes}. *)
+type rel_changes = {
+  rc_children : bool;
+  rc_ids : bool;
+  rc_roots : bool;
+  rc_onclick : bool;
+  rc_fragments : bool;
+}
+
 type t
 
 val create : unit -> t
@@ -60,6 +69,20 @@ val add_value : t -> Node.t -> Node.value -> bool
 
 val set_of : t -> Node.t -> VS.t
 
+val set_track_deltas : t -> bool -> unit
+(** Enable or disable per-node delta bookkeeping.  When on, every value
+    admitted by {!add_value} is also recorded in the node's delta
+    until the next {!take_delta}.  Off by default; the delta solver
+    turns it on after {!reset_sets}. *)
+
+val delta_of : t -> Node.t -> Node.value list
+
+val take_delta : t -> Node.t -> Node.value list
+(** Consume a node's delta: returns the values added since the last
+    call (newest first, no duplicates — {!add_value} admits each value
+    once) and clears the slate.  Only meaningful under
+    {!set_track_deltas}. *)
+
 val views_of : t -> Node.t -> Node.view_abs list
 
 val succs : t -> Node.t -> (edge_kind * Node.t) list
@@ -81,9 +104,25 @@ val parents_of : t -> Node.view_abs -> View_set.t
 val descendants : t -> include_self:bool -> Node.view_abs -> View_set.t
 (** Reflexive-or-strict transitive closure of parent-child, by BFS. *)
 
+val descendants_cached : t -> include_self:bool -> Node.view_abs -> View_set.t
+(** Memoized {!descendants}: caches the strict closure per view and
+    invalidates the view's ancestors' entries when {!add_child} inserts
+    a new edge.  Result is identical to {!descendants}. *)
+
+val ancestors : t -> Node.view_abs -> View_set.t
+(** Reflexive upward closure over the parent relation. *)
+
+val desc_cache_counters : t -> int * int
+(** (hits, misses) of the {!descendants_cached} memo table. *)
+
 val add_view_id : t -> Node.view_abs -> int -> bool
 
 val ids_of_view : t -> Node.view_abs -> Int_set.t
+
+val views_by_id : t -> int -> View_set.t
+(** Reverse id index: every view carrying [id].  Lets FINDVIEW rules
+    intersect a (typically tiny) candidate set with a hierarchy closure
+    instead of filtering the whole closure by id. *)
 
 val add_holder_root : t -> Node.holder -> Node.view_abs -> bool
 
@@ -107,12 +146,19 @@ val add_onclick : t -> Node.view_abs -> string -> bool
 
 val onclicks_of : t -> Node.view_abs -> string list
 
+val views_with_onclick : t -> Node.view_abs list
+(** Views carrying at least one declarative handler — lets the solver
+    iterate handlers directly instead of scanning whole hierarchies. *)
+
 val add_declared_fragment : t -> Node.view_abs -> string -> bool
 (** Fragment class declared by a [<fragment>] placeholder node. *)
 
 val declared_fragments_of : t -> Node.view_abs -> string list
 
 val views_with_declared_fragments : t -> Node.view_abs list
+
+val take_rel_changes : t -> rel_changes
+(** Which relations grew since the previous call; clears the flags. *)
 
 val add_transition : t -> from_:string -> to_:string -> bool
 (** Activity-transition edge (extension: STARTACTIVITY). *)
@@ -132,6 +178,21 @@ val inflated_views : t -> Node.view_abs list
 
 val ops : t -> op list
 (** In creation order. *)
+
+(** {1 Dependency index (delta solver)}
+
+    Built lazily from the static op list; maps each location and each
+    view relation to the ops that read it, so the solver can schedule
+    exactly the ops whose inputs grew. *)
+
+val ops_reading : t -> Node.t -> op list
+(** Ops with [node] as receiver or argument, in creation order. *)
+
+val ops_reading_children : t -> op list
+
+val ops_reading_ids : t -> op list
+
+val ops_reading_roots : t -> op list
 
 val allocs : t -> Node.alloc_site list
 

@@ -15,6 +15,19 @@ type table1_row = {
   t1_setlistener_ops : int;
 }
 
+type solver_row = {
+  sv_app : string;
+  sv_solver : string;
+  sv_ops : int;
+  sv_iterations : int;
+  sv_op_applications : int;
+  sv_naive_equivalent : int;  (** iterations * |ops| — what the naive loop would apply *)
+  sv_propagations : int;
+  sv_delta_pushes : int;
+  sv_desc_hits : int;
+  sv_desc_misses : int;
+}
+
 type table2_row = {
   t2_app : string;
   t2_seconds : float;
@@ -98,6 +111,22 @@ let produces_views = function
   | Framework.Api.Set_listener _ | Framework.Api.Start_activity | Framework.Api.Pass_through
   | Framework.Api.Fragment_add | Framework.Api.Menu_add | Framework.Api.Set_adapter ->
       false
+
+let solver_stats (r : Analysis.t) =
+  let stats = r.stats in
+  let op_count = List.length (Graph.ops r.graph) in
+  {
+    sv_app = r.app.Framework.App.name;
+    sv_solver = Config.solver_name r.config.Config.solver;
+    sv_ops = op_count;
+    sv_iterations = stats.Solve.iterations;
+    sv_op_applications = stats.Solve.op_applications;
+    sv_naive_equivalent = stats.Solve.iterations * op_count;
+    sv_propagations = stats.Solve.propagations;
+    sv_delta_pushes = stats.Solve.delta_pushes;
+    sv_desc_hits = stats.Solve.desc_cache_hits;
+    sv_desc_misses = stats.Solve.desc_cache_misses;
+  }
 
 let table2 (r : Analysis.t) =
   let ops = Graph.ops r.graph in

@@ -32,9 +32,27 @@ type table2_row = {
   t2_listeners : float option;  (** avg listeners reaching a SetListener op *)
 }
 
+(** Solver work counters for one analyzed app — the evidence that the
+    delta engine does strictly less work than naive re-iteration. *)
+type solver_row = {
+  sv_app : string;
+  sv_solver : string;  (** "naive" or "delta" *)
+  sv_ops : int;
+  sv_iterations : int;
+  sv_op_applications : int;
+  sv_naive_equivalent : int;
+      (** iterations * |ops| — what the naive loop would apply *)
+  sv_propagations : int;
+  sv_delta_pushes : int;
+  sv_desc_hits : int;
+  sv_desc_misses : int;
+}
+
 val table1 : Analysis.t -> table1_row
 
 val table2 : Analysis.t -> table2_row
+
+val solver_stats : Analysis.t -> solver_row
 
 val avg : int list -> float option
 (** Mean of the positive entries; [None] when there are none.

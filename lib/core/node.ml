@@ -79,13 +79,109 @@ let declared_fragment_site cls (i : infl_site) =
 
 let view_of_value = function V_view v -> Some v | _ -> None
 
-let compare = Stdlib.compare
+(* Explicit comparisons for everything the solver keys sets and tables
+   on.  Polymorphic compare walks the representation generically (slow
+   on variants full of strings) and silently breaks if a field ever
+   becomes abstract; these spell out the same ordering field by field,
+   so switching away from [Stdlib.compare] does not reorder any set.
+   The [==] fast paths matter: propagation pushes the same value boxes
+   around the graph, so set membership tests usually hit a physically
+   shared element before any string is compared. *)
+
+let compare_mid a b =
+  if a == b then 0
+  else
+  let c = String.compare a.mid_cls b.mid_cls in
+  if c <> 0 then c
+  else
+    let c = String.compare a.mid_name b.mid_name in
+    if c <> 0 then c else Int.compare a.mid_arity b.mid_arity
+
+let compare_site a b =
+  if a == b then 0
+  else
+  let c = compare_mid a.s_in b.s_in in
+  if c <> 0 then c else Int.compare a.s_stmt b.s_stmt
+
+let compare_alloc a b =
+  if a == b then 0
+  else
+  let c = compare_site a.a_site b.a_site in
+  if c <> 0 then c else String.compare a.a_cls b.a_cls
+
+let compare_infl a b =
+  if a == b then 0
+  else
+  let c = compare_site a.v_site b.v_site in
+  if c <> 0 then c
+  else
+    let c = String.compare a.v_layout b.v_layout in
+    if c <> 0 then c
+    else
+      let c = List.compare Int.compare a.v_path b.v_path in
+      if c <> 0 then c
+      else
+        let c = String.compare a.v_cls b.v_cls in
+        if c <> 0 then c else Option.compare String.compare a.v_vid b.v_vid
+
+let compare_view a b =
+  if a == b then 0
+  else
+  match (a, b) with
+  | V_infl x, V_infl y -> compare_infl x y
+  | V_alloc x, V_alloc y -> compare_alloc x y
+  | V_infl _, V_alloc _ -> -1
+  | V_alloc _, V_infl _ -> 1
+
+let compare_value a b =
+  if a == b then 0
+  else
+  match (a, b) with
+  | V_view x, V_view y -> compare_view x y
+  | V_act x, V_act y -> String.compare x y
+  | V_obj x, V_obj y -> compare_alloc x y
+  | V_layout_id x, V_layout_id y -> Int.compare x y
+  | V_view_id x, V_view_id y -> Int.compare x y
+  | a, b ->
+      let tag = function
+        | V_view _ -> 0
+        | V_act _ -> 1
+        | V_obj _ -> 2
+        | V_layout_id _ -> 3
+        | V_view_id _ -> 4
+      in
+      Int.compare (tag a) (tag b)
+
+let compare_listener a b =
+  match (a, b) with
+  | L_alloc x, L_alloc y -> compare_alloc x y
+  | L_act x, L_act y -> String.compare x y
+  | L_alloc _, L_act _ -> -1
+  | L_act _, L_alloc _ -> 1
+
+let compare_holder a b =
+  match (a, b) with
+  | H_act x, H_act y -> String.compare x y
+  | H_dialog x, H_dialog y -> compare_alloc x y
+  | H_act _, H_dialog _ -> -1
+  | H_dialog _, H_act _ -> 1
+
+let compare a b =
+  if a == b then 0
+  else
+  match (a, b) with
+  | N_var (m1, v1), N_var (m2, v2) ->
+      let c = compare_mid m1 m2 in
+      if c <> 0 then c else String.compare v1 v2
+  | N_field f1, N_field f2 -> String.compare f1 f2
+  | N_ret m1, N_ret m2 -> compare_mid m1 m2
+  | a, b ->
+      let tag = function N_var _ -> 0 | N_field _ -> 1 | N_ret _ -> 2 in
+      Int.compare (tag a) (tag b)
 
 let equal a b = compare a b = 0
 
 let hash = Hashtbl.hash
-
-let compare_value : value -> value -> int = Stdlib.compare
 
 let pp ppf = function
   | N_var (m, v) -> Fmt.pf ppf "%a:%s" pp_mid m v

@@ -93,13 +93,32 @@ val declared_fragment_site : string -> infl_site -> alloc_site
 
 val view_of_value : value -> view_abs option
 
+(** {1 Comparisons}
+
+    Explicit, field-by-field orderings for everything the solver keys
+    sets and tables on.  They reproduce the ordering [Stdlib.compare]
+    gave these concrete representations (fields and constructors in
+    declaration order), so set iteration order is unchanged. *)
+
 val compare : t -> t -> int
 
 val equal : t -> t -> bool
 
 val hash : t -> int
 
+val compare_mid : mid -> mid -> int
+
+val compare_site : site -> site -> int
+
+val compare_alloc : alloc_site -> alloc_site -> int
+
+val compare_view : view_abs -> view_abs -> int
+
 val compare_value : value -> value -> int
+
+val compare_listener : listener_abs -> listener_abs -> int
+
+val compare_holder : holder -> holder -> int
 
 val pp : t Fmt.t
 

@@ -1,4 +1,11 @@
-type stats = { iterations : int; propagations : int }
+type stats = {
+  iterations : int;
+  propagations : int;
+  op_applications : int;
+  delta_pushes : int;
+  desc_cache_hits : int;
+  desc_cache_misses : int;
+}
 
 (* Can a value pass through a cast to [cls]?  Sound filtering: the
    abstract object's dynamic class is known exactly, so the cast
@@ -18,7 +25,14 @@ type state = {
   app : Framework.App.t;
   graph : Graph.t;
   worklist : Node.t Util.Worklist.t;
+  descend : include_self:bool -> Node.view_abs -> Graph.View_set.t;
+      (** descendants closure; memoized under the delta solver *)
+  indexed_find : bool;
+      (** resolve FINDVIEW through the reverse id index (delta solver);
+        the naive path filters the closure, spelling the rule literally *)
   mutable propagations : int;
+  mutable op_applications : int;
+  mutable delta_pushes : int;
   mutable dirty : bool;  (** a set or relation grew during the current op pass *)
 }
 
@@ -30,8 +44,9 @@ let push_value state node value =
 
 let mark state changed = if changed then state.dirty <- true
 
-(* Worklist propagation of points-to sets along flow edges. *)
-let propagate state =
+(* Worklist propagation of points-to sets along flow edges, pushing
+   full sets (naive solver). *)
+let propagate_full state =
   let hierarchy = state.app.Framework.App.hierarchy in
   Util.Worklist.drain state.worklist (fun node ->
       state.propagations <- state.propagations + 1;
@@ -49,6 +64,34 @@ let propagate state =
                 Util.Worklist.add state.worklist dst)
             values)
         (Graph.succs state.graph node))
+
+(* Semi-naive propagation: push only each node's delta (the values that
+   arrived since its last drain).  Sound because flow edges are static
+   during solving, so every (value, edge) pair is attempted exactly
+   once.  [changed] fires for every node whose set grew, letting the
+   caller schedule the ops reading it. *)
+let propagate_delta state ~changed =
+  let hierarchy = state.app.Framework.App.hierarchy in
+  Util.Worklist.drain state.worklist (fun node ->
+      state.propagations <- state.propagations + 1;
+      match Graph.take_delta state.graph node with
+      | [] -> ()
+      | delta ->
+          List.iter
+            (fun (kind, dst) ->
+              List.iter
+                (fun value ->
+                  state.delta_pushes <- state.delta_pushes + 1;
+                  let passes =
+                    match kind with
+                    | Graph.E_direct -> true
+                    | Graph.E_cast cls -> passes_cast hierarchy cls value
+                  in
+                  if passes && Graph.add_value state.graph dst value then
+                    Util.Worklist.add state.worklist dst)
+                delta)
+            (Graph.succs state.graph node);
+          changed node)
 
 (* Values at the argument location of an op, view-id constants only. *)
 let view_ids_at state node =
@@ -150,13 +193,22 @@ let inject_handler_flows state view listener iface =
     iface.Framework.Listeners.i_handlers
 
 (* find(view, id): descendants (reflexively) of the receiver carrying
-   the id — rule FINDVIEW1's [ancestorOf] + [=> id] conditions. *)
+   the id — rule FINDVIEW1's [ancestorOf] + [=> id] conditions.  Both
+   paths compute the same set; the indexed one starts from the few
+   views carrying [id] rather than the whole closure. *)
 let find_in_hierarchy state root id =
-  Graph.View_set.filter
-    (fun w -> Graph.Int_set.mem id (Graph.ids_of_view state.graph w))
-    (Graph.descendants state.graph ~include_self:true root)
+  if state.indexed_find then
+    Graph.View_set.inter (Graph.views_by_id state.graph id)
+      (state.descend ~include_self:true root)
+  else
+    Graph.View_set.filter
+      (fun w -> Graph.Int_set.mem id (Graph.ids_of_view state.graph w))
+      (state.descend ~include_self:true root)
 
-let apply_op state (op : Graph.op) =
+(* [note_ret] lets the delta solver register the dynamically-resolved
+   [N_ret] locations an op reads (fragment/adapter callbacks), which a
+   static receiver/argument index cannot see. *)
+let apply_op state ?(note_ret = fun (_ : Node.t) -> ()) (op : Graph.op) =
   let g = state.graph in
   let out value = Option.iter (fun node -> push_value state node value) op.op_out in
   let out_view view = out (Node.V_view view) in
@@ -259,7 +311,7 @@ let apply_op state (op : Graph.op) =
             | Framework.Api.Children when state.config.Config.findone_refinement ->
                 Graph.children_of g v
             | Framework.Api.Children | Framework.Api.Descendants ->
-                Graph.descendants g ~include_self:false v
+                state.descend ~include_self:false v
           in
           Graph.View_set.iter out_view results)
         (views_at state op.op_recv)
@@ -311,6 +363,7 @@ let apply_op state (op : Graph.op) =
           | Some (owner, m) ->
               let tmid = Node.mid_of_meth owner m in
               push_value state (Node.N_var (tmid, Jir.Ast.this_var)) (Node.V_obj fragment);
+              note_ret (Node.N_ret tmid);
               let created = Graph.views_of g (Node.N_ret tmid) in
               List.iter
                 (fun parent ->
@@ -392,6 +445,7 @@ let apply_op state (op : Graph.op) =
                   | Some (param, _) ->
                       push_value state (Node.N_var (tmid, param)) (Node.V_view view)
                   | None -> ());
+                  note_ret (Node.N_ret tmid);
                   List.iter
                     (fun child -> mark state (Graph.add_child g ~parent:view ~child))
                     (Graph.views_of g (Node.N_ret tmid))
@@ -430,54 +484,73 @@ let apply_op state (op : Graph.op) =
    hierarchy carrying an onClick handler name behave as if the holder
    registered itself as an OnClickListener whose handler is that
    method. *)
-let apply_declarative_handlers state =
+let register_declarative state holder view =
   let g = state.graph in
   let hierarchy = state.app.Framework.App.hierarchy in
+  let label = match holder with Node.H_act a -> a | Node.H_dialog site -> site.Node.a_cls in
+  List.iter
+    (fun handler_name ->
+      match
+        Jir.Hierarchy.resolve hierarchy label { Jir.Ast.mk_name = handler_name; mk_arity = 1 }
+      with
+      | Some (owner, m) ->
+          let listener =
+            match holder with
+            | Node.H_act a -> Node.L_act a
+            | Node.H_dialog site -> Node.L_alloc site
+          in
+          mark state (Graph.add_view_listener g view listener ~iface:"OnClickListener");
+          if state.config.Config.listener_callbacks then begin
+            let tmid = Node.mid_of_meth owner m in
+            push_value state
+              (Node.N_var (tmid, Jir.Ast.this_var))
+              (match holder with
+              | Node.H_act a -> Node.V_act a
+              | Node.H_dialog site -> Node.V_obj site);
+            match m.m_params with
+            | (param, _) :: _ -> push_value state (Node.N_var (tmid, param)) (Node.V_view view)
+            | [] -> ()
+          end
+      | None -> ())
+    (Graph.onclicks_of state.graph view)
+
+let apply_declarative_handlers state =
+  let g = state.graph in
   List.iter
     (fun holder ->
-      let label =
-        match holder with Node.H_act a -> a | Node.H_dialog site -> site.Node.a_cls
-      in
       Graph.View_set.iter
         (fun root ->
           Graph.View_set.iter
-            (fun view ->
-              List.iter
-                (fun handler_name ->
-                  match
-                    Jir.Hierarchy.resolve hierarchy label
-                      { Jir.Ast.mk_name = handler_name; mk_arity = 1 }
-                  with
-                  | Some (owner, m) ->
-                      let listener =
-                        match holder with
-                        | Node.H_act a -> Node.L_act a
-                        | Node.H_dialog site -> Node.L_alloc site
-                      in
-                      mark state
-                        (Graph.add_view_listener g view listener ~iface:"OnClickListener");
-                      if state.config.Config.listener_callbacks then begin
-                        let tmid = Node.mid_of_meth owner m in
-                        push_value state
-                          (Node.N_var (tmid, Jir.Ast.this_var))
-                          (match holder with
-                          | Node.H_act a -> Node.V_act a
-                          | Node.H_dialog site -> Node.V_obj site);
-                        match m.m_params with
-                        | (param, _) :: _ ->
-                            push_value state (Node.N_var (tmid, param)) (Node.V_view view)
-                        | [] -> ()
-                      end
-                  | None -> ())
-                (Graph.onclicks_of g view))
-            (Graph.descendants g ~include_self:true root))
+            (fun view -> register_declarative state holder view)
+            (state.descend ~include_self:true root))
         (Graph.roots_of_holder g holder))
     (Graph.holders g)
+
+(* Same registrations, driven from the views that actually carry a
+   handler: [view] sits in [holder]'s hierarchy iff some root of
+   [holder] is a (reflexive) ancestor of [view].  Avoids walking whole
+   hierarchies when almost no view declares an onClick. *)
+let apply_declarative_handlers_indexed state =
+  let g = state.graph in
+  let holders = Graph.holders g in
+  List.iter
+    (fun view ->
+      let above = Graph.ancestors g view in
+      List.iter
+        (fun holder ->
+          let reaches =
+            Graph.View_set.exists
+              (fun root -> Graph.View_set.mem root above)
+              (Graph.roots_of_holder g holder)
+          in
+          if reaches then register_declarative state holder view)
+        holders)
+    (Graph.views_with_onclick g)
 
 (* Declaratively placed fragments (<fragment android:name="F"/>): the
    platform instantiates F during inflation and attaches the views
    returned by F.onCreateView under the placeholder node. *)
-let apply_declared_fragments state =
+let apply_declared_fragments state ?(note_ret = fun (_ : Node.t) -> ()) () =
   let g = state.graph in
   let hierarchy = state.app.Framework.App.hierarchy in
   List.iter
@@ -494,6 +567,7 @@ let apply_declared_fragments state =
                   let fragment = Node.declared_fragment_site cls infl in
                   let tmid = Node.mid_of_meth owner m in
                   push_value state (Node.N_var (tmid, Jir.Ast.this_var)) (Node.V_obj fragment);
+                  note_ret (Node.N_ret tmid);
                   List.iter
                     (fun child -> mark state (Graph.add_child g ~parent:view ~child))
                     (Graph.views_of g (Node.N_ret tmid))
@@ -502,27 +576,138 @@ let apply_declared_fragments state =
       | Node.V_alloc _ -> ())
     (Graph.views_with_declared_fragments g)
 
-let run config (app : Framework.App.t) graph =
-  Graph.reset_sets graph;
-  let state =
-    { config; app; graph; worklist = Util.Worklist.create (); propagations = 0; dirty = false }
-  in
+let seed_and_count state =
   List.iter
     (fun (node, values) -> Graph.VS.iter (fun v -> push_value state node v) values)
-    (Graph.seeds graph);
-  propagate state;
-  let ops = Graph.ops graph in
+    (Graph.seeds state.graph)
+
+(* The reference fixed point: re-apply every op against full sets each
+   round until nothing changes. *)
+let run_naive state =
+  seed_and_count state;
+  propagate_full state;
+  let ops = Graph.ops state.graph in
   let iterations = ref 0 in
   let continue_ = ref true in
-  while !continue_ && !iterations < config.Config.max_iterations do
+  while !continue_ && !iterations < state.config.Config.max_iterations do
     incr iterations;
     state.dirty <- false;
-    List.iter (apply_op state) ops;
+    List.iter
+      (fun op ->
+        state.op_applications <- state.op_applications + 1;
+        apply_op state op)
+      ops;
     apply_declarative_handlers state;
-    apply_declared_fragments state;
-    propagate state;
+    apply_declared_fragments state ();
+    propagate_full state;
     continue_ := state.dirty
   done;
   if !continue_ then
     Logs.warn (fun m -> m "solver hit the iteration cap (%d); result may be partial" !iterations);
-  { iterations = !iterations; propagations = state.propagations }
+  !iterations
+
+(* Scheduling targets for dynamically-registered [N_ret] reads. *)
+type ret_target = T_op of Graph.op | T_frags
+
+let ret_target_equal a b =
+  match (a, b) with T_frags, T_frags -> true | T_op x, T_op y -> x == y | _ -> false
+
+(* Semi-naive fixed point: after seeding, every op runs once; from then
+   on an op is re-applied only when a location it reads grew (dependency
+   index + delta propagation) or a relation it consults changed.  Ops
+   still read full sets when applied, so the solution is identical to
+   the naive solver's. *)
+let run_delta state =
+  let g = state.graph in
+  Graph.set_track_deltas g true;
+  let op_wl = Util.Worklist.create () in
+  let schedule op = Util.Worklist.add op_wl op in
+  let pending_decl = ref true in
+  let pending_frags = ref true in
+  let ret_deps : (Node.t, ret_target list) Hashtbl.t = Hashtbl.create 16 in
+  let note_ret target node =
+    let existing = Option.value (Hashtbl.find_opt ret_deps node) ~default:[] in
+    if not (List.exists (ret_target_equal target) existing) then
+      Hashtbl.replace ret_deps node (target :: existing)
+  in
+  let on_changed node =
+    List.iter schedule (Graph.ops_reading g node);
+    match Hashtbl.find_opt ret_deps node with
+    | Some targets ->
+        List.iter
+          (function T_op op -> schedule op | T_frags -> pending_frags := true)
+          targets
+    | None -> ()
+  in
+  seed_and_count state;
+  propagate_delta state ~changed:on_changed;
+  List.iter schedule (Graph.ops g);
+  let iterations = ref 0 in
+  let work_remaining () =
+    (not (Util.Worklist.is_empty op_wl)) || !pending_decl || !pending_frags
+  in
+  while work_remaining () && !iterations < state.config.Config.max_iterations do
+    incr iterations;
+    Util.Worklist.drain op_wl (fun op ->
+        state.op_applications <- state.op_applications + 1;
+        apply_op state ~note_ret:(fun node -> note_ret (T_op op) node) op);
+    if !pending_decl then begin
+      pending_decl := false;
+      apply_declarative_handlers_indexed state
+    end;
+    if !pending_frags then begin
+      pending_frags := false;
+      apply_declared_fragments state ~note_ret:(note_ret T_frags) ()
+    end;
+    propagate_delta state ~changed:on_changed;
+    let rc = Graph.take_rel_changes g in
+    if rc.rc_children then begin
+      List.iter schedule (Graph.ops_reading_children g);
+      (* hierarchy growth can place an onClick view under a new root *)
+      pending_decl := true
+    end;
+    if rc.rc_ids then List.iter schedule (Graph.ops_reading_ids g);
+    if rc.rc_roots then begin
+      List.iter schedule (Graph.ops_reading_roots g);
+      pending_decl := true
+    end;
+    if rc.rc_onclick then pending_decl := true;
+    if rc.rc_fragments then pending_frags := true
+  done;
+  if work_remaining () then
+    Logs.warn (fun m -> m "solver hit the iteration cap (%d); result may be partial" !iterations);
+  !iterations
+
+let run config (app : Framework.App.t) graph =
+  Graph.reset_sets graph;
+  let descend =
+    match config.Config.solver with
+    | Config.Naive -> fun ~include_self view -> Graph.descendants graph ~include_self view
+    | Config.Delta -> fun ~include_self view -> Graph.descendants_cached graph ~include_self view
+  in
+  let state =
+    {
+      config;
+      app;
+      graph;
+      worklist = Util.Worklist.create ();
+      descend;
+      indexed_find = (config.Config.solver = Config.Delta);
+      propagations = 0;
+      op_applications = 0;
+      delta_pushes = 0;
+      dirty = false;
+    }
+  in
+  let iterations =
+    match config.Config.solver with Config.Naive -> run_naive state | Config.Delta -> run_delta state
+  in
+  let desc_cache_hits, desc_cache_misses = Graph.desc_cache_counters graph in
+  {
+    iterations;
+    propagations = state.propagations;
+    op_applications = state.op_applications;
+    delta_pushes = state.delta_pushes;
+    desc_cache_hits;
+    desc_cache_misses;
+  }

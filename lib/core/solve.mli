@@ -7,8 +7,18 @@
 type stats = {
   iterations : int;  (** operation-pass rounds until fixpoint *)
   propagations : int;  (** total worklist pops *)
+  op_applications : int;
+      (** op-node rule applications; the naive solver performs
+          [iterations * |ops|], the delta solver only re-applies ops
+          whose inputs grew *)
+  delta_pushes : int;
+      (** (value, edge) pushes attempted from delta sets; [0] under
+          the naive solver *)
+  desc_cache_hits : int;  (** descendants-closure memo hits *)
+  desc_cache_misses : int;  (** descendants-closure memo misses *)
 }
 
 val run : Config.t -> Framework.App.t -> Graph.t -> stats
 (** Mutates the graph's points-to sets and relations.  Safe to re-run:
-    sets are reset from the seeds first. *)
+    sets are reset from the seeds first.  The engine is selected by
+    [config.solver]; both produce the same solution. *)

@@ -41,13 +41,18 @@ let nth_cycle xs n = List.nth xs (n mod List.length xs)
 (* Layout generation *)
 
 let gen_layouts rng (spec : Spec.t) =
+  (* [used_ids] stays a list because [Prng.choose] draws from it (its
+     order is part of the deterministic generation); [used_seen] gives
+     O(1) membership for the leftover computation below. *)
   let used_ids = ref [] in
+  let used_seen = Hashtbl.create 64 in
   let fresh_cursor = ref 0 in
   let fresh_id () =
     if !fresh_cursor < spec.sp_view_ids then begin
       let name = Printf.sprintf "vid_%d" !fresh_cursor in
       incr fresh_cursor;
       used_ids := name :: !used_ids;
+      Hashtbl.replace used_seen name ();
       Some name
     end
     else None
@@ -101,7 +106,7 @@ let gen_layouts rng (spec : Spec.t) =
   let layouts = List.init spec.sp_layouts make_layout in
   let leftover =
     List.filter
-      (fun i -> not (List.mem i !used_ids))
+      (fun i -> not (Hashtbl.mem used_seen i))
       (List.init spec.sp_view_ids (Printf.sprintf "vid_%d"))
   in
   (layouts, leftover)
@@ -243,7 +248,13 @@ let pick_view_field rng act ~prefer_container =
       let pool = if prefer_container && containers <> [] then containers else fields in
       Some (fst (Util.Prng.choose rng pool))
 
-let is_container_class cls = List.mem cls container_classes
+let container_class_set =
+  lazy
+    (let tbl = Hashtbl.create 16 in
+     List.iter (fun cls -> Hashtbl.replace tbl cls ()) container_classes;
+     tbl)
+
+let is_container_class cls = Hashtbl.mem (Lazy.force container_class_set) cls
 
 let emit_item rng ~share act listener_classes item =
   (* Every activity starts with a root find, so a view field is always

@@ -74,6 +74,41 @@ let table2 runs =
   ^ Table.render ~header rows
   ^ "\n(paper columns: values published in the paper; \"-\" where the paper reports no such ops)"
 
+let solver_stats runs =
+  let header =
+    [
+      "App"; "solver"; "ops"; "rounds"; "op applies"; "naive equiv"; "saved"; "propagations";
+      "delta pushes"; "desc cache";
+    ]
+  in
+  let rows =
+    List.map
+      (fun run ->
+        let s = Gator.Metrics.solver_stats run.cr_analysis in
+        let saved =
+          if s.sv_naive_equivalent = 0 then "-"
+          else
+            Printf.sprintf "%.1fx"
+              (float_of_int s.sv_naive_equivalent
+              /. float_of_int (max 1 s.sv_op_applications))
+        in
+        [
+          s.sv_app;
+          s.sv_solver;
+          Table.cell_int s.sv_ops;
+          Table.cell_int s.sv_iterations;
+          Table.cell_int s.sv_op_applications;
+          Table.cell_int s.sv_naive_equivalent;
+          saved;
+          Table.cell_int s.sv_propagations;
+          Table.cell_int s.sv_delta_pushes;
+          Printf.sprintf "%d/%d" s.sv_desc_hits (s.sv_desc_hits + s.sv_desc_misses);
+        ])
+      runs
+  in
+  "Solver work: delta scheduling vs naive re-iteration (naive equiv = rounds * |ops|)\n"
+  ^ Table.render ~header rows
+
 let case_study () =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf

@@ -18,6 +18,11 @@ val table2 : corpus_run list -> string
 (** Table 2: running time and average solution sizes, alongside the
     paper's published time and receivers columns. *)
 
+val solver_stats : corpus_run list -> string
+(** Beyond-paper: solver work counters (op applications vs the naive
+    [rounds * |ops|] equivalent, delta pushes, descendants-cache hit
+    rate) for each run. *)
+
 val case_study : unit -> string
 (** Section 5 case study: static averages vs the dynamic-oracle
     ("perfectly precise") averages plus soundness coverage for APV,

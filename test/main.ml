@@ -20,6 +20,7 @@ let () =
       ("extract", Test_extract.suite);
       ("inflate", Test_inflate.suite);
       ("solve", Test_solve.suite);
+      ("delta", Test_delta.suite);
       ("interp", Test_interp.suite);
       ("oracle", Test_oracle.suite);
       ("corpus", Test_corpus.suite);
