@@ -107,9 +107,46 @@ let tests () =
       xbmc;
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Sequential vs parallel full-corpus head-to-head: the same 20-app
+   batch (generation + analysis + metrics per app) on the exact
+   sequential path and on the domain pool, with a byte-identity check
+   on the regenerated tables. *)
+
+let corpus_head_to_head () =
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let seq, seq_seconds = time (fun () -> Report.Experiments.run_corpus ~jobs:1 ()) in
+  let entries =
+    List.map
+      (fun jobs ->
+        let par, par_seconds = time (fun () -> Report.Experiments.run_corpus ~jobs ()) in
+        let identical =
+          Report.Experiments.table1 par = Report.Experiments.table1 seq
+          && Report.Experiments.table2 ~timings:false par
+             = Report.Experiments.table2 ~timings:false seq
+          && Report.Experiments.solver_stats par = Report.Experiments.solver_stats seq
+        in
+        (jobs, par_seconds, identical))
+      [ 2; 4 ]
+  in
+  Printf.printf "Full-corpus batch head-to-head (20 apps; %d core(s) recommended):\n"
+    (Domain.recommended_domain_count ());
+  Printf.printf "  jobs=1  %6.3f s\n" seq_seconds;
+  List.iter
+    (fun (jobs, seconds, identical) ->
+      Printf.printf "  jobs=%d  %6.3f s  %.2fx  tables %s\n" jobs seconds (seq_seconds /. seconds)
+        (if identical then "identical" else "DIFFER"))
+    entries;
+  print_newline ();
+  (1, seq_seconds, true) :: entries
+
 (* Machine-readable results: per-test median nanoseconds plus the
    solver work counters, for regression tracking across commits. *)
-let write_json_results rows =
+let write_json_results rows corpus_batch =
   let solver_counters =
     let app = app_named "XBMC" in
     List.map
@@ -131,6 +168,21 @@ let write_json_results rows =
           ])
       [ Gator.Config.Naive; Gator.Config.Delta ]
   in
+  let seq_seconds =
+    match corpus_batch with (_, s, _) :: _ -> s | [] -> Float.nan
+  in
+  let batch_entries =
+    List.map
+      (fun (jobs, seconds, identical) ->
+        Util.Json.Obj
+          [
+            ("jobs", Util.Json.Int jobs);
+            ("seconds", Util.Json.Float seconds);
+            ("speedup", Util.Json.Float (seq_seconds /. seconds));
+            ("tables_identical", Util.Json.Bool identical);
+          ])
+      corpus_batch
+  in
   let json =
     Util.Json.Obj
       [
@@ -142,6 +194,7 @@ let write_json_results rows =
                    [ ("name", Util.Json.String name); ("nanos", Util.Json.Float nanos) ])
                rows) );
         ("solver_stats", Util.Json.List solver_counters);
+        ("corpus_batch", Util.Json.List batch_entries);
       ]
   in
   let path = "BENCH_results.json" in
@@ -178,8 +231,10 @@ let run_benchmarks () =
       in
       Printf.printf "  %-45s %s\n" name pretty)
     rows;
-  write_json_results rows
+  rows
 
 let () =
   print_reproduction ();
-  run_benchmarks ()
+  let corpus_batch = corpus_head_to_head () in
+  let rows = run_benchmarks () in
+  write_json_results rows corpus_batch

@@ -1,17 +1,35 @@
 (* Regenerate the paper's tables and figures.  See DESIGN.md for the
    experiment index. *)
 
-let run_table1 () =
-  let runs = Report.Experiments.run_corpus () in
-  print_endline (Report.Experiments.table1 runs)
+(* [jobs = None] lets the corpus driver pick the default pool size
+   (recommended domain count capped by [Config.jobs]); [--jobs 1]
+   takes the exact sequential path. *)
+let corpus jobs fail_apps = Report.Experiments.run_corpus ?jobs ~fail_apps ()
 
-let run_table2 () =
-  let runs = Report.Experiments.run_corpus () in
-  print_endline (Report.Experiments.table2 runs)
+(* Injected failures are expected (the smoke test asserts the batch
+   survives them); only an app that failed on its own flips the exit
+   code. *)
+let exit_code fail_apps results =
+  let unexpected r =
+    Result.is_error r.Report.Experiments.cs_run
+    && not (List.mem r.Report.Experiments.cs_spec.Corpus.Spec.sp_name fail_apps)
+  in
+  if List.exists unexpected results then 1 else 0
 
-let run_solverstats () =
-  let runs = Report.Experiments.run_corpus () in
-  print_endline (Report.Experiments.solver_stats runs)
+let run_table1 jobs fail_apps =
+  let results = corpus jobs fail_apps in
+  print_endline (Report.Experiments.table1 results);
+  exit (exit_code fail_apps results)
+
+let run_table2 jobs fail_apps =
+  let results = corpus jobs fail_apps in
+  print_endline (Report.Experiments.table2 results);
+  exit (exit_code fail_apps results)
+
+let run_solverstats jobs fail_apps =
+  let results = corpus jobs fail_apps in
+  print_endline (Report.Experiments.solver_stats results);
+  exit (exit_code fail_apps results)
 
 let run_casestudy () = print_endline (Report.Experiments.case_study ())
 
@@ -23,23 +41,43 @@ let run_soundness apps seed = print_endline (Report.Experiments.soundness_sweep 
 
 let run_scalability () = print_endline (Report.Experiments.scalability ())
 
-let run_all () =
-  let runs = Report.Experiments.run_corpus () in
-  print_endline (Report.Experiments.table1 runs);
+let run_all jobs fail_apps =
+  let results = corpus jobs fail_apps in
+  print_endline (Report.Experiments.table1 results);
   print_newline ();
-  print_endline (Report.Experiments.table2 runs);
+  print_endline (Report.Experiments.table2 results);
   print_newline ();
-  print_endline (Report.Experiments.solver_stats runs);
+  print_endline (Report.Experiments.solver_stats results);
   print_newline ();
   print_endline (Report.Experiments.case_study ());
   print_newline ();
   print_endline (Report.Experiments.ablations ());
   print_newline ();
-  print_endline (Report.Experiments.soundness_sweep ())
+  print_endline (Report.Experiments.soundness_sweep ());
+  exit (exit_code fail_apps results)
 
 open Cmdliner
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the per-app batch. Defaults to the recommended domain count capped \
+           by the configured maximum; 1 runs the exact sequential path.")
+
+let fail_apps_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "inject-failure" ] ~docv:"APP"
+        ~doc:
+          "Deliberately crash the named app's task (repeatable). The batch must survive with a \
+           FAILED row; used by fault-isolation smoke tests.")
+
 let simple name doc f = Cmd.v (Cmd.info name ~doc) Term.(const f $ const ())
+
+let batch name doc f = Cmd.v (Cmd.info name ~doc) Term.(const f $ jobs_arg $ fail_apps_arg)
 
 let soundness_cmd =
   let apps = Arg.(value & opt int 25 & info [ "apps" ] ~doc:"Number of random apps to test.") in
@@ -49,13 +87,13 @@ let soundness_cmd =
     Term.(const run_soundness $ apps $ seed)
 
 let () =
-  let default = Term.(const run_all $ const ()) in
+  let default = Term.(const run_all $ jobs_arg $ fail_apps_arg) in
   let info = Cmd.info "experiments" ~doc:"Regenerate the paper's tables and figures." in
   let cmds =
     [
-      simple "table1" "Table 1: app features and constraint-graph populations." run_table1;
-      simple "table2" "Table 2: analysis time and average solution sizes." run_table2;
-      simple "solverstats" "Solver work counters: delta scheduling vs naive re-iteration."
+      batch "table1" "Table 1: app features and constraint-graph populations." run_table1;
+      batch "table2" "Table 2: analysis time and average solution sizes." run_table2;
+      batch "solverstats" "Solver work counters: delta scheduling vs naive re-iteration."
         run_solverstats;
       simple "casestudy" "Section 5 precision case study against the dynamic oracle." run_casestudy;
       simple "figures" "Figures 1/3/4: ConnectBot facts and constraint graph." run_figures;

@@ -1,5 +1,8 @@
-(* Command-line frontend: analyze an ALite program with XML layouts and
-   print the computed GUI model. *)
+(* Command-line frontend: analyze one or more ALite programs (files or
+   project directories) and print the computed GUI models.  With
+   several inputs the analyses run on a worker-domain pool (--jobs);
+   an input that fails to load or crashes its analysis renders as a
+   FAILED section while the other inputs still produce output. *)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -9,70 +12,126 @@ let read_file path =
 
 let layout_name_of_path path = Filename.remove_extension (Filename.basename path)
 
-let run code_path layout_paths dump_dot show_interactions show_diagnostics run_dynamic json =
-  let loaded =
-    if Sys.is_directory code_path then Project.load code_path
-    else
-      let code = read_file code_path in
-      let layouts =
-        List.map (fun path -> (layout_name_of_path path, read_file path)) layout_paths
-      in
-      Framework.App.of_source ~name:(layout_name_of_path code_path) ~code ~layouts
-  in
-  match loaded with
-  | Error e ->
-      Fmt.epr "error: %s@." e;
-      exit 1
+let load code_path layout_paths =
+  if Sys.is_directory code_path then Project.load code_path
+  else
+    let code = read_file code_path in
+    let layouts =
+      List.map (fun path -> (layout_name_of_path path, read_file path)) layout_paths
+    in
+    Framework.App.of_source ~name:(layout_name_of_path code_path) ~code ~layouts
+
+(* The whole per-input pipeline, rendered to a string so batch output
+   stays in submission order no matter which worker finishes first.
+   Every failure mode — unreadable file, parse error, failed
+   diagnostics, analysis crash — is an [Error]. *)
+let analyze_one ~dump_dot ~show_interactions ~show_diagnostics ~run_dynamic ~json code_path
+    layout_paths =
+  match load code_path layout_paths with
+  | Error e -> Error e
   | Ok app ->
-      if show_diagnostics then begin
-        let diagnostics = Framework.App.diagnostics app in
-        List.iter (fun d -> Fmt.pr "%a@." Jir.Wellformed.pp_diagnostic d) diagnostics;
-        if not (Jir.Wellformed.is_clean diagnostics) then exit 1
-      end;
-      let r = Gator.Analysis.analyze app in
-      if json then begin
-        print_endline (Gator.Export.to_string ~pretty:true r);
-        exit 0
-      end;
-      Fmt.pr "%a@.@." Gator.Analysis.pp_summary r;
-      List.iter
-        (fun (op : Gator.Graph.op) ->
-          let views = Gator.Analysis.op_receiver_views r op in
-          let results = Gator.Analysis.op_result_views r op in
-          Fmt.pr "%a@." Gator.Node.pp_op_site op.site;
-          if views <> [] then
-            Fmt.pr "  receivers: %a@." (Fmt.list ~sep:Fmt.comma Gator.Node.pp_view) views;
-          if results <> [] then
-            Fmt.pr "  results:   %a@." (Fmt.list ~sep:Fmt.comma Gator.Node.pp_view) results)
-        (Gator.Analysis.ops r);
-      if show_interactions then begin
-        Fmt.pr "@.Interactions (activity, view, event, handler):@.";
-        List.iter
-          (fun ix -> Fmt.pr "  %a@." Gator.Analysis.pp_interaction ix)
-          (Gator.Analysis.interactions r);
-        match Gator.Analysis.transitions r with
-        | [] -> ()
-        | transitions ->
-            Fmt.pr "@.Activity transitions:@.";
-            List.iter (fun (a, b) -> Fmt.pr "  %s -> %s@." a b) transitions
-      end;
-      if run_dynamic then begin
-        let outcome = Dynamic.Interp.run app in
-        let coverage = Dynamic.Oracle.check r outcome in
-        Fmt.pr "@.Dynamic run: %d observations; %a@."
-          (List.length outcome.observations)
-          Dynamic.Oracle.pp_coverage coverage
-      end;
-      if dump_dot then Fmt.pr "@.%a@." Gator.Graph.pp_dot r.graph
+      let buf = Buffer.create 4096 in
+      let ppf = Format.formatter_of_buffer buf in
+      let diagnostics_clean =
+        if not show_diagnostics then true
+        else begin
+          let diagnostics = Framework.App.diagnostics app in
+          List.iter (fun d -> Fmt.pf ppf "%a@." Jir.Wellformed.pp_diagnostic d) diagnostics;
+          Jir.Wellformed.is_clean diagnostics
+        end
+      in
+      if not diagnostics_clean then begin
+        Format.pp_print_flush ppf ();
+        Error (Buffer.contents buf ^ "diagnostics reported errors")
+      end
+      else begin
+        let r = Gator.Analysis.analyze app in
+        if json then Buffer.add_string buf (Gator.Export.to_string ~pretty:true r ^ "\n")
+        else begin
+          Fmt.pf ppf "%a@.@." Gator.Analysis.pp_summary r;
+          List.iter
+            (fun (op : Gator.Graph.op) ->
+              let views = Gator.Analysis.op_receiver_views r op in
+              let results = Gator.Analysis.op_result_views r op in
+              Fmt.pf ppf "%a@." Gator.Node.pp_op_site op.site;
+              if views <> [] then
+                Fmt.pf ppf "  receivers: %a@." (Fmt.list ~sep:Fmt.comma Gator.Node.pp_view) views;
+              if results <> [] then
+                Fmt.pf ppf "  results:   %a@." (Fmt.list ~sep:Fmt.comma Gator.Node.pp_view) results)
+            (Gator.Analysis.ops r);
+          if show_interactions then begin
+            Fmt.pf ppf "@.Interactions (activity, view, event, handler):@.";
+            List.iter
+              (fun ix -> Fmt.pf ppf "  %a@." Gator.Analysis.pp_interaction ix)
+              (Gator.Analysis.interactions r);
+            match Gator.Analysis.transitions r with
+            | [] -> ()
+            | transitions ->
+                Fmt.pf ppf "@.Activity transitions:@.";
+                List.iter (fun (a, b) -> Fmt.pf ppf "  %s -> %s@." a b) transitions
+          end;
+          if run_dynamic then begin
+            let outcome = Dynamic.Interp.run app in
+            let coverage = Dynamic.Oracle.check r outcome in
+            Fmt.pf ppf "@.Dynamic run: %d observations; %a@."
+              (List.length outcome.observations)
+              Dynamic.Oracle.pp_coverage coverage
+          end;
+          if dump_dot then Fmt.pf ppf "@.%a@." Gator.Graph.pp_dot r.graph
+        end;
+        Format.pp_print_flush ppf ();
+        Ok (Buffer.contents buf)
+      end
+
+let run code_paths layout_paths dump_dot show_interactions show_diagnostics run_dynamic json jobs =
+  let analyze path =
+    analyze_one ~dump_dot ~show_interactions ~show_diagnostics ~run_dynamic ~json path
+      layout_paths
+  in
+  match code_paths with
+  | [ single ] -> (
+      (* single input: historical output shape, no pool *)
+      match analyze single with
+      | Ok out -> print_string out
+      | Error e ->
+          Fmt.epr "error: %s@." e;
+          exit 1)
+  | many ->
+      let jobs =
+        match jobs with
+        | Some j -> max 1 j
+        | None -> Pool.default_jobs ~cap:Gator.Config.default.Gator.Config.jobs ()
+      in
+      let outcomes = Pool.map ~jobs analyze many in
+      let failed = ref false in
+      List.iter2
+        (fun path (outcome : _ Pool.outcome) ->
+          Printf.printf "== %s ==\n" path;
+          match outcome.Pool.oc_result with
+          | Ok (Ok out) ->
+              print_string out;
+              print_newline ()
+          | Ok (Error e) ->
+              failed := true;
+              Printf.printf "FAILED: %s\n\n" e
+          | Error pool_err ->
+              failed := true;
+              Printf.printf "FAILED: %s\n\n" pool_err.Pool.err_exn)
+        many outcomes;
+      if !failed then exit 1
 
 open Cmdliner
 
 let () =
   let code =
     Arg.(
-      required
-      & pos 0 (some string) None
-      & info [] ~docv:"PROGRAM" ~doc:"ALite source file, or a project directory (src/*.alite + res/layout/*.xml).")
+      non_empty
+      & pos_all string []
+      & info [] ~docv:"PROGRAM"
+          ~doc:
+            "ALite source file, or a project directory (src/*.alite + res/layout/*.xml). \
+             Repeatable: several programs are analyzed as a batch with per-input fault \
+             isolation.")
   in
   let layouts =
     Arg.(
@@ -95,8 +154,17 @@ let () =
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the full solution as JSON and exit.")
   in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for batch (multi-program) runs. Defaults to the recommended domain \
+             count capped by the configured maximum; 1 forces the sequential path.")
+  in
   let term =
-    Term.(const run $ code $ layouts $ dot $ interactions $ diagnostics $ dynamic $ json)
+    Term.(const run $ code $ layouts $ dot $ interactions $ diagnostics $ dynamic $ json $ jobs)
   in
   let info =
     Cmd.info "gator" ~doc:"Static reference analysis for GUI objects (CGO'14) on ALite programs."

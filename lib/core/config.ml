@@ -10,6 +10,7 @@ type t = {
   inline_depth : int;
   max_iterations : int;
   solver : solver;
+  jobs : int;
 }
 
 let default =
@@ -21,6 +22,7 @@ let default =
     inline_depth = 0;
     max_iterations = 1000;
     solver = Delta;
+    jobs = 8;
   }
 
 let baseline =
@@ -32,4 +34,5 @@ let baseline =
     inline_depth = 0;
     max_iterations = 1000;
     solver = Delta;
+    jobs = 8;
   }

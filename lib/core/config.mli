@@ -38,6 +38,12 @@ type t = {
           outlier — see the ablation benches. *)
   max_iterations : int;  (** fixed-point safety valve *)
   solver : solver;  (** fixed-point engine; results are identical *)
+  jobs : int;
+      (** Cap on worker domains for batch (multi-app) drivers.  The
+          pool size defaults to [Domain.recommended_domain_count ()]
+          capped by this value; an explicit [--jobs N] on the batch
+          CLIs overrides both.  Single-app analysis never spawns
+          domains. *)
 }
 
 val default : t

@@ -19,17 +19,20 @@ type ctx = {
   rename : string -> string;  (** variable renaming for the current clone *)
   ret_target : Node.t;  (** where [return x] flows *)
   stack : Node.mid list;  (** methods on the inline chain, for cycle avoidance *)
+  clones : int ref;
+      (** clone ids unique within one extraction run; per-run (not
+          global) so concurrent extractions on separate domains cannot
+          interleave names *)
 }
 
-let top_ctx mid = { depth = 0; rename = Fun.id; ret_target = Node.N_ret mid; stack = [ mid ] }
+let top_ctx ~clones mid =
+  { depth = 0; rename = Fun.id; ret_target = Node.N_ret mid; stack = [ mid ]; clones }
 
-(* Globally unique clone ids; '$' cannot occur in source identifiers,
-   so renamed variables never collide with real ones. *)
-let clone_counter = ref 0
-
-let fresh_clone_suffix () =
-  incr clone_counter;
-  Printf.sprintf "$%d" !clone_counter
+(* '$' cannot occur in source identifiers, so renamed variables never
+   collide with real ones. *)
+let fresh_clone_suffix ctx =
+  incr ctx.clones;
+  Printf.sprintf "$%d" !(ctx.clones)
 
 let rec extract_stmt config (app : Framework.App.t) graph ~ctx mid env ~index stmt =
   let hierarchy = app.Framework.App.hierarchy in
@@ -98,7 +101,7 @@ let rec extract_stmt config (app : Framework.App.t) graph ~ctx mid env ~index st
       match (inlinable, app_targets) with
       | true, [ (owner, target) ] ->
           let tmid = Node.mid_of_meth owner target in
-          let suffix = fresh_clone_suffix () in
+          let suffix = fresh_clone_suffix ctx in
           let rename' name = name ^ suffix in
           Graph.add_edge graph (v recv) (var tmid (rename' Jir.Ast.this_var));
           List.iter2
@@ -113,7 +116,7 @@ let rec extract_stmt config (app : Framework.App.t) graph ~ctx mid env ~index st
             | None -> var tmid (rename' "$ret")
           in
           let ctx' =
-            { depth = ctx.depth + 1; rename = rename'; ret_target; stack = tmid :: ctx.stack }
+            { ctx with depth = ctx.depth + 1; rename = rename'; ret_target; stack = tmid :: ctx.stack }
           in
           let env' = Framework.App.typing_env app ~owner target in
           List.iteri
@@ -138,10 +141,10 @@ let rec extract_stmt config (app : Framework.App.t) graph ~ctx mid env ~index st
                      ~out:(Option.map v lhs))
             | None -> ()))
 
-let extract_meth config app graph ~owner (m : Jir.Ast.meth) =
+let extract_meth config app graph ~clones ~owner (m : Jir.Ast.meth) =
   let mid = Node.mid_of_meth owner m in
   let env = Framework.App.typing_env app ~owner m in
-  let ctx = top_ctx mid in
+  let ctx = top_ctx ~clones mid in
   List.iteri (fun index stmt -> extract_stmt config app graph ~ctx mid env ~index stmt) m.m_body
 
 (* Seed the implicit activity instance into [this] of every lifecycle
@@ -194,12 +197,14 @@ let seed_dialog_callbacks (app : Framework.App.t) graph =
 let run config (app : Framework.App.t) =
   (* Clone names must be deterministic per extraction, not per process:
      two runs over the same app (e.g. the naive/delta equivalence
-     tests, or Diff) must name inlined variables identically. *)
-  clone_counter := 0;
+     tests, or Diff) must name inlined variables identically.  The
+     counter lives here rather than at module level so extractions
+     running concurrently on separate domains cannot interleave. *)
+  let clones = ref 0 in
   let graph = Graph.create () in
   List.iter
     (fun (cls : Jir.Ast.cls) ->
-      List.iter (extract_meth config app graph ~owner:cls.c_name) cls.c_methods)
+      List.iter (extract_meth config app graph ~clones ~owner:cls.c_name) cls.c_methods)
     app.program.p_classes;
   List.iter (seed_activity_callbacks app graph) (Framework.App.activity_classes app);
   if config.Config.model_dialogs then seed_dialog_callbacks app graph;

@@ -116,7 +116,9 @@ let create () =
   }
 
 (* Idempotent per site: inlined clones of a statement denote the same
-   allocation abstraction. *)
+   allocation abstraction.  The dedup table ([alloc_seen]) is part of
+   the graph, so concurrent extractions on separate domains — each
+   owning its own graph — cannot interleave allocation lists. *)
 let fresh_alloc t ~cls ~site =
   let alloc = { Node.a_site = site; a_cls = cls } in
   if not (Hashtbl.mem t.alloc_seen alloc) then begin

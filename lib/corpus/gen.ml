@@ -248,13 +248,15 @@ let pick_view_field rng act ~prefer_container =
       let pool = if prefer_container && containers <> [] then containers else fields in
       Some (fst (Util.Prng.choose rng pool))
 
+(* Built eagerly at module init (not [lazy]): a lazy forced for the
+   first time by two domains at once is a race, and generation runs on
+   pool workers.  Read-only afterward, so concurrent lookups are safe. *)
 let container_class_set =
-  lazy
-    (let tbl = Hashtbl.create 16 in
-     List.iter (fun cls -> Hashtbl.replace tbl cls ()) container_classes;
-     tbl)
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun cls -> Hashtbl.replace tbl cls ()) container_classes;
+  tbl
 
-let is_container_class cls = Hashtbl.mem (Lazy.force container_class_set) cls
+let is_container_class cls = Hashtbl.mem container_class_set cls
 
 let emit_item rng ~share act listener_classes item =
   (* Every activity starts with a root find, so a view field is always

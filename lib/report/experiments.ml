@@ -5,20 +5,56 @@ type corpus_run = {
   cr_table2 : Gator.Metrics.table2_row;
 }
 
-let run_corpus ?(config = Gator.Config.default) () =
-  List.map
-    (fun spec ->
-      let app = Corpus.Gen.generate spec in
-      let analysis = Gator.Analysis.analyze ~config app in
-      {
-        cr_spec = spec;
-        cr_analysis = analysis;
-        cr_table1 = Gator.Metrics.table1 analysis;
-        cr_table2 = Gator.Metrics.table2 analysis;
-      })
-    Corpus.Apps.specs
+type corpus_result = {
+  cs_spec : Corpus.Spec.t;
+  cs_seconds : float;
+  cs_run : (corpus_run, string) result;
+}
 
-let table1 runs =
+let effective_jobs ?jobs (config : Gator.Config.t) =
+  match jobs with Some j -> max 1 j | None -> Pool.default_jobs ~cap:config.Gator.Config.jobs ()
+
+(* One batch task: generate, analyze, measure.  The app is built
+   inside the task so no mutable structure (hierarchy caches, layout
+   packages, graphs) is shared across worker domains. *)
+let run_one config spec =
+  let app = Corpus.Gen.generate spec in
+  let analysis = Gator.Analysis.analyze ~config app in
+  {
+    cr_spec = spec;
+    cr_analysis = analysis;
+    cr_table1 = Gator.Metrics.table1 analysis;
+    cr_table2 = Gator.Metrics.table2 analysis;
+  }
+
+let run_corpus ?(config = Gator.Config.default) ?jobs ?(fail_apps = []) () =
+  let jobs = effective_jobs ?jobs config in
+  let tasks =
+    List.map
+      (fun spec () ->
+        if List.mem spec.Corpus.Spec.sp_name fail_apps then
+          failwith ("injected failure in " ^ spec.Corpus.Spec.sp_name);
+        run_one config spec)
+      Corpus.Apps.specs
+  in
+  List.map2
+    (fun spec (outcome : _ Pool.outcome) ->
+      {
+        cs_spec = spec;
+        cs_seconds = outcome.Pool.oc_seconds;
+        cs_run = Result.map_error (fun e -> e.Pool.err_exn) outcome.Pool.oc_result;
+      })
+    Corpus.Apps.specs (Pool.run ~jobs tasks)
+
+let corpus_runs results =
+  List.filter_map (fun r -> Result.to_option r.cs_run) results
+
+(* A failed app still occupies its row: name, the captured exception,
+   dashes for the metric columns the task never produced. *)
+let failed_row ~columns name err =
+  name :: ("FAILED: " ^ err) :: List.init (columns - 2) (fun _ -> "-")
+
+let table1 results =
   let header =
     [
       "App"; "classes"; "methods"; "ids L/V"; "views I/A"; "listeners"; "Inflate"; "FindView";
@@ -27,27 +63,30 @@ let table1 runs =
   in
   let rows =
     List.map
-      (fun run ->
-        let t = run.cr_table1 in
-        [
-          t.t1_app;
-          Table.cell_int t.t1_classes;
-          Table.cell_int t.t1_methods;
-          Printf.sprintf "%d/%d" t.t1_layout_ids t.t1_view_ids;
-          Printf.sprintf "%d/%d" t.t1_views_inflated t.t1_views_allocated;
-          Table.cell_int t.t1_listeners;
-          Table.cell_int t.t1_inflate_ops;
-          Table.cell_int t.t1_findview_ops;
-          Table.cell_int t.t1_addview_ops;
-          Table.cell_int t.t1_setid_ops;
-          Table.cell_int t.t1_setlistener_ops;
-        ])
-      runs
+      (fun result ->
+        match result.cs_run with
+        | Error err -> failed_row ~columns:(List.length header) result.cs_spec.Corpus.Spec.sp_name err
+        | Ok run ->
+            let t = run.cr_table1 in
+            [
+              t.t1_app;
+              Table.cell_int t.t1_classes;
+              Table.cell_int t.t1_methods;
+              Printf.sprintf "%d/%d" t.t1_layout_ids t.t1_view_ids;
+              Printf.sprintf "%d/%d" t.t1_views_inflated t.t1_views_allocated;
+              Table.cell_int t.t1_listeners;
+              Table.cell_int t.t1_inflate_ops;
+              Table.cell_int t.t1_findview_ops;
+              Table.cell_int t.t1_addview_ops;
+              Table.cell_int t.t1_setid_ops;
+              Table.cell_int t.t1_setlistener_ops;
+            ])
+      results
   in
   "Table 1: analyzed applications and relevant constraint graph nodes\n"
   ^ Table.render ~header rows
 
-let table2 runs =
+let table2 ?(timings = true) results =
   let header =
     [
       "App"; "time(s)"; "paper(s)"; "receivers"; "paper"; "parameters"; "results"; "listeners";
@@ -55,26 +94,31 @@ let table2 runs =
   in
   let rows =
     List.map
-      (fun run ->
-        let t = run.cr_table2 in
-        let paper = Paper.table2 t.t2_app in
-        [
-          t.t2_app;
-          Table.cell_seconds t.t2_seconds;
-          (match paper with Some p -> Table.cell_seconds p.p2_seconds | None -> "-");
-          Table.cell_float t.t2_receivers;
-          (match paper with Some p -> Printf.sprintf "%.2f" p.p2_receivers | None -> "-");
-          Table.cell_float t.t2_parameters;
-          Table.cell_float t.t2_results;
-          Table.cell_float t.t2_listeners;
-        ])
-      runs
+      (fun result ->
+        match result.cs_run with
+        | Error err -> failed_row ~columns:(List.length header) result.cs_spec.Corpus.Spec.sp_name err
+        | Ok run ->
+            let t = run.cr_table2 in
+            let paper = Paper.table2 t.t2_app in
+            [
+              t.t2_app;
+              (* timings are inherently nondeterministic; tests that
+                 compare reports byte-for-byte suppress them *)
+              (if timings then Table.cell_seconds t.t2_seconds else "-");
+              (match paper with Some p -> Table.cell_seconds p.p2_seconds | None -> "-");
+              Table.cell_float t.t2_receivers;
+              (match paper with Some p -> Printf.sprintf "%.2f" p.p2_receivers | None -> "-");
+              Table.cell_float t.t2_parameters;
+              Table.cell_float t.t2_results;
+              Table.cell_float t.t2_listeners;
+            ])
+      results
   in
   "Table 2: analysis running time and average solution sizes\n"
   ^ Table.render ~header rows
   ^ "\n(paper columns: values published in the paper; \"-\" where the paper reports no such ops)"
 
-let solver_stats runs =
+let solver_stats results =
   let header =
     [
       "App"; "solver"; "ops"; "rounds"; "op applies"; "naive equiv"; "saved"; "propagations";
@@ -83,28 +127,31 @@ let solver_stats runs =
   in
   let rows =
     List.map
-      (fun run ->
-        let s = Gator.Metrics.solver_stats run.cr_analysis in
-        let saved =
-          if s.sv_naive_equivalent = 0 then "-"
-          else
-            Printf.sprintf "%.1fx"
-              (float_of_int s.sv_naive_equivalent
-              /. float_of_int (max 1 s.sv_op_applications))
-        in
-        [
-          s.sv_app;
-          s.sv_solver;
-          Table.cell_int s.sv_ops;
-          Table.cell_int s.sv_iterations;
-          Table.cell_int s.sv_op_applications;
-          Table.cell_int s.sv_naive_equivalent;
-          saved;
-          Table.cell_int s.sv_propagations;
-          Table.cell_int s.sv_delta_pushes;
-          Printf.sprintf "%d/%d" s.sv_desc_hits (s.sv_desc_hits + s.sv_desc_misses);
-        ])
-      runs
+      (fun result ->
+        match result.cs_run with
+        | Error err -> failed_row ~columns:(List.length header) result.cs_spec.Corpus.Spec.sp_name err
+        | Ok run ->
+            let s = Gator.Metrics.solver_stats run.cr_analysis in
+            let saved =
+              if s.sv_naive_equivalent = 0 then "-"
+              else
+                Printf.sprintf "%.1fx"
+                  (float_of_int s.sv_naive_equivalent
+                  /. float_of_int (max 1 s.sv_op_applications))
+            in
+            [
+              s.sv_app;
+              s.sv_solver;
+              Table.cell_int s.sv_ops;
+              Table.cell_int s.sv_iterations;
+              Table.cell_int s.sv_op_applications;
+              Table.cell_int s.sv_naive_equivalent;
+              saved;
+              Table.cell_int s.sv_propagations;
+              Table.cell_int s.sv_delta_pushes;
+              Printf.sprintf "%d/%d" s.sv_desc_hits (s.sv_desc_hits + s.sv_desc_misses);
+            ])
+      results
   in
   "Solver work: delta scheduling vs naive re-iteration (naive equiv = rounds * |ops|)\n"
   ^ Table.render ~header rows

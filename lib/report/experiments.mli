@@ -8,17 +8,40 @@ type corpus_run = {
   cr_table2 : Gator.Metrics.table2_row;
 }
 
-val run_corpus : ?config:Gator.Config.t -> unit -> corpus_run list
-(** Generate and analyze all 20 apps. *)
+type corpus_result = {
+  cs_spec : Corpus.Spec.t;
+  cs_seconds : float;  (** task wall time: generation + analysis + metrics *)
+  cs_run : (corpus_run, string) result;
+      (** [Error] carries the captured per-app exception text; sibling
+          apps are unaffected *)
+}
 
-val table1 : corpus_run list -> string
+val effective_jobs : ?jobs:int -> Gator.Config.t -> int
+(** [jobs] when given (clamped to >= 1), otherwise
+    [Domain.recommended_domain_count] capped by [config.jobs]. *)
+
+val run_corpus :
+  ?config:Gator.Config.t -> ?jobs:int -> ?fail_apps:string list -> unit -> corpus_result list
+(** Generate and analyze all 20 apps — on a worker-domain pool when
+    the effective job count exceeds 1, else on the exact sequential
+    path.  Results are in corpus (submission) order either way, and a
+    crashing app yields an [Error] row instead of aborting the batch.
+    [fail_apps] injects a deliberate failure into the named apps, for
+    fault-isolation tests and smoke runs. *)
+
+val corpus_runs : corpus_result list -> corpus_run list
+(** The successful runs, in corpus order. *)
+
+val table1 : corpus_result list -> string
 (** Table 1: application features and constraint-graph populations. *)
 
-val table2 : corpus_run list -> string
+val table2 : ?timings:bool -> corpus_result list -> string
 (** Table 2: running time and average solution sizes, alongside the
-    paper's published time and receivers columns. *)
+    paper's published time and receivers columns.  [~timings:false]
+    renders "-" for the measured time column, making the output
+    deterministic for byte-for-byte comparisons. *)
 
-val solver_stats : corpus_run list -> string
+val solver_stats : corpus_result list -> string
 (** Beyond-paper: solver work counters (op applications vs the naive
     [rounds * |ops|] equivalent, delta pushes, descendants-cache hit
     rate) for each run. *)

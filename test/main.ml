@@ -27,6 +27,7 @@ let () =
       ("gen", Test_gen.suite);
       ("metrics", Test_metrics.suite);
       ("report", Test_report.suite);
+      ("pool", Test_pool.suite);
       ("project", Test_project.suite);
       ("misc", Test_misc.suite);
       ("isomorphism", Test_isomorphism.suite);
