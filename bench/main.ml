@@ -93,6 +93,11 @@ let tests () =
          (let graph = Gator.Extract.run Gator.Config.default xbmc in
           let config = { Gator.Config.default with solver = Gator.Config.Delta } in
           fun () -> Gator.Solve.run config xbmc graph));
+    Test.make ~name:"analysis/interned(XBMC)"
+      (Staged.stage
+         (let graph = Gator.Extract.run Gator.Config.default xbmc in
+          let config = { Gator.Config.default with solver = Gator.Config.Interned } in
+          fun () -> Gator.Solve.run config xbmc graph));
     (* Ablations: each knob on the XBMC outlier *)
     config_bench "ablation/default(XBMC)" Gator.Config.default xbmc;
     config_bench "ablation/no-cast-filter(XBMC)"
@@ -144,9 +149,48 @@ let corpus_head_to_head () =
   print_newline ();
   (1, seq_seconds, true) :: entries
 
-(* Machine-readable results: per-test median nanoseconds plus the
-   solver work counters, for regression tracking across commits. *)
-let write_json_results rows corpus_batch =
+(* ------------------------------------------------------------------ *)
+(* Solver-engine head-to-head over the whole corpus: every app is
+   generated and extracted once up front, then each engine re-solves
+   all 20 graphs — so the comparison isolates the fixpoint engines
+   from parsing, extraction, and metrics. *)
+
+let engine_head_to_head () =
+  let prepared =
+    List.map
+      (fun spec ->
+        let app = Corpus.Gen.generate spec in
+        (app, Gator.Extract.run Gator.Config.default app))
+      Corpus.Apps.specs
+  in
+  let time_engine solver =
+    let config = { Gator.Config.default with solver } in
+    let solve_all () =
+      List.iter (fun (app, graph) -> ignore (Gator.Solve.run config app graph)) prepared
+    in
+    solve_all ();
+    (* warm-up: inflation memos, allocators *)
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      solve_all ();
+      best := min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  let delta_seconds = time_engine Gator.Config.Delta in
+  let interned_seconds = time_engine Gator.Config.Interned in
+  Printf.printf "Full-corpus solver head-to-head (solve phase only, %d apps, best of 3):\n"
+    (List.length prepared);
+  Printf.printf "  delta     %7.4f s\n" delta_seconds;
+  Printf.printf "  interned  %7.4f s  %.2fx\n" interned_seconds (delta_seconds /. interned_seconds);
+  print_newline ();
+  (List.length prepared, delta_seconds, interned_seconds)
+
+(* Machine-readable results: per-test median nanoseconds and GC words
+   plus the solver work counters, for regression tracking across
+   commits. *)
+let write_json_results rows corpus_batch engines =
   let solver_counters =
     let app = app_named "XBMC" in
     List.map
@@ -165,8 +209,11 @@ let write_json_results rows corpus_batch =
             ("delta_pushes", Util.Json.Int row.sv_delta_pushes);
             ("desc_cache_hits", Util.Json.Int row.sv_desc_hits);
             ("desc_cache_misses", Util.Json.Int row.sv_desc_misses);
+            ("interned_values", Util.Json.Int row.sv_interned_values);
+            ("bitset_words", Util.Json.Int row.sv_bitset_words);
+            ("union_calls", Util.Json.Int row.sv_union_calls);
           ])
-      [ Gator.Config.Naive; Gator.Config.Delta ]
+      [ Gator.Config.Naive; Gator.Config.Delta; Gator.Config.Interned ]
   in
   let seq_seconds =
     match corpus_batch with (_, s, _) :: _ -> s | [] -> Float.nan
@@ -183,18 +230,34 @@ let write_json_results rows corpus_batch =
           ])
       corpus_batch
   in
+  let apps, delta_seconds, interned_seconds = engines in
+  let engine_entry =
+    Util.Json.Obj
+      [
+        ("corpus_apps", Util.Json.Int apps);
+        ("delta_seconds", Util.Json.Float delta_seconds);
+        ("interned_seconds", Util.Json.Float interned_seconds);
+        ("speedup", Util.Json.Float (delta_seconds /. interned_seconds));
+      ]
+  in
   let json =
     Util.Json.Obj
       [
         ( "benchmarks",
           Util.Json.List
             (List.map
-               (fun (name, nanos) ->
+               (fun (name, nanos, minor, major) ->
                  Util.Json.Obj
-                   [ ("name", Util.Json.String name); ("nanos", Util.Json.Float nanos) ])
+                   [
+                     ("name", Util.Json.String name);
+                     ("nanos", Util.Json.Float nanos);
+                     ("minor_words", Util.Json.Float minor);
+                     ("major_words", Util.Json.Float major);
+                   ])
                rows) );
         ("solver_stats", Util.Json.List solver_counters);
         ("corpus_batch", Util.Json.List batch_entries);
+        ("solver_head_to_head", engine_entry);
       ]
   in
   let path = "BENCH_results.json" in
@@ -206,35 +269,40 @@ let write_json_results rows corpus_batch =
 
 let run_benchmarks () =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
-  let instances = Instance.[ monotonic_clock ] in
+  let instances = Instance.[ monotonic_clock; minor_allocated; major_allocated ] in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
   let grouped = Test.make_grouped ~name:"gator" ~fmt:"%s %s" (tests ()) in
   let raw = Benchmark.all cfg instances grouped in
-  let results = Analyze.all ols Instance.monotonic_clock raw in
-  let rows =
-    Hashtbl.fold
-      (fun name ols acc ->
-        let nanos =
-          match Analyze.OLS.estimates ols with Some [ est ] -> est | _ -> Float.nan
-        in
-        (name, nanos) :: acc)
-      results []
-    |> List.sort compare
+  let estimate results name =
+    match Hashtbl.find_opt results name with
+    | Some ols -> (
+        match Analyze.OLS.estimates ols with Some [ est ] -> est | _ -> Float.nan)
+    | None -> Float.nan
   in
-  print_endline "Benchmarks (monotonic clock per run):";
+  let nanos_by = Analyze.all ols Instance.monotonic_clock raw in
+  let minor_by = Analyze.all ols Instance.minor_allocated raw in
+  let major_by = Analyze.all ols Instance.major_allocated raw in
+  let rows =
+    Hashtbl.fold (fun name _ acc -> name :: acc) nanos_by []
+    |> List.sort compare
+    |> List.map (fun name ->
+           (name, estimate nanos_by name, estimate minor_by name, estimate major_by name))
+  in
+  print_endline "Benchmarks (monotonic clock and GC words per run):";
   List.iter
-    (fun (name, nanos) ->
+    (fun (name, nanos, minor, major) ->
       let pretty =
         if nanos >= 1e9 then Printf.sprintf "%8.3f s " (nanos /. 1e9)
         else if nanos >= 1e6 then Printf.sprintf "%8.3f ms" (nanos /. 1e6)
         else Printf.sprintf "%8.3f us" (nanos /. 1e3)
       in
-      Printf.printf "  %-45s %s\n" name pretty)
+      Printf.printf "  %-45s %s  minor %12.0f w  major %10.0f w\n" name pretty minor major)
     rows;
   rows
 
 let () =
   print_reproduction ();
   let corpus_batch = corpus_head_to_head () in
+  let engines = engine_head_to_head () in
   let rows = run_benchmarks () in
-  write_json_results rows corpus_batch
+  write_json_results rows corpus_batch engines

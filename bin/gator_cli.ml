@@ -25,8 +25,8 @@ let load code_path layout_paths =
    stays in submission order no matter which worker finishes first.
    Every failure mode — unreadable file, parse error, failed
    diagnostics, analysis crash — is an [Error]. *)
-let analyze_one ~dump_dot ~show_interactions ~show_diagnostics ~run_dynamic ~json code_path
-    layout_paths =
+let analyze_one ~config ~dump_dot ~show_interactions ~show_diagnostics ~run_dynamic ~json
+    code_path layout_paths =
   match load code_path layout_paths with
   | Error e -> Error e
   | Ok app ->
@@ -45,7 +45,7 @@ let analyze_one ~dump_dot ~show_interactions ~show_diagnostics ~run_dynamic ~jso
         Error (Buffer.contents buf ^ "diagnostics reported errors")
       end
       else begin
-        let r = Gator.Analysis.analyze app in
+        let r = Gator.Analysis.analyze ~config app in
         if json then Buffer.add_string buf (Gator.Export.to_string ~pretty:true r ^ "\n")
         else begin
           Fmt.pf ppf "%a@.@." Gator.Analysis.pp_summary r;
@@ -83,9 +83,11 @@ let analyze_one ~dump_dot ~show_interactions ~show_diagnostics ~run_dynamic ~jso
         Ok (Buffer.contents buf)
       end
 
-let run code_paths layout_paths dump_dot show_interactions show_diagnostics run_dynamic json jobs =
+let run code_paths layout_paths solver dump_dot show_interactions show_diagnostics run_dynamic
+    json jobs =
+  let config = { Gator.Config.default with solver } in
   let analyze path =
-    analyze_one ~dump_dot ~show_interactions ~show_diagnostics ~run_dynamic ~json path
+    analyze_one ~config ~dump_dot ~show_interactions ~show_diagnostics ~run_dynamic ~json path
       layout_paths
   in
   match code_paths with
@@ -139,6 +141,23 @@ let () =
       & info [ "l"; "layout" ] ~docv:"XML"
           ~doc:"Layout XML file; its basename (minus extension) is the layout name. Repeatable.")
   in
+  let solver =
+    let engines =
+      [
+        ("naive", Gator.Config.Naive);
+        ("delta", Gator.Config.Delta);
+        ("interned", Gator.Config.Interned);
+      ]
+    in
+    Arg.(
+      value
+      & opt (enum engines) Gator.Config.default.Gator.Config.solver
+      & info [ "solver" ] ~docv:"ENGINE"
+          ~doc:
+            "Constraint-solver engine: $(b,naive) (executable specification), $(b,delta) \
+             (semi-naive structural), or $(b,interned) (semi-naive over dense ids and bitsets; \
+             default). All three produce the same solution.")
+  in
   let dot = Arg.(value & flag & info [ "dot" ] ~doc:"Dump the constraint graph in Graphviz form.") in
   let interactions =
     Arg.(value & flag & info [ "interactions" ] ~doc:"Print (activity, view, event, handler) tuples.")
@@ -164,7 +183,9 @@ let () =
              count capped by the configured maximum; 1 forces the sequential path.")
   in
   let term =
-    Term.(const run $ code $ layouts $ dot $ interactions $ diagnostics $ dynamic $ json $ jobs)
+    Term.(
+      const run $ code $ layouts $ solver $ dot $ interactions $ diagnostics $ dynamic $ json
+      $ jobs)
   in
   let info =
     Cmd.info "gator" ~doc:"Static reference analysis for GUI objects (CGO'14) on ALite programs."

@@ -1,6 +1,6 @@
-type solver = Naive | Delta
+type solver = Naive | Delta | Interned
 
-let solver_name = function Naive -> "naive" | Delta -> "delta"
+let solver_name = function Naive -> "naive" | Delta -> "delta" | Interned -> "interned"
 
 type t = {
   cast_filtering : bool;
@@ -21,7 +21,7 @@ let default =
     model_dialogs = true;
     inline_depth = 0;
     max_iterations = 1000;
-    solver = Delta;
+    solver = Interned;
     jobs = 8;
   }
 
@@ -33,6 +33,6 @@ let baseline =
     model_dialogs = false;
     inline_depth = 0;
     max_iterations = 1000;
-    solver = Delta;
+    solver = Interned;
     jobs = 8;
   }

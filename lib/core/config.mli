@@ -5,11 +5,14 @@
     switch exists for the ablation benchmarks documented in
     DESIGN.md. *)
 
-(** Fixed-point engine selection.  Both compute the same solution;
-    [Naive] re-applies every operation against full sets each round,
-    [Delta] (the default) schedules only ops whose inputs grew, via the
-    graph's dependency index and per-node delta sets. *)
-type solver = Naive | Delta
+(** Fixed-point engine selection.  All three compute the same
+    solution; [Naive] re-applies every operation against full sets
+    each round (the executable specification), [Delta] schedules only
+    ops whose inputs grew via the graph's dependency index and
+    per-node delta sets, and [Interned] (the default) runs the same
+    semi-naive schedule over hash-consed dense integer ids with bitset
+    solution sets and a CSR flow graph. *)
+type solver = Naive | Delta | Interned
 
 val solver_name : solver -> string
 

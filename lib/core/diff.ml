@@ -18,7 +18,7 @@ type t = {
 module Site_map = Map.Make (struct
   type t = Node.op_site
 
-  let compare = Stdlib.compare
+  let compare = Node.compare_op_site
 end)
 
 (* Clone records (context sensitivity) of the same site are merged:

@@ -24,6 +24,27 @@ module String_set = Set.Make (String)
 
 type edge_kind = E_direct | E_cast of string
 
+(* Hashed-key tables with explicit equal/hash (the polymorphic hash
+   walks whole nested records and caps its traversal; these reuse the
+   explicit [Node] hashes).  Edge dedup runs over interned ids — the
+   endpoints are hash-consed before the membership test, so the key is
+   a flat int triple instead of two deep node structures. *)
+module Edge_seen = Hashtbl.Make (struct
+  type t = int * int * int  (** src id, cast sym (-1 = direct), dst id *)
+
+  let equal (s1, k1, d1) (s2, k2, d2) = s1 = s2 && k1 = k2 && d1 = d2
+
+  let hash (s, k, d) = Node.mix (Node.mix s k) d
+end)
+
+module Alloc_seen = Hashtbl.Make (struct
+  type t = Node.alloc_site
+
+  let equal a b = Node.compare_alloc a b = 0
+
+  let hash = Node.hash_alloc
+end)
+
 type op = { site : Node.op_site; op_recv : Node.t; op_args : Node.t list; op_out : Node.t option }
 
 (* Dependency index for the delta solver: which ops read a given
@@ -46,8 +67,23 @@ type rel_changes = {
 }
 
 type t = {
+  g_it : Intern.t;
+      (** hash-consing interner: every node touched by an edge, seed,
+          or op gets a dense id at construction time, so the interned
+          solver's freeze step is pure integer work *)
   edges : (Node.t, (edge_kind * Node.t) list) Hashtbl.t;
-  edge_seen : (Node.t * edge_kind * Node.t, unit) Hashtbl.t;
+  mutable isuccs : (int * int) list array;
+      (** id-level mirror of [edges]: src id -> (cast sym, dst id),
+          newest first *)
+  icast_tbl : (string, int) Hashtbl.t;  (** cast class -> dense sym *)
+  mutable icast_rev : string list;  (** newest first *)
+  mutable frozen : (int * (int array * int array * int array * string array)) option;
+      (** CSR snapshot memo, keyed by the edge count it was built at;
+          flow edges only grow during extraction, so re-solving reuses
+          the frozen arrays *)
+  mutable iop_ids : (int * int array * int) list;
+      (** per op, newest first: (recv id, arg ids, out id or -1) *)
+  edge_seen : unit Edge_seen.t;
   mutable edge_total : int;
   seed_tbl : (Node.t, VS.t) Hashtbl.t;
   sets : (Node.t, VS.t) Hashtbl.t;
@@ -58,7 +94,7 @@ type t = {
   mutable op_list : op list;  (** reversed creation order *)
   mutable dep_index : dep_index option;  (** lazily built, invalidated by [fresh_op] *)
   mutable alloc_list : Node.alloc_site list;  (** reversed creation order *)
-  alloc_seen : (Node.alloc_site, unit) Hashtbl.t;
+  alloc_seen : unit Alloc_seen.t;
   children_tbl : (Node.view_abs, View_set.t) Hashtbl.t;
   parents_tbl : (Node.view_abs, View_set.t) Hashtbl.t;
   desc_cache : (Node.view_abs, View_set.t) Hashtbl.t;
@@ -83,8 +119,14 @@ type t = {
 
 let create () =
   {
+    g_it = Intern.create ();
     edges = Hashtbl.create 256;
-    edge_seen = Hashtbl.create 256;
+    isuccs = [||];
+    icast_tbl = Hashtbl.create 8;
+    icast_rev = [];
+    frozen = None;
+    iop_ids = [];
+    edge_seen = Edge_seen.create 256;
     edge_total = 0;
     seed_tbl = Hashtbl.create 128;
     sets = Hashtbl.create 256;
@@ -93,7 +135,7 @@ let create () =
     op_list = [];
     dep_index = None;
     alloc_list = [];
-    alloc_seen = Hashtbl.create 64;
+    alloc_seen = Alloc_seen.create 64;
     children_tbl = Hashtbl.create 64;
     parents_tbl = Hashtbl.create 64;
     desc_cache = Hashtbl.create 64;
@@ -121,30 +163,99 @@ let create () =
    owning its own graph — cannot interleave allocation lists. *)
 let fresh_alloc t ~cls ~site =
   let alloc = { Node.a_site = site; a_cls = cls } in
-  if not (Hashtbl.mem t.alloc_seen alloc) then begin
-    Hashtbl.add t.alloc_seen alloc ();
+  if not (Alloc_seen.mem t.alloc_seen alloc) then begin
+    Alloc_seen.add t.alloc_seen alloc ();
     t.alloc_list <- alloc :: t.alloc_list
   end;
   alloc
 
+let interner t = t.g_it
+
+let node_id t node = Intern.node t.g_it node
+
+let cast_sym t cls =
+  match Hashtbl.find_opt t.icast_tbl cls with
+  | Some sym -> sym
+  | None ->
+      let sym = Hashtbl.length t.icast_tbl in
+      Hashtbl.add t.icast_tbl cls sym;
+      t.icast_rev <- cls :: t.icast_rev;
+      sym
+
+let isuccs_ensure t i =
+  let n = Array.length t.isuccs in
+  if i >= n then begin
+    let grown = Array.make (max 256 (max (i + 1) (2 * n))) [] in
+    Array.blit t.isuccs 0 grown 0 n;
+    t.isuccs <- grown
+  end
+
 let fresh_op t ~kind ~site ~recv ~args ~out =
   let op = { site = { Node.o_site = site; o_kind = kind }; op_recv = recv; op_args = args; op_out = out } in
+  let rid = node_id t recv in
+  let aids = Array.of_list (List.map (node_id t) args) in
+  let oid = match out with Some n -> node_id t n | None -> -1 in
+  t.iop_ids <- (rid, aids, oid) :: t.iop_ids;
   t.op_list <- op :: t.op_list;
   t.dep_index <- None;
   op
 
 let add_edge t ?(kind = E_direct) src dst =
-  let key = (src, kind, dst) in
-  if not (Hashtbl.mem t.edge_seen key) then begin
-    Hashtbl.add t.edge_seen key ();
+  let sid = node_id t src and did = node_id t dst in
+  let ksym = match kind with E_direct -> -1 | E_cast cls -> cast_sym t cls in
+  let key = (sid, ksym, did) in
+  if not (Edge_seen.mem t.edge_seen key) then begin
+    Edge_seen.add t.edge_seen key ();
     t.edge_total <- t.edge_total + 1;
     let existing = Option.value (Hashtbl.find_opt t.edges src) ~default:[] in
-    Hashtbl.replace t.edges src ((kind, dst) :: existing)
+    Hashtbl.replace t.edges src ((kind, dst) :: existing);
+    isuccs_ensure t sid;
+    t.isuccs.(sid) <- (ksym, did) :: t.isuccs.(sid)
   end
 
 let seed t node value =
+  ignore (node_id t node);
   let existing = Option.value (Hashtbl.find_opt t.seed_tbl node) ~default:VS.empty in
   Hashtbl.replace t.seed_tbl node (VS.add value existing)
+
+(* CSR snapshot of the flow edges over the interned ids: [isuccs] keeps
+   each adjacency newest-first, so laying entries out backward from the
+   row boundary restores insertion order. *)
+let build_frozen_flow t =
+  let n = Intern.node_count t.g_it in
+  let m = Array.length t.isuccs in
+  let row = Array.make (n + 1) 0 in
+  for i = 0 to min m n - 1 do
+    row.(i + 1) <- List.length t.isuccs.(i)
+  done;
+  for i = 0 to n - 1 do
+    row.(i + 1) <- row.(i) + row.(i + 1)
+  done;
+  let edst = Array.make row.(n) 0 in
+  let ekind = Array.make row.(n) (-1) in
+  for i = 0 to min m n - 1 do
+    let e = ref row.(i + 1) in
+    List.iter
+      (fun (ksym, did) ->
+        decr e;
+        edst.(!e) <- did;
+        ekind.(!e) <- ksym)
+      t.isuccs.(i)
+  done;
+  (row, edst, ekind, Array.of_list (List.rev t.icast_rev))
+
+(* Nodes minted after the snapshot (views discovered while solving)
+   have no flow edges, so a memo built at the same edge count is still
+   exact even though the interner has grown since. *)
+let frozen_flow t =
+  match t.frozen with
+  | Some (at_edges, csr) when at_edges = t.edge_total -> csr
+  | _ ->
+      let csr = build_frozen_flow t in
+      t.frozen <- Some (t.edge_total, csr);
+      csr
+
+let ops_node_ids t = Array.of_list (List.rev t.iop_ids)
 
 let set_of t node = Option.value (Hashtbl.find_opt t.sets node) ~default:VS.empty
 
@@ -380,6 +491,36 @@ let take_rel_changes t =
   t.rc_onclick <- false;
   t.rc_fragments <- false;
   c
+
+(* Solution installation (interned solver): after solving on dense
+   ids, the engine decodes its bitsets and writes the structural
+   tables wholesale, so downstream consumers are engine-agnostic.
+   [reset_solution_tables] clears exactly the tables the id-level
+   stores mirror; the cold relations maintained structurally during
+   interned solving (onclick, declared fragments, root layouts,
+   inflations, transitions) are left untouched. *)
+let reset_solution_tables t =
+  Hashtbl.reset t.sets;
+  Hashtbl.reset t.children_tbl;
+  Hashtbl.reset t.parents_tbl;
+  Hashtbl.reset t.ids_tbl;
+  Hashtbl.reset t.views_by_id_tbl;
+  Hashtbl.reset t.roots_tbl;
+  Hashtbl.reset t.listeners_tbl
+
+let install_set t node vs = Hashtbl.replace t.sets node vs
+
+let install_children t view ws = Hashtbl.replace t.children_tbl view ws
+
+let install_parents t view ws = Hashtbl.replace t.parents_tbl view ws
+
+let install_ids t view ids = Hashtbl.replace t.ids_tbl view ids
+
+let install_views_by_id t id ws = Hashtbl.replace t.views_by_id_tbl id ws
+
+let install_roots t holder ws = Hashtbl.replace t.roots_tbl holder ws
+
+let install_listeners t view ls = Hashtbl.replace t.listeners_tbl view ls
 
 let ops t = List.rev t.op_list
 

@@ -194,6 +194,62 @@ val ops_reading_ids : t -> op list
 
 val ops_reading_roots : t -> op list
 
+val reads_children : op -> bool
+(** Does the op's rule consult the parent/child relation? *)
+
+val reads_ids : op -> bool
+
+val reads_roots : op -> bool
+
+(** {1 Interned ids (interned solver)}
+
+    The graph hash-conses every node touched by an edge, seed, or op
+    into a shared {!Intern.t} as it is built, and mirrors the flow
+    edges at the id level.  The interned solver therefore freezes into
+    CSR arrays with pure integer work — no node is re-hashed at solve
+    time. *)
+
+val interner : t -> Intern.t
+
+val node_id : t -> Node.t -> int
+(** Dense id of [node], minting one if the node is new. *)
+
+val frozen_flow : t -> int array * int array * int array * string array
+(** [(row, edst, ekind, cast_names)]: CSR flow edges over node ids in
+    insertion order.  [row] has [node count + 1] entries; edge [e] goes
+    to [edst.(e)] with [ekind.(e) = -1] for a direct edge, otherwise
+    the index of the cast class in [cast_names]. *)
+
+val ops_node_ids : t -> (int * int array * int) array
+(** Aligned with {!ops}: per op, (recv id, arg ids, out id or [-1]). *)
+
+(** {1 Solution installation (interned solver)}
+
+    The interned engine solves over dense ids and then decodes its
+    bitsets back into these structural tables, so every consumer of
+    the solved graph is engine-agnostic.  {!reset_solution_tables}
+    clears exactly the tables the id-level stores mirror (points-to
+    sets, children/parents, view ids and the reverse index, holder
+    roots, listeners); cold relations the interned engine maintains
+    structurally (onclick, declared fragments, root layouts,
+    inflations, transitions) are untouched. *)
+
+val reset_solution_tables : t -> unit
+
+val install_set : t -> Node.t -> VS.t -> unit
+
+val install_children : t -> Node.view_abs -> View_set.t -> unit
+
+val install_parents : t -> Node.view_abs -> View_set.t -> unit
+
+val install_ids : t -> Node.view_abs -> Int_set.t -> unit
+
+val install_views_by_id : t -> int -> View_set.t -> unit
+
+val install_roots : t -> Node.holder -> View_set.t -> unit
+
+val install_listeners : t -> Node.view_abs -> Listener_set.t -> unit
+
 val allocs : t -> Node.alloc_site list
 
 val locations : t -> Node.t list

@@ -26,6 +26,9 @@ type solver_row = {
   sv_delta_pushes : int;
   sv_desc_hits : int;
   sv_desc_misses : int;
+  sv_interned_values : int;
+  sv_bitset_words : int;
+  sv_union_calls : int;
 }
 
 type table2_row = {
@@ -126,6 +129,9 @@ let solver_stats (r : Analysis.t) =
     sv_delta_pushes = stats.Solve.delta_pushes;
     sv_desc_hits = stats.Solve.desc_cache_hits;
     sv_desc_misses = stats.Solve.desc_cache_misses;
+    sv_interned_values = stats.Solve.interned_values;
+    sv_bitset_words = stats.Solve.bitset_words;
+    sv_union_calls = stats.Solve.union_calls;
   }
 
 let table2 (r : Analysis.t) =

@@ -36,7 +36,7 @@ type table2_row = {
     delta engine does strictly less work than naive re-iteration. *)
 type solver_row = {
   sv_app : string;
-  sv_solver : string;  (** "naive" or "delta" *)
+  sv_solver : string;  (** "naive", "delta", or "interned" *)
   sv_ops : int;
   sv_iterations : int;
   sv_op_applications : int;
@@ -46,6 +46,10 @@ type solver_row = {
   sv_delta_pushes : int;
   sv_desc_hits : int;
   sv_desc_misses : int;
+  sv_interned_values : int;
+      (** distinct abstract values hash-consed; [0] for structural engines *)
+  sv_bitset_words : int;  (** words allocated across solution bitsets *)
+  sv_union_calls : int;  (** word-level unions on direct flow edges *)
 }
 
 val table1 : Analysis.t -> table1_row

@@ -179,9 +179,65 @@ let compare a b =
       let tag = function N_var _ -> 0 | N_field _ -> 1 | N_ret _ -> 2 in
       Int.compare (tag a) (tag b)
 
+let compare_op_site a b =
+  let c = compare_site a.o_site b.o_site in
+  if c <> 0 then c else Framework.Api.compare_kind a.o_kind b.o_kind
+
 let equal a b = compare a b = 0
 
-let hash = Hashtbl.hash
+let equal_view a b = compare_view a b = 0
+
+let equal_value a b = compare_value a b = 0
+
+let equal_listener a b = compare_listener a b = 0
+
+let equal_holder a b = compare_holder a b = 0
+
+(* Explicit hashes, paired with the explicit equalities above so
+   hashed containers never fall back to the polymorphic hash (which
+   walks the whole representation and caps its traversal).  FNV-1a
+   style mixing; string leaves still use [Hashtbl.hash], which hashes
+   string contents directly. *)
+
+let mix h1 h2 = (h1 * 0x01000193) lxor h2
+
+let hash_string (s : string) = Hashtbl.hash s
+
+let hash_mid m = mix (mix (hash_string m.mid_cls) (hash_string m.mid_name)) m.mid_arity
+
+let hash_site s = mix (hash_mid s.s_in) s.s_stmt
+
+let hash_alloc a = mix (hash_site a.a_site) (hash_string a.a_cls)
+
+let hash_infl i =
+  let h = mix (hash_site i.v_site) (hash_string i.v_layout) in
+  let h = List.fold_left (fun h p -> mix h p) h i.v_path in
+  let h = mix h (hash_string i.v_cls) in
+  match i.v_vid with None -> mix h 1 | Some vid -> mix h (hash_string vid)
+
+let hash_view = function
+  | V_infl i -> mix 3 (hash_infl i)
+  | V_alloc a -> mix 5 (hash_alloc a)
+
+let hash_value = function
+  | V_view v -> mix 7 (hash_view v)
+  | V_act a -> mix 11 (hash_string a)
+  | V_obj a -> mix 13 (hash_alloc a)
+  | V_layout_id id -> mix 17 id
+  | V_view_id id -> mix 19 id
+
+let hash_listener = function
+  | L_alloc a -> mix 23 (hash_alloc a)
+  | L_act a -> mix 29 (hash_string a)
+
+let hash_holder = function
+  | H_act a -> mix 31 (hash_string a)
+  | H_dialog a -> mix 37 (hash_alloc a)
+
+let hash = function
+  | N_var (m, v) -> mix 41 (mix (hash_mid m) (hash_string v))
+  | N_field f -> mix 43 (hash_string f)
+  | N_ret m -> mix 47 (hash_mid m)
 
 let pp ppf = function
   | N_var (m, v) -> Fmt.pf ppf "%a:%s" pp_mid m v

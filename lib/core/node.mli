@@ -120,6 +120,41 @@ val compare_listener : listener_abs -> listener_abs -> int
 
 val compare_holder : holder -> holder -> int
 
+val compare_op_site : op_site -> op_site -> int
+
+val equal_view : view_abs -> view_abs -> bool
+
+val equal_value : value -> value -> bool
+
+val equal_listener : listener_abs -> listener_abs -> bool
+
+val equal_holder : holder -> holder -> bool
+
+(** {1 Hashes}
+
+    Explicit hashes paired with the explicit equalities, for hashed
+    containers (the interner pools, the graph's dedup tables); the
+    polymorphic hash caps its traversal of nested records. *)
+
+val mix : int -> int -> int
+(** FNV-1a style combinator used by all the hashes below. *)
+
+val hash_string : string -> int
+
+val hash_mid : mid -> int
+
+val hash_site : site -> int
+
+val hash_alloc : alloc_site -> int
+
+val hash_view : view_abs -> int
+
+val hash_value : value -> int
+
+val hash_listener : listener_abs -> int
+
+val hash_holder : holder -> int
+
 val pp : t Fmt.t
 
 val pp_value : value Fmt.t

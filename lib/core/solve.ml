@@ -5,6 +5,10 @@ type stats = {
   delta_pushes : int;
   desc_cache_hits : int;
   desc_cache_misses : int;
+  interned_values : int;  (** distinct interned abstract values (interned solver, else 0) *)
+  interned_nodes : int;  (** distinct interned locations (interned solver, else 0) *)
+  bitset_words : int;  (** words allocated across solution-set bitsets (interned solver, else 0) *)
+  union_calls : int;  (** word-level bitset union calls on direct edges (interned solver, else 0) *)
 }
 
 (* Can a value pass through a cast to [cls]?  Sound filtering: the
@@ -678,36 +682,970 @@ let run_delta state =
     Logs.warn (fun m -> m "solver hit the iteration cap (%d); result may be partial" !iterations);
   !iterations
 
+(* ------------------------------------------------------------------ *)
+(* Interned engine: the same semi-naive fixed point as [run_delta],
+   computed over dense integer ids.  Every location, abstract value,
+   view, listener entry and holder is hash-consed ([Intern]) when first
+   seen; solution sets, delta sets and the view relations become
+   [Util.Bitset] over those ids, and the (static) flow edges are frozen
+   into CSR int arrays.  Ops decode ids back to structural values only
+   at rule boundaries (hierarchy lookups, inflation, callbacks).  The
+   final solution is materialized back into the graph's structural
+   tables, so every downstream consumer (Analysis, Metrics, Export,
+   Diff, tests) is engine-agnostic. *)
+
+(* Growable array of per-id bitsets; a slot is allocated on first use
+   so untouched ids cost one word. *)
+module Slots = struct
+  type t = { mutable a : Util.Bitset.t option array }
+
+  let create () = { a = [||] }
+
+  let ensure t i =
+    let n = Array.length t.a in
+    if i >= n then begin
+      let cap = max 64 (max (i + 1) (2 * n)) in
+      let a = Array.make cap None in
+      Array.blit t.a 0 a 0 n;
+      t.a <- a
+    end
+
+  let get t i =
+    ensure t i;
+    match t.a.(i) with
+    | Some b -> b
+    | None ->
+        let b = Util.Bitset.create () in
+        t.a.(i) <- Some b;
+        b
+
+  let find t i = if i < Array.length t.a then t.a.(i) else None
+
+  let set t i b =
+    ensure t i;
+    t.a.(i) <- Some b
+
+  (* Detach slot [i] (delta consumption): later pushes start fresh. *)
+  let take t i =
+    if i < Array.length t.a then begin
+      let b = t.a.(i) in
+      t.a.(i) <- None;
+      b
+    end
+    else None
+
+  let iteri f t = Array.iteri (fun i o -> match o with Some b -> f i b | None -> ()) t.a
+
+  let total_words t =
+    Array.fold_left (fun acc o -> match o with Some b -> acc + Util.Bitset.words b | None -> acc) 0 t.a
+end
+
+type istate = {
+  iconfig : Config.t;
+  iapp : Framework.App.t;
+  igraph : Graph.t;
+  it : Intern.t;
+  (* frozen flow edges, CSR over the node ids assigned at freeze time
+     (ids >= [csr_n] are minted during solving and have no edges) *)
+  csr_n : int;
+  row : int array;
+  edst : int array;
+  ekind : int array;  (** -1 = direct, else cast-class sym *)
+  cast_names : string array;  (** cast sym -> class name *)
+  mutable cast_memo : Bytes.t array;  (** per cast sym, per value id: 0 unknown / 1 pass / 2 fail *)
+  (* solution state *)
+  sols : Slots.t;  (** node id -> value-id set *)
+  ideltas : Slots.t;  (** node id -> values since last drain *)
+  mutable free_deltas : Util.Bitset.t list;
+      (** cleared delta sets recycled to avoid regrowing word arrays *)
+  nq : int Queue.t;
+  npending : Util.Bitset.t;
+  (* static op index *)
+  iops : Graph.op array;
+  iop_recv : int array;
+  iop_args : int array array;
+  iop_out : int array;  (** -1 = no out location *)
+  op_reads : int list array;  (** node id -> op indexes reading it *)
+  children_readers : int list;
+  ids_readers : int list;
+  roots_readers : int list;
+  (* view relations on ids *)
+  ichildren : Slots.t;
+  iparents : Slots.t;
+  idesc_cache : (int, Util.Bitset.t) Hashtbl.t;  (** strict descendant closures *)
+  mutable idesc_hits : int;
+  mutable idesc_misses : int;
+  iids : Slots.t;  (** view id -> rid syms *)
+  iby_id : Slots.t;  (** rid sym -> view ids *)
+  iroots : Slots.t;  (** holder id -> root view ids *)
+  ilisteners : Slots.t;  (** view id -> listener entry ids *)
+  mutable iholder_ids : int list;  (** discovery order, newest first *)
+  iholders_seen : Util.Bitset.t;
+  mutable irc_children : bool;
+  mutable irc_ids : bool;
+  mutable irc_roots : bool;
+  (* counters *)
+  mutable ipropagations : int;
+  mutable iop_applications : int;
+  mutable idelta_pushes : int;
+  mutable iunion_calls : int;
+}
+
+let ienqueue st nid = if Util.Bitset.add st.npending nid then Queue.push nid st.nq
+
+(* Delta slots cycle constantly (detached on drain, repopulated on the
+   next push); drawing from the recycle pool keeps their word arrays at
+   capacity instead of regrowing from scratch each round. *)
+let idelta_slot st nid =
+  match Slots.find st.ideltas nid with
+  | Some d -> d
+  | None -> (
+      match st.free_deltas with
+      | d :: rest ->
+          st.free_deltas <- rest;
+          Slots.set st.ideltas nid d;
+          d
+      | [] -> Slots.get st.ideltas nid)
+
+let ipush st nid vid =
+  if Util.Bitset.add (Slots.get st.sols nid) vid then begin
+    ignore (Util.Bitset.add (idelta_slot st nid) vid);
+    ienqueue st nid
+  end
+
+let cast_passes st sym vid =
+  let memo = st.cast_memo.(sym) in
+  let memo =
+    if vid >= Bytes.length memo then begin
+      let nlen = max 256 (max (vid + 1) (2 * Bytes.length memo)) in
+      let m = Bytes.make nlen '\000' in
+      Bytes.blit memo 0 m 0 (Bytes.length memo);
+      st.cast_memo.(sym) <- m;
+      m
+    end
+    else memo
+  in
+  match Bytes.get memo vid with
+  | '\001' -> true
+  | '\002' -> false
+  | _ ->
+      let ok =
+        passes_cast st.iapp.Framework.App.hierarchy st.cast_names.(sym)
+          (Intern.value_of st.it vid)
+      in
+      Bytes.set memo vid (if ok then '\001' else '\002');
+      ok
+
+(* Mirror of [propagate_delta] on ids.  Direct edges merge whole delta
+   words; cast edges filter per value through the per-sym memo. *)
+let ipropagate st ~changed =
+  while not (Queue.is_empty st.nq) do
+    let nid = Queue.pop st.nq in
+    Util.Bitset.remove st.npending nid;
+    st.ipropagations <- st.ipropagations + 1;
+    match Slots.take st.ideltas nid with
+    | None -> ()
+    | Some d when Util.Bitset.is_empty d ->
+        st.free_deltas <- d :: st.free_deltas
+    | Some d ->
+        (if nid < st.csr_n then begin
+           let hi = st.row.(nid + 1) in
+           let dcard = Util.Bitset.cardinal d in
+           for e = st.row.(nid) to hi - 1 do
+             let dst = st.edst.(e) in
+             let k = st.ekind.(e) in
+             if k < 0 then begin
+               st.idelta_pushes <- st.idelta_pushes + dcard;
+               st.iunion_calls <- st.iunion_calls + 1;
+               let grew = ref false in
+               Util.Bitset.union_delta ~into:(Slots.get st.sols dst) d ~on_new:(fun vid ->
+                   grew := true;
+                   ignore (Util.Bitset.add (idelta_slot st dst) vid));
+               if !grew then ienqueue st dst
+             end
+             else
+               Util.Bitset.iter
+                 (fun vid ->
+                   st.idelta_pushes <- st.idelta_pushes + 1;
+                   if cast_passes st k vid then ipush st dst vid)
+                 d
+           done
+         end);
+        Util.Bitset.clear d;
+        st.free_deltas <- d :: st.free_deltas;
+        changed nid
+  done
+
+(* Relation updates (id-level mirrors of the [Graph.add_*] family). *)
+
+let iancestors st wid =
+  let visited = Util.Bitset.create () in
+  ignore (Util.Bitset.add visited wid);
+  let q = Queue.create () in
+  Queue.push wid q;
+  while not (Queue.is_empty q) do
+    let cur = Queue.pop q in
+    match Slots.find st.iparents cur with
+    | None -> ()
+    | Some ps -> Util.Bitset.iter (fun p -> if Util.Bitset.add visited p then Queue.push p q) ps
+  done;
+  visited
+
+let istrict_descendants st wid =
+  let visited = Util.Bitset.create () in
+  let q = Queue.create () in
+  Queue.push wid q;
+  while not (Queue.is_empty q) do
+    let cur = Queue.pop q in
+    match Slots.find st.ichildren cur with
+    | None -> ()
+    | Some cs -> Util.Bitset.iter (fun c -> if Util.Bitset.add visited c then Queue.push c q) cs
+  done;
+  visited
+
+let idesc_cached st wid =
+  match Hashtbl.find_opt st.idesc_cache wid with
+  | Some s ->
+      st.idesc_hits <- st.idesc_hits + 1;
+      s
+  | None ->
+      st.idesc_misses <- st.idesc_misses + 1;
+      let s = istrict_descendants st wid in
+      Hashtbl.replace st.idesc_cache wid s;
+      s
+
+let iadd_child st ~parent ~child =
+  let grew = Util.Bitset.add (Slots.get st.ichildren parent) child in
+  if grew then begin
+    ignore (Util.Bitset.add (Slots.get st.iparents child) parent);
+    st.irc_children <- true;
+    if Hashtbl.length st.idesc_cache > 0 then
+      Util.Bitset.iter (fun v -> Hashtbl.remove st.idesc_cache v) (iancestors st parent)
+  end
+
+let iadd_view_id st wid raw =
+  let sym = Intern.rid st.it raw in
+  if Util.Bitset.add (Slots.get st.iids wid) sym then begin
+    ignore (Util.Bitset.add (Slots.get st.iby_id sym) wid);
+    st.irc_ids <- true
+  end
+
+let iadd_holder_root st hid root =
+  if Util.Bitset.add st.iholders_seen hid then st.iholder_ids <- hid :: st.iholder_ids;
+  if Util.Bitset.add (Slots.get st.iroots hid) root then st.irc_roots <- true
+
+let iadd_view_listener st wid entry = ignore (Util.Bitset.add (Slots.get st.ilisteners wid) entry)
+
+(* Value decoders over a location's solution set. *)
+
+let iter_ivalues st nid f = match Slots.find st.sols nid with None -> () | Some b -> Util.Bitset.iter f b
+
+let irids_at st nid =
+  let acc = ref [] in
+  iter_ivalues st nid (fun vid ->
+      match Intern.value_of st.it vid with Node.V_view_id raw -> acc := raw :: !acc | _ -> ());
+  List.rev !acc
+
+let ilayouts_at st nid =
+  let acc = ref [] in
+  iter_ivalues st nid (fun vid ->
+      match Intern.value_of st.it vid with Node.V_layout_id raw -> acc := raw :: !acc | _ -> ());
+  List.rev !acc
+
+let iviews_at st nid =
+  let acc = ref [] in
+  iter_ivalues st nid (fun vid ->
+      let wid = Intern.view_of_value_id st.it vid in
+      if wid >= 0 then acc := wid :: !acc);
+  List.rev !acc
+
+let iholders_at st nid =
+  let acc = ref [] in
+  iter_ivalues st nid (fun vid ->
+      match Intern.value_of st.it vid with
+      | Node.V_act a -> acc := Intern.holder st.it (Node.H_act a) :: !acc
+      | Node.V_obj site
+        when st.iconfig.Config.model_dialogs
+             && Framework.Views.is_dialog_class st.iapp.Framework.App.hierarchy site.Node.a_cls ->
+          acc := Intern.holder st.it (Node.H_dialog site) :: !acc
+      | _ -> ());
+  List.rev !acc
+
+let ilisteners_at st iface nid =
+  let implements cls =
+    Jir.Hierarchy.subtype st.iapp.Framework.App.hierarchy cls iface.Framework.Listeners.i_name
+  in
+  let acc = ref [] in
+  iter_ivalues st nid (fun vid ->
+      match Intern.value_of st.it vid with
+      | Node.V_obj site when implements site.Node.a_cls -> acc := Node.L_alloc site :: !acc
+      | Node.V_view view when implements (Node.class_of_view view) -> (
+          match view with
+          | Node.V_alloc site -> acc := Node.L_alloc site :: !acc
+          | Node.V_infl _ -> ())
+      | Node.V_act a when implements a -> acc := Node.L_act a :: !acc
+      | _ -> ());
+  List.rev !acc
+
+(* Inflation runs structurally ([Inflate] writes the graph-side layout
+   tables and memo); a fresh instantiation's subtree relations are then
+   imported into the id-level stores. *)
+let iinflate_at st ~site lid =
+  let g = st.igraph in
+  let package = st.iapp.Framework.App.package in
+  match Layouts.Package.find_by_layout_id package lid with
+  | None -> None
+  | Some def ->
+      let already = Graph.find_inflation g ~site ~layout:def.name <> None in
+      let views =
+        Inflate.instantiate g ~resources:(Layouts.Package.resources package) ~site def
+      in
+      if not already then
+        List.iter
+          (fun w ->
+            let wid = Intern.view st.it w in
+            Graph.View_set.iter
+              (fun child -> iadd_child st ~parent:wid ~child:(Intern.view st.it child))
+              (Graph.children_of g w);
+            Graph.Int_set.iter (fun raw -> iadd_view_id st wid raw) (Graph.ids_of_view g w))
+          views;
+      Some (Inflate.root views)
+
+let iinject_handler_flows st wid listener iface =
+  let hierarchy = st.iapp.Framework.App.hierarchy in
+  let cls, listener_vid =
+    match listener with
+    | Node.L_alloc site -> (site.Node.a_cls, Intern.value st.it (Node.V_obj site))
+    | Node.L_act a -> (a, Intern.value st.it (Node.V_act a))
+  in
+  List.iter
+    (fun (h : Framework.Listeners.handler) ->
+      match
+        Jir.Hierarchy.resolve hierarchy cls { Jir.Ast.mk_name = h.h_name; mk_arity = h.h_arity }
+      with
+      | Some (owner, m) ->
+          let tmid = Node.mid_of_meth owner m in
+          ipush st (Intern.node st.it (Node.N_var (tmid, Jir.Ast.this_var))) listener_vid;
+          (match h.h_view_param with
+          | Some k -> (
+              match List.nth_opt m.m_params k with
+              | Some (param, _) ->
+                  ipush st
+                    (Intern.node st.it (Node.N_var (tmid, param)))
+                    (Intern.value_of_view_id st.it wid)
+              | None -> ())
+          | None -> ());
+          (match h.h_item_param with
+          | Some k -> (
+              match List.nth_opt m.m_params k with
+              | Some (param, _) -> (
+                  let pnid = Intern.node st.it (Node.N_var (tmid, param)) in
+                  match Slots.find st.ichildren wid with
+                  | None -> ()
+                  | Some cs ->
+                      Util.Bitset.iter
+                        (fun c -> ipush st pnid (Intern.value_of_view_id st.it c))
+                        cs)
+              | None -> ())
+          | None -> ())
+      | None -> ())
+    iface.Framework.Listeners.i_handlers
+
+(* find(view, id) on ids: walk the (few) carriers of the id, keeping
+   those inside the receiver's reflexive descendant closure. *)
+let ifind st root sym f =
+  match Slots.find st.iby_id sym with
+  | None -> ()
+  | Some carriers ->
+      let strict = idesc_cached st root in
+      Util.Bitset.iter (fun w -> if w = root || Util.Bitset.mem strict w then f w) carriers
+
+let iapply_op st ~note_ret oi =
+  let op = st.iops.(oi) in
+  let g = st.igraph in
+  let hierarchy = st.iapp.Framework.App.hierarchy in
+  let out_id = st.iop_out.(oi) in
+  let out vid = if out_id >= 0 then ipush st out_id vid in
+  let out_view wid = out (Intern.value_of_view_id st.it wid) in
+  let args = st.iop_args.(oi) in
+  let arg k = if k < Array.length args then Some args.(k) else None in
+  let recv = st.iop_recv.(oi) in
+  match op.Graph.site.o_kind with
+  | Framework.Api.Inflate ->
+      Option.iter
+        (fun a ->
+          List.iter
+            (fun lid ->
+              match iinflate_at st ~site:op.Graph.site.o_site lid with
+              | Some root_view ->
+                  let root = Intern.view st.it root_view in
+                  ignore (Graph.add_root_layout g root_view lid);
+                  out_view root;
+                  (match arg 1 with
+                  | Some parent_arg ->
+                      List.iter
+                        (fun parent -> iadd_child st ~parent ~child:root)
+                        (iviews_at st parent_arg)
+                  | None -> ())
+              | None -> ())
+            (ilayouts_at st a))
+        (arg 0)
+  | Framework.Api.Set_content ->
+      let holders = iholders_at st recv in
+      Option.iter
+        (fun a ->
+          List.iter
+            (fun lid ->
+              match iinflate_at st ~site:op.Graph.site.o_site lid with
+              | Some root_view ->
+                  let root = Intern.view st.it root_view in
+                  ignore (Graph.add_root_layout g root_view lid);
+                  List.iter (fun h -> iadd_holder_root st h root) holders
+              | None -> ())
+            (ilayouts_at st a);
+          List.iter
+            (fun view -> List.iter (fun h -> iadd_holder_root st h view) holders)
+            (iviews_at st a))
+        (arg 0)
+  | Framework.Api.Add_view ->
+      Option.iter
+        (fun a ->
+          List.iter
+            (fun parent ->
+              List.iter (fun child -> iadd_child st ~parent ~child) (iviews_at st a))
+            (iviews_at st recv))
+        (arg 0)
+  | Framework.Api.Set_id ->
+      Option.iter
+        (fun a ->
+          List.iter
+            (fun wid -> List.iter (fun raw -> iadd_view_id st wid raw) (irids_at st a))
+            (iviews_at st recv))
+        (arg 0)
+  | Framework.Api.Set_listener iface ->
+      Option.iter
+        (fun a ->
+          List.iter
+            (fun wid ->
+              List.iter
+                (fun listener ->
+                  iadd_view_listener st wid
+                    (Intern.listener st.it (listener, iface.Framework.Listeners.i_name));
+                  if st.iconfig.Config.listener_callbacks then
+                    iinject_handler_flows st wid listener iface)
+                (ilisteners_at st iface a))
+            (iviews_at st recv))
+        (arg 0)
+  | Framework.Api.Find_view ->
+      Option.iter
+        (fun a ->
+          List.iter
+            (fun raw ->
+              match Intern.rid_opt st.it raw with
+              | None -> ()
+              | Some sym ->
+                  List.iter (fun v -> ifind st v sym out_view) (iviews_at st recv);
+                  List.iter
+                    (fun h ->
+                      match Slots.find st.iroots h with
+                      | None -> ()
+                      | Some roots ->
+                          Util.Bitset.iter (fun root -> ifind st root sym out_view) roots)
+                    (iholders_at st recv))
+            (irids_at st a))
+        (arg 0)
+  | Framework.Api.Find_one scope ->
+      List.iter
+        (fun v ->
+          match scope with
+          | Framework.Api.Children when st.iconfig.Config.findone_refinement -> (
+              match Slots.find st.ichildren v with
+              | None -> ()
+              | Some cs -> Util.Bitset.iter out_view cs)
+          | Framework.Api.Children | Framework.Api.Descendants ->
+              Util.Bitset.iter out_view (idesc_cached st v))
+        (iviews_at st recv)
+  | Framework.Api.Get_parent ->
+      List.iter
+        (fun v ->
+          match Slots.find st.iparents v with
+          | None -> ()
+          | Some ps -> Util.Bitset.iter out_view ps)
+        (iviews_at st recv)
+  | Framework.Api.Pass_through -> iter_ivalues st recv out
+  | Framework.Api.Fragment_add ->
+      let fragments =
+        match arg 1 with
+        | Some frag_arg ->
+            let acc = ref [] in
+            iter_ivalues st frag_arg (fun vid ->
+                match Intern.value_of st.it vid with
+                | Node.V_obj site when Framework.Views.is_fragment_class hierarchy site.Node.a_cls
+                  ->
+                    acc := site :: !acc
+                | _ -> ());
+            !acc
+        | None -> []
+      in
+      let container_ids = match arg 0 with Some id_arg -> irids_at st id_arg | None -> [] in
+      let containers =
+        List.concat_map
+          (fun h ->
+            match Slots.find st.iroots h with
+            | None -> []
+            | Some roots ->
+                Util.Bitset.fold
+                  (fun root acc ->
+                    List.fold_left
+                      (fun acc raw ->
+                        match Intern.rid_opt st.it raw with
+                        | None -> acc
+                        | Some sym ->
+                            let elems = ref acc in
+                            ifind st root sym (fun w -> elems := w :: !elems);
+                            !elems)
+                      acc container_ids)
+                  roots [])
+          (iholders_at st recv)
+      in
+      List.iter
+        (fun (fragment : Node.alloc_site) ->
+          match
+            Jir.Hierarchy.resolve hierarchy fragment.a_cls
+              { Jir.Ast.mk_name = "onCreateView"; mk_arity = 0 }
+          with
+          | Some (owner, m) ->
+              let tmid = Node.mid_of_meth owner m in
+              ipush st
+                (Intern.node st.it (Node.N_var (tmid, Jir.Ast.this_var)))
+                (Intern.value st.it (Node.V_obj fragment));
+              let rn = Intern.node st.it (Node.N_ret tmid) in
+              note_ret rn;
+              let created = iviews_at st rn in
+              List.iter
+                (fun parent -> List.iter (fun child -> iadd_child st ~parent ~child) created)
+                containers
+          | None -> ())
+        fragments
+  | Framework.Api.Menu_add ->
+      let item_view = Node.V_alloc (Node.menu_item_site op.Graph.site.o_site) in
+      let item = Intern.view st.it item_view in
+      List.iter
+        (fun menu_wid ->
+          let menu = Intern.view_of st.it menu_wid in
+          if Jir.Hierarchy.subtype hierarchy (Node.class_of_view menu) "Menu" then begin
+            iadd_child st ~parent:menu_wid ~child:item;
+            out_view item;
+            (match arg 1 with
+            | Some id_arg -> List.iter (fun raw -> iadd_view_id st item raw) (irids_at st id_arg)
+            | None -> ());
+            match menu with
+            | Node.V_alloc site -> (
+                match Node.menu_owner site with
+                | Some activity -> (
+                    match
+                      Jir.Hierarchy.resolve hierarchy activity
+                        {
+                          Jir.Ast.mk_name = fst Framework.Lifecycle.on_options_item_selected;
+                          mk_arity = snd Framework.Lifecycle.on_options_item_selected;
+                        }
+                    with
+                    | Some (owner, m) -> (
+                        let tmid = Node.mid_of_meth owner m in
+                        match m.m_params with
+                        | (param, _) :: _ ->
+                            ipush st
+                              (Intern.node st.it (Node.N_var (tmid, param)))
+                              (Intern.value_of_view_id st.it item)
+                        | [] -> ())
+                    | None -> ())
+                | None -> ())
+            | Node.V_infl _ -> ()
+          end)
+        (iviews_at st recv)
+  | Framework.Api.Set_adapter ->
+      let adapters =
+        match arg 0 with
+        | Some a ->
+            let acc = ref [] in
+            iter_ivalues st a (fun vid ->
+                match Intern.value_of st.it vid with
+                | Node.V_obj site when Jir.Hierarchy.subtype hierarchy site.Node.a_cls "Adapter" ->
+                    acc := site :: !acc
+                | _ -> ());
+            !acc
+        | None -> []
+      in
+      List.iter
+        (fun wid ->
+          List.iter
+            (fun (adapter : Node.alloc_site) ->
+              match
+                Jir.Hierarchy.resolve hierarchy adapter.a_cls
+                  { Jir.Ast.mk_name = "getView"; mk_arity = 3 }
+              with
+              | Some (owner, m) ->
+                  let tmid = Node.mid_of_meth owner m in
+                  ipush st
+                    (Intern.node st.it (Node.N_var (tmid, Jir.Ast.this_var)))
+                    (Intern.value st.it (Node.V_obj adapter));
+                  (match List.nth_opt m.m_params 2 with
+                  | Some (param, _) ->
+                      ipush st
+                        (Intern.node st.it (Node.N_var (tmid, param)))
+                        (Intern.value_of_view_id st.it wid)
+                  | None -> ());
+                  let rn = Intern.node st.it (Node.N_ret tmid) in
+                  note_ret rn;
+                  List.iter (fun child -> iadd_child st ~parent:wid ~child) (iviews_at st rn)
+              | None -> ())
+            adapters)
+        (iviews_at st recv)
+  | Framework.Api.Start_activity ->
+      let sources = ref [] in
+      iter_ivalues st recv (fun vid ->
+          match Intern.value_of st.it vid with
+          | Node.V_act a -> sources := a :: !sources
+          | _ -> ());
+      let targets = ref [] in
+      (match arg 0 with
+      | Some a ->
+          iter_ivalues st a (fun vid ->
+              match Intern.value_of st.it vid with
+              | Node.V_obj site when Framework.Views.is_activity_class hierarchy site.Node.a_cls ->
+                  targets := site.Node.a_cls :: !targets
+              | Node.V_act act -> targets := act :: !targets
+              | _ -> ())
+      | None -> ());
+      List.iter
+        (fun from_ ->
+          List.iter (fun to_ -> ignore (Graph.add_transition g ~from_ ~to_)) !targets)
+        !sources
+
+let iregister_declarative st hid wid =
+  let hierarchy = st.iapp.Framework.App.hierarchy in
+  let holder = Intern.holder_of st.it hid in
+  let view = Intern.view_of st.it wid in
+  let label = match holder with Node.H_act a -> a | Node.H_dialog site -> site.Node.a_cls in
+  List.iter
+    (fun handler_name ->
+      match
+        Jir.Hierarchy.resolve hierarchy label { Jir.Ast.mk_name = handler_name; mk_arity = 1 }
+      with
+      | Some (owner, m) ->
+          let listener =
+            match holder with
+            | Node.H_act a -> Node.L_act a
+            | Node.H_dialog site -> Node.L_alloc site
+          in
+          iadd_view_listener st wid (Intern.listener st.it (listener, "OnClickListener"));
+          if st.iconfig.Config.listener_callbacks then begin
+            let tmid = Node.mid_of_meth owner m in
+            ipush st
+              (Intern.node st.it (Node.N_var (tmid, Jir.Ast.this_var)))
+              (Intern.value st.it
+                 (match holder with
+                 | Node.H_act a -> Node.V_act a
+                 | Node.H_dialog site -> Node.V_obj site));
+            match m.m_params with
+            | (param, _) :: _ ->
+                ipush st
+                  (Intern.node st.it (Node.N_var (tmid, param)))
+                  (Intern.value_of_view_id st.it wid)
+            | [] -> ()
+          end
+      | None -> ())
+    (Graph.onclicks_of st.igraph view)
+
+let iapply_declarative_handlers st =
+  let holder_ids = List.rev st.iholder_ids in
+  List.iter
+    (fun view ->
+      let wid = Intern.view st.it view in
+      let above = iancestors st wid in
+      List.iter
+        (fun hid ->
+          let reaches =
+            match Slots.find st.iroots hid with
+            | None -> false
+            | Some roots ->
+                Util.Bitset.fold (fun r acc -> acc || Util.Bitset.mem above r) roots false
+          in
+          if reaches then iregister_declarative st hid wid)
+        holder_ids)
+    (Graph.views_with_onclick st.igraph)
+
+let iapply_declared_fragments st ~note_ret =
+  let hierarchy = st.iapp.Framework.App.hierarchy in
+  List.iter
+    (fun view ->
+      match view with
+      | Node.V_infl infl ->
+          let wid = Intern.view st.it view in
+          List.iter
+            (fun cls ->
+              match
+                Jir.Hierarchy.resolve hierarchy cls
+                  { Jir.Ast.mk_name = "onCreateView"; mk_arity = 0 }
+              with
+              | Some (owner, m) ->
+                  let fragment = Node.declared_fragment_site cls infl in
+                  let tmid = Node.mid_of_meth owner m in
+                  ipush st
+                    (Intern.node st.it (Node.N_var (tmid, Jir.Ast.this_var)))
+                    (Intern.value st.it (Node.V_obj fragment));
+                  let rn = Intern.node st.it (Node.N_ret tmid) in
+                  note_ret rn;
+                  List.iter
+                    (fun child -> iadd_child st ~parent:wid ~child)
+                    (iviews_at st rn)
+              | None -> ())
+            (Graph.declared_fragments_of st.igraph view)
+      | Node.V_alloc _ -> ())
+    (Graph.views_with_declared_fragments st.igraph)
+
+(* Freeze: snapshot the graph's id-level structures.  Nodes were
+   hash-consed as the graph was built, so everything here is integer
+   work — no node is hashed again. *)
+let ifreeze config app graph =
+  let it = Graph.interner graph in
+  let row, edst, ekind, cast_names = Graph.frozen_flow graph in
+  let csr_n = Array.length row - 1 in
+  let iops = Array.of_list (Graph.ops graph) in
+  let ids = Graph.ops_node_ids graph in
+  let iop_recv = Array.map (fun (rid, _, _) -> rid) ids in
+  let iop_args = Array.map (fun (_, aids, _) -> aids) ids in
+  let iop_out = Array.map (fun (_, _, oid) -> oid) ids in
+  let op_reads = Array.make csr_n [] in
+  let note nid oi = op_reads.(nid) <- oi :: op_reads.(nid) in
+  Array.iteri
+    (fun oi _ ->
+      note iop_recv.(oi) oi;
+      Array.iter (fun a -> note a oi) iop_args.(oi))
+    iops;
+  for nid = 0 to csr_n - 1 do
+    op_reads.(nid) <- List.rev op_reads.(nid)
+  done;
+  let children_readers = ref [] and ids_readers = ref [] and roots_readers = ref [] in
+  Array.iteri
+    (fun oi op ->
+      if Graph.reads_children op then children_readers := oi :: !children_readers;
+      if Graph.reads_ids op then ids_readers := oi :: !ids_readers;
+      if Graph.reads_roots op then roots_readers := oi :: !roots_readers)
+    iops;
+  {
+    iconfig = config;
+    iapp = app;
+    igraph = graph;
+    it;
+    csr_n;
+    row;
+    edst;
+    ekind;
+    cast_names;
+    cast_memo = Array.init (Array.length cast_names) (fun _ -> Bytes.make 256 '\000');
+    sols = Slots.create ();
+    ideltas = Slots.create ();
+    free_deltas = [];
+    nq = Queue.create ();
+    npending = Util.Bitset.create ();
+    iops;
+    iop_recv;
+    iop_args;
+    iop_out;
+    op_reads;
+    children_readers = List.rev !children_readers;
+    ids_readers = List.rev !ids_readers;
+    roots_readers = List.rev !roots_readers;
+    ichildren = Slots.create ();
+    iparents = Slots.create ();
+    idesc_cache = Hashtbl.create 64;
+    idesc_hits = 0;
+    idesc_misses = 0;
+    iids = Slots.create ();
+    iby_id = Slots.create ();
+    iroots = Slots.create ();
+    ilisteners = Slots.create ();
+    iholder_ids = [];
+    iholders_seen = Util.Bitset.create ();
+    irc_children = false;
+    irc_ids = false;
+    irc_roots = false;
+    ipropagations = 0;
+    iop_applications = 0;
+    idelta_pushes = 0;
+    iunion_calls = 0;
+  }
+
+(* Write the final id-level solution back into the graph's structural
+   tables so every downstream consumer sees exactly what the structural
+   engines would have produced. *)
+let imaterialize st =
+  let g = st.igraph in
+  let it = st.it in
+  let view_set b =
+    Util.Bitset.fold (fun wid acc -> Graph.View_set.add (Intern.view_of it wid) acc) b
+      Graph.View_set.empty
+  in
+  let non_empty f nid b = if not (Util.Bitset.is_empty b) then f nid b in
+  Graph.reset_solution_tables g;
+  Slots.iteri
+    (non_empty (fun nid b ->
+         Graph.install_set g (Intern.node_of it nid)
+           (Util.Bitset.fold
+              (fun vid acc -> Graph.VS.add (Intern.value_of it vid) acc)
+              b Graph.VS.empty)))
+    st.sols;
+  Slots.iteri
+    (non_empty (fun wid b -> Graph.install_children g (Intern.view_of it wid) (view_set b)))
+    st.ichildren;
+  Slots.iteri
+    (non_empty (fun wid b -> Graph.install_parents g (Intern.view_of it wid) (view_set b)))
+    st.iparents;
+  Slots.iteri
+    (non_empty (fun wid b ->
+         Graph.install_ids g (Intern.view_of it wid)
+           (Util.Bitset.fold
+              (fun sym acc -> Graph.Int_set.add (Intern.rid_of it sym) acc)
+              b Graph.Int_set.empty)))
+    st.iids;
+  Slots.iteri
+    (non_empty (fun sym b -> Graph.install_views_by_id g (Intern.rid_of it sym) (view_set b)))
+    st.iby_id;
+  Slots.iteri
+    (non_empty (fun hid b -> Graph.install_roots g (Intern.holder_of it hid) (view_set b)))
+    st.iroots;
+  Slots.iteri
+    (non_empty (fun wid b ->
+         Graph.install_listeners g (Intern.view_of it wid)
+           (Util.Bitset.fold
+              (fun eid acc -> Graph.Listener_set.add (Intern.listener_of it eid) acc)
+              b Graph.Listener_set.empty)))
+    st.ilisteners
+
+type iret_target = IT_op of int | IT_frags
+
+let run_interned config (app : Framework.App.t) graph =
+  let st = ifreeze config app graph in
+  let op_wl = Queue.create () in
+  let op_pending = Util.Bitset.create () in
+  let schedule oi = if Util.Bitset.add op_pending oi then Queue.push oi op_wl in
+  let pending_decl = ref true in
+  let pending_frags = ref true in
+  let ret_deps : (int, iret_target list) Hashtbl.t = Hashtbl.create 16 in
+  let note_ret target nid =
+    let existing = Option.value (Hashtbl.find_opt ret_deps nid) ~default:[] in
+    if not (List.mem target existing) then Hashtbl.replace ret_deps nid (target :: existing)
+  in
+  let on_changed nid =
+    if nid < st.csr_n then List.iter schedule st.op_reads.(nid);
+    match Hashtbl.find_opt ret_deps nid with
+    | Some targets ->
+        List.iter
+          (function IT_op oi -> schedule oi | IT_frags -> pending_frags := true)
+          targets
+    | None -> ()
+  in
+  List.iter
+    (fun (node, values) ->
+      let nid = Intern.node st.it node in
+      Graph.VS.iter (fun v -> ipush st nid (Intern.value st.it v)) values)
+    (Graph.seeds graph);
+  ipropagate st ~changed:on_changed;
+  Array.iteri (fun oi _ -> schedule oi) st.iops;
+  let iterations = ref 0 in
+  let work_remaining () =
+    (not (Queue.is_empty op_wl)) || !pending_decl || !pending_frags
+  in
+  while work_remaining () && !iterations < config.Config.max_iterations do
+    incr iterations;
+    while not (Queue.is_empty op_wl) do
+      let oi = Queue.pop op_wl in
+      Util.Bitset.remove op_pending oi;
+      st.iop_applications <- st.iop_applications + 1;
+      iapply_op st ~note_ret:(note_ret (IT_op oi)) oi
+    done;
+    if !pending_decl then begin
+      pending_decl := false;
+      iapply_declarative_handlers st
+    end;
+    if !pending_frags then begin
+      pending_frags := false;
+      iapply_declared_fragments st ~note_ret:(note_ret IT_frags)
+    end;
+    ipropagate st ~changed:on_changed;
+    let rc = Graph.take_rel_changes graph in
+    let rc_children = rc.Graph.rc_children || st.irc_children in
+    let rc_ids = rc.Graph.rc_ids || st.irc_ids in
+    let rc_roots = rc.Graph.rc_roots || st.irc_roots in
+    st.irc_children <- false;
+    st.irc_ids <- false;
+    st.irc_roots <- false;
+    if rc_children then begin
+      List.iter schedule st.children_readers;
+      pending_decl := true
+    end;
+    if rc_ids then List.iter schedule st.ids_readers;
+    if rc_roots then begin
+      List.iter schedule st.roots_readers;
+      pending_decl := true
+    end;
+    if rc.Graph.rc_onclick then pending_decl := true;
+    if rc.Graph.rc_fragments then pending_frags := true
+  done;
+  if work_remaining () then
+    Logs.warn (fun m -> m "solver hit the iteration cap (%d); result may be partial" !iterations);
+  imaterialize st;
+  {
+    iterations = !iterations;
+    propagations = st.ipropagations;
+    op_applications = st.iop_applications;
+    delta_pushes = st.idelta_pushes;
+    desc_cache_hits = st.idesc_hits;
+    desc_cache_misses = st.idesc_misses;
+    interned_values = Intern.value_count st.it;
+    interned_nodes = Intern.node_count st.it;
+    bitset_words = Slots.total_words st.sols;
+    union_calls = st.iunion_calls;
+  }
+
 let run config (app : Framework.App.t) graph =
   Graph.reset_sets graph;
-  let descend =
-    match config.Config.solver with
-    | Config.Naive -> fun ~include_self view -> Graph.descendants graph ~include_self view
-    | Config.Delta -> fun ~include_self view -> Graph.descendants_cached graph ~include_self view
-  in
-  let state =
-    {
-      config;
-      app;
-      graph;
-      worklist = Util.Worklist.create ();
-      descend;
-      indexed_find = (config.Config.solver = Config.Delta);
-      propagations = 0;
-      op_applications = 0;
-      delta_pushes = 0;
-      dirty = false;
-    }
-  in
-  let iterations =
-    match config.Config.solver with Config.Naive -> run_naive state | Config.Delta -> run_delta state
-  in
-  let desc_cache_hits, desc_cache_misses = Graph.desc_cache_counters graph in
-  {
-    iterations;
-    propagations = state.propagations;
-    op_applications = state.op_applications;
-    delta_pushes = state.delta_pushes;
-    desc_cache_hits;
-    desc_cache_misses;
-  }
+  match config.Config.solver with
+  | Config.Interned -> run_interned config app graph
+  | (Config.Naive | Config.Delta) as solver ->
+      let descend =
+        match solver with
+        | Config.Naive -> fun ~include_self view -> Graph.descendants graph ~include_self view
+        | _ -> fun ~include_self view -> Graph.descendants_cached graph ~include_self view
+      in
+      let state =
+        {
+          config;
+          app;
+          graph;
+          worklist = Util.Worklist.create ();
+          descend;
+          indexed_find = (solver = Config.Delta);
+          propagations = 0;
+          op_applications = 0;
+          delta_pushes = 0;
+          dirty = false;
+        }
+      in
+      let iterations =
+        match solver with Config.Naive -> run_naive state | _ -> run_delta state
+      in
+      let desc_cache_hits, desc_cache_misses = Graph.desc_cache_counters graph in
+      {
+        iterations;
+        propagations = state.propagations;
+        op_applications = state.op_applications;
+        delta_pushes = state.delta_pushes;
+        desc_cache_hits;
+        desc_cache_misses;
+        interned_values = 0;
+        interned_nodes = 0;
+        bitset_words = 0;
+        union_calls = 0;
+      }

@@ -16,6 +16,16 @@ type stats = {
           the naive solver *)
   desc_cache_hits : int;  (** descendants-closure memo hits *)
   desc_cache_misses : int;  (** descendants-closure memo misses *)
+  interned_values : int;
+      (** distinct abstract values hash-consed by the interned engine;
+          [0] under the structural engines *)
+  interned_nodes : int;  (** distinct interned locations; [0] under the structural engines *)
+  bitset_words : int;
+      (** words allocated across solution-set bitsets at fixpoint; [0]
+          under the structural engines *)
+  union_calls : int;
+      (** word-level bitset unions performed on direct flow edges; [0]
+          under the structural engines *)
 }
 
 val run : Config.t -> Framework.App.t -> Graph.t -> stats

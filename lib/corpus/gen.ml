@@ -91,11 +91,12 @@ let gen_layouts rng (spec : Spec.t) =
       in
       let id = if Util.Prng.chance rng 0.8 then pick_id () else None in
       let node = { cls; id; kids = [] } in
-      parent.kids <- parent.kids @ [ node ];
+      (* newest first; [freeze] restores insertion order *)
+      parent.kids <- node :: parent.kids;
       if is_container then containers := node :: !containers;
       match id with Some i -> ids := (i, cls) :: !ids | None -> ()
     done;
-    let rec freeze t = Layouts.Layout.node ?id:t.id ~children:(List.map freeze t.kids) t.cls in
+    let rec freeze t = Layouts.Layout.node ?id:t.id ~children:(List.rev_map freeze t.kids) t.cls in
     {
       li_name = name;
       li_def = Layouts.Layout.def ~name (freeze root);
@@ -518,9 +519,10 @@ let generate (spec : Spec.t) =
         let iface = Option.get (Framework.Listeners.by_name iface_name) in
         (Printf.sprintf "Listener_%d" k, iface))
   in
+  let layout_arr = Array.of_list layouts in
   let acts =
     List.init spec.sp_activities (fun i ->
-        let layout = List.nth layouts i in
+        let layout = layout_arr.(i) in
         let act =
           {
             act_name = Printf.sprintf "Activity_%d" i;
@@ -542,16 +544,18 @@ let generate (spec : Spec.t) =
           ];
         act)
   in
-  let n_acts = List.length acts in
-  let nth_act i = List.nth acts (i mod n_acts) in
+  let act_arr = Array.of_list acts in
+  let nth_act i = act_arr.(i mod Array.length act_arr) in
   List.iteri (fun i item -> emit_item rng ~share:spec.sp_id_sharing (nth_act i) listener_classes item) plan.pl_regular;
   (* Listener allocations round-robin, then reuse registrations on
      activities that hold a listener. *)
   List.iteri (fun i item -> emit_item rng ~share:spec.sp_id_sharing (nth_act i) listener_classes item) plan.pl_listener_allocs;
-  let holding = List.filter (fun a -> a.listener_fields <> []) acts in
-  if plan.pl_listener_reuses > 0 && holding <> [] then
+  let holding = Array.of_list (List.filter (fun a -> a.listener_fields <> []) acts) in
+  if plan.pl_listener_reuses > 0 && Array.length holding > 0 then
     for k = 0 to plan.pl_listener_reuses - 1 do
-      emit_item rng ~share:spec.sp_id_sharing (List.nth holding (k mod List.length holding)) listener_classes I_listener_reuse
+      emit_item rng ~share:spec.sp_id_sharing
+        holding.(k mod Array.length holding)
+        listener_classes I_listener_reuse
     done;
   let activity_classes = List.map build_activity_class acts in
   let listener_cls_defs =

@@ -30,6 +30,29 @@ let kind_label = function
   | Menu_add -> "MenuAdd"
   | Set_adapter -> "SetAdapter"
 
+(* Explicit ordering so op-site keyed maps need no polymorphic
+   compare.  Interfaces are registry singletons identified by name. *)
+let compare_kind a b =
+  let tag = function
+    | Inflate -> 0
+    | Set_content -> 1
+    | Add_view -> 2
+    | Set_id -> 3
+    | Set_listener _ -> 4
+    | Find_view -> 5
+    | Find_one Descendants -> 6
+    | Find_one Children -> 7
+    | Get_parent -> 8
+    | Start_activity -> 9
+    | Pass_through -> 10
+    | Fragment_add -> 11
+    | Menu_add -> 12
+    | Set_adapter -> 13
+  in
+  match (a, b) with
+  | Set_listener x, Set_listener y -> String.compare x.Listeners.i_name y.Listeners.i_name
+  | a, b -> Int.compare (tag a) (tag b)
+
 let pp_kind ppf = function
   | Set_listener i -> Fmt.pf ppf "SetListener(%s)" i.Listeners.i_name
   | Find_one Descendants -> Fmt.string ppf "FindOne(descendants)"

@@ -55,6 +55,10 @@ type kind =
           the list view (the item views item-click listeners then
           receive). *)
 
+val compare_kind : kind -> kind -> int
+(** Explicit ordering (listener interfaces compare by name), so
+    op-site keyed maps need no polymorphic compare. *)
+
 val pp_kind : kind Fmt.t
 
 val kind_label : kind -> string

@@ -122,7 +122,7 @@ let solver_stats results =
   let header =
     [
       "App"; "solver"; "ops"; "rounds"; "op applies"; "naive equiv"; "saved"; "propagations";
-      "delta pushes"; "desc cache";
+      "delta pushes"; "desc cache"; "values"; "set words"; "unions";
     ]
   in
   let rows =
@@ -150,6 +150,9 @@ let solver_stats results =
               Table.cell_int s.sv_propagations;
               Table.cell_int s.sv_delta_pushes;
               Printf.sprintf "%d/%d" s.sv_desc_hits (s.sv_desc_hits + s.sv_desc_misses);
+              (if s.sv_interned_values = 0 then "-" else Table.cell_int s.sv_interned_values);
+              (if s.sv_bitset_words = 0 then "-" else Table.cell_int s.sv_bitset_words);
+              (if s.sv_union_calls = 0 then "-" else Table.cell_int s.sv_union_calls);
             ])
       results
   in

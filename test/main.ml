@@ -21,6 +21,7 @@ let () =
       ("inflate", Test_inflate.suite);
       ("solve", Test_solve.suite);
       ("delta", Test_delta.suite);
+      ("intern", Test_intern.suite);
       ("interp", Test_interp.suite);
       ("oracle", Test_oracle.suite);
       ("corpus", Test_corpus.suite);

@@ -128,13 +128,13 @@ let test_xbmc_work_counters () =
   Alcotest.check Alcotest.bool "descendants cache exercised" true
     (rd.stats.Solve.desc_cache_hits > 0)
 
-let test_delta_is_default () =
-  Alcotest.check Alcotest.string "default solver" "delta"
+let test_interned_is_default () =
+  Alcotest.check Alcotest.string "default solver" "interned"
     (Config.solver_name Config.default.Config.solver)
 
 let suite =
   [
-    Alcotest.test_case "delta solver is the default" `Quick test_delta_is_default;
+    Alcotest.test_case "interned solver is the default" `Quick test_interned_is_default;
     Alcotest.test_case "ConnectBot equivalence (all configs)" `Quick test_connectbot;
     Alcotest.test_case "XBMC work counters" `Quick test_xbmc_work_counters;
     Alcotest.test_case "random apps equivalence" `Quick test_random_apps;

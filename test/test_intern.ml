@@ -1,0 +1,212 @@
+(* The interned solver and its substrate.  Three layers of evidence:
+   the bitset domain must agree operation-for-operation with a
+   reference [Set.Make (Int)]; the hash-consing interner must assign
+   dense ids that round-trip; and the interned engine must produce the
+   same solution as both structural engines — on random apps, on the
+   corpus, and under a worker-domain pool — down to byte-identical
+   reports. *)
+open Gator
+
+let with_solver solver config = { config with Config.solver }
+
+(* ------------------------------------------------------------------ *)
+(* Bitset vs Set.Make (Int) *)
+
+module IS = Set.Make (Int)
+
+let test_bitset_random () =
+  let rng = Util.Prng.create 97 in
+  for _round = 1 to 40 do
+    let b = Util.Bitset.create () in
+    let r = ref IS.empty in
+    for _step = 1 to 400 do
+      (* span several words, including indexes right at word breaks *)
+      let i =
+        if Util.Prng.chance rng 0.2 then
+          Util.Prng.int rng 4 * Sys.int_size + Util.Prng.int_in rng (-1) 1 + Sys.int_size
+        else Util.Prng.int rng 300
+      in
+      match Util.Prng.int rng 3 with
+      | 0 ->
+          let added = Util.Bitset.add b i in
+          Alcotest.check Alcotest.bool "add reports growth" (not (IS.mem i !r)) added;
+          r := IS.add i !r
+      | 1 ->
+          Util.Bitset.remove b i;
+          r := IS.remove i !r
+      | _ -> Alcotest.check Alcotest.bool "mem" (IS.mem i !r) (Util.Bitset.mem b i)
+    done;
+    Alcotest.check (Alcotest.list Alcotest.int) "elements in order" (IS.elements !r)
+      (Util.Bitset.elements b);
+    Alcotest.check Alcotest.int "cardinal" (IS.cardinal !r) (Util.Bitset.cardinal b);
+    Alcotest.check Alcotest.bool "is_empty" (IS.is_empty !r) (Util.Bitset.is_empty b);
+    let copy = Util.Bitset.copy b in
+    ignore (Util.Bitset.add copy 1023);
+    Alcotest.check Alcotest.bool "copy is independent" false (Util.Bitset.mem b 1023);
+    Util.Bitset.clear b;
+    Alcotest.check Alcotest.bool "clear empties" true (Util.Bitset.is_empty b)
+  done
+
+let test_bitset_union_delta () =
+  let rng = Util.Prng.create 3301 in
+  for _round = 1 to 60 do
+    let into = Util.Bitset.create () and src = Util.Bitset.create () in
+    let ri = ref IS.empty and rs = ref IS.empty in
+    for _step = 1 to 120 do
+      let i = Util.Prng.int rng (4 * Sys.int_size) in
+      if Util.Prng.bool rng then begin
+        ignore (Util.Bitset.add into i);
+        ri := IS.add i !ri
+      end
+      else begin
+        ignore (Util.Bitset.add src i);
+        rs := IS.add i !rs
+      end
+    done;
+    let expected_fresh = IS.diff !rs !ri in
+    let fresh = ref IS.empty in
+    Util.Bitset.union_delta ~into src ~on_new:(fun i ->
+        Alcotest.check Alcotest.bool "on_new visits each bit once" false (IS.mem i !fresh);
+        fresh := IS.add i !fresh);
+    Alcotest.check (Alcotest.list Alcotest.int) "on_new = src \\ into"
+      (IS.elements expected_fresh) (IS.elements !fresh);
+    Alcotest.check (Alcotest.list Alcotest.int) "into = union"
+      (IS.elements (IS.union !ri !rs))
+      (Util.Bitset.elements into);
+    Alcotest.check (Alcotest.list Alcotest.int) "src untouched" (IS.elements !rs)
+      (Util.Bitset.elements src);
+    Alcotest.check Alcotest.bool "equal reflexive" true (Util.Bitset.equal into into);
+    Alcotest.check Alcotest.bool "equal vs src"
+      (IS.equal (IS.union !ri !rs) !rs)
+      (Util.Bitset.equal into src)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Interner: dense ids, stable on re-intern, structural round-trip *)
+
+let test_interner_roundtrip () =
+  let r = Analysis.analyze (Corpus.Connectbot.app ()) in
+  let it = Intern.create () in
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun node ->
+      let nid = Intern.node it node in
+      Alcotest.check Alcotest.bool "node id round-trips" true
+        (Node.compare (Intern.node_of it nid) node = 0);
+      Alcotest.check Alcotest.int "node re-intern is stable" nid (Intern.node it node);
+      Graph.VS.iter
+        (fun v ->
+          let vid = Intern.value it v in
+          Hashtbl.replace seen vid ();
+          Alcotest.check Alcotest.bool "value round-trips" true
+            (Node.compare_value (Intern.value_of it vid) v = 0);
+          Alcotest.check Alcotest.int "value re-intern is stable" vid (Intern.value it v);
+          match v with
+          | Node.V_view w ->
+              let wid = Intern.view_of_value_id it vid in
+              Alcotest.check Alcotest.bool "view cross-map" true
+                (Node.compare_view (Intern.view_of it wid) w = 0);
+              Alcotest.check Alcotest.int "value<->view maps invert" vid
+                (Intern.value_of_view_id it wid)
+          | _ -> ())
+        (Graph.set_of r.graph node))
+    (Graph.locations r.graph);
+  (* ids are dense: every id below the pool count was assigned *)
+  Alcotest.check Alcotest.int "value ids are dense" (Intern.value_count it) (Hashtbl.length seen);
+  for vid = 0 to Intern.value_count it - 1 do
+    Alcotest.check Alcotest.bool "no gap in value ids" true (Hashtbl.mem seen vid)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Engine differential: naive = delta = interned *)
+
+let engines = [ Config.Naive; Config.Delta; Config.Interned ]
+
+let analyze_with solver app = Analysis.analyze ~config:(with_solver solver Config.default) app
+
+let check_three name app =
+  let reference = analyze_with Config.Naive app in
+  List.iter
+    (fun solver ->
+      let candidate = analyze_with solver app in
+      Test_delta.check_same_solution
+        (Printf.sprintf "%s[naive vs %s]" name (Config.solver_name solver))
+        reference candidate)
+    engines;
+  reference
+
+let test_connectbot_three_engines () =
+  let app = Corpus.Connectbot.app () in
+  ignore (check_three "ConnectBot" app);
+  (* ablation configs flow through the interned engine too *)
+  List.iter
+    (fun config ->
+      let naive = Analysis.analyze ~config:(with_solver Config.Naive config) app in
+      let interned = Analysis.analyze ~config:(with_solver Config.Interned config) app in
+      Test_delta.check_same_solution "ConnectBot ablation" naive interned)
+    [
+      Config.baseline;
+      { Config.default with listener_callbacks = false };
+      { Config.default with inline_depth = 1 };
+      { Config.default with cast_filtering = false };
+    ]
+
+let test_interned_work_counters () =
+  let app = Corpus.Gen.generate (Option.get (Corpus.Apps.by_name "XBMC")) in
+  let r = analyze_with Config.Interned app in
+  let s = r.stats in
+  Alcotest.check Alcotest.bool "values interned" true (s.Solve.interned_values > 0);
+  Alcotest.check Alcotest.bool "nodes interned" true (s.Solve.interned_nodes > 0);
+  Alcotest.check Alcotest.bool "bitset words allocated" true (s.Solve.bitset_words > 0);
+  Alcotest.check Alcotest.bool "word-level unions performed" true (s.Solve.union_calls > 0);
+  (* structural engines must report zeroed interner counters *)
+  let d = analyze_with Config.Delta app in
+  Alcotest.check Alcotest.int "delta reports no interner work" 0
+    (d.stats.Solve.interned_values + d.stats.Solve.bitset_words + d.stats.Solve.union_calls)
+
+let test_qcheck_three_engines =
+  QCheck.Test.make ~count:10 ~name:"random app: naive = delta = interned"
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Util.Prng.create seed in
+      let spec = Corpus.Gen.random_spec ~name:(Printf.sprintf "QIntern_%d" seed) rng in
+      ignore (check_three spec.Corpus.Spec.sp_name (Corpus.Gen.generate spec));
+      true)
+
+(* Corpus through all three engines: the solutions must render to
+   byte-identical tables (solver identity only shows up in the solver
+   column of the work-counter report), sequentially and with jobs=4. *)
+let test_corpus_reports_identical () =
+  let reference = Report.Experiments.run_corpus ~config:Config.default ~jobs:1 () in
+  List.iter
+    (fun solver ->
+      let config = with_solver solver Config.default in
+      List.iter
+        (fun jobs ->
+          let label = Printf.sprintf "%s/jobs=%d" (Config.solver_name solver) jobs in
+          let candidate = Report.Experiments.run_corpus ~config ~jobs () in
+          Alcotest.check Alcotest.string (label ^ ": table1 bytes")
+            (Report.Experiments.table1 reference)
+            (Report.Experiments.table1 candidate);
+          Alcotest.check Alcotest.string (label ^ ": table2 bytes")
+            (Report.Experiments.table2 ~timings:false reference)
+            (Report.Experiments.table2 ~timings:false candidate))
+        [ 1; 4 ])
+    engines;
+  (* the interned work-counter report itself is schedule-independent *)
+  let interned = with_solver Config.Interned Config.default in
+  Alcotest.check Alcotest.string "interned solverstats bytes, jobs 1 = jobs 4"
+    (Report.Experiments.solver_stats (Report.Experiments.run_corpus ~config:interned ~jobs:1 ()))
+    (Report.Experiments.solver_stats (Report.Experiments.run_corpus ~config:interned ~jobs:4 ()))
+
+let suite =
+  [
+    Alcotest.test_case "bitset vs reference set" `Quick test_bitset_random;
+    Alcotest.test_case "bitset union_delta semantics" `Quick test_bitset_union_delta;
+    Alcotest.test_case "interner round-trip and dense ids" `Quick test_interner_roundtrip;
+    Alcotest.test_case "ConnectBot: three engines agree" `Quick test_connectbot_three_engines;
+    Alcotest.test_case "interned work counters" `Quick test_interned_work_counters;
+    QCheck_alcotest.to_alcotest test_qcheck_three_engines;
+    Alcotest.test_case "corpus reports byte-identical (jobs 1/4)" `Slow
+      test_corpus_reports_identical;
+  ]

@@ -125,7 +125,7 @@ let test_corpus_matrix () =
           let candidate = Report.Experiments.run_corpus ~config ~jobs () in
           check_batches_identical label reference candidate)
         [ 2; 4 ])
-    [ Config.Naive; Config.Delta ]
+    [ Config.Naive; Config.Delta; Config.Interned ]
 
 (* Random apps through the same matrix: each task generates its own
    app from the (immutable) spec, so nothing mutable crosses domains. *)
