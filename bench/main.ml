@@ -98,6 +98,16 @@ let tests () =
          (let graph = Gator.Extract.run Gator.Config.default xbmc in
           let config = { Gator.Config.default with solver = Gator.Config.Interned } in
           fun () -> Gator.Solve.run config xbmc graph));
+    (* The interned engine solves over the SCC-condensed flow CSR;
+       this row tracks the condensed path under its own name for
+       regression greps.  XBMC's flow is nearly acyclic (every
+       component a singleton), so it should sit at par with the row
+       above — the cycle-heavy win is measured in the head-to-head. *)
+    Test.make ~name:"analysis/scc(XBMC)"
+      (Staged.stage
+         (let graph = Gator.Extract.run Gator.Config.default xbmc in
+          let config = { Gator.Config.default with solver = Gator.Config.Interned } in
+          fun () -> Gator.Solve.run config xbmc graph));
     (* Ablations: each knob on the XBMC outlier *)
     config_bench "ablation/default(XBMC)" Gator.Config.default xbmc;
     config_bench "ablation/no-cast-filter(XBMC)"
@@ -155,21 +165,14 @@ let corpus_head_to_head () =
    all 20 graphs — so the comparison isolates the fixpoint engines
    from parsing, extraction, and metrics. *)
 
-let engine_head_to_head () =
-  let prepared =
-    List.map
-      (fun spec ->
-        let app = Corpus.Gen.generate spec in
-        (app, Gator.Extract.run Gator.Config.default app))
-      Corpus.Apps.specs
-  in
+let time_engines prepared =
   let time_engine solver =
     let config = { Gator.Config.default with solver } in
     let solve_all () =
       List.iter (fun (app, graph) -> ignore (Gator.Solve.run config app graph)) prepared
     in
     solve_all ();
-    (* warm-up: inflation memos, allocators *)
+    (* warm-up: inflation memos, allocators, frozen-flow CSRs *)
     let best = ref infinity in
     for _ = 1 to 3 do
       let t0 = Unix.gettimeofday () in
@@ -180,6 +183,17 @@ let engine_head_to_head () =
   in
   let delta_seconds = time_engine Gator.Config.Delta in
   let interned_seconds = time_engine Gator.Config.Interned in
+  (delta_seconds, interned_seconds)
+
+let engine_head_to_head () =
+  let prepared =
+    List.map
+      (fun spec ->
+        let app = Corpus.Gen.generate spec in
+        (app, Gator.Extract.run Gator.Config.default app))
+      Corpus.Apps.specs
+  in
+  let delta_seconds, interned_seconds = time_engines prepared in
   Printf.printf "Full-corpus solver head-to-head (solve phase only, %d apps, best of 3):\n"
     (List.length prepared);
   Printf.printf "  delta     %7.4f s\n" delta_seconds;
@@ -187,10 +201,35 @@ let engine_head_to_head () =
   print_newline ();
   (List.length prepared, delta_seconds, interned_seconds)
 
+(* Cycle-heavy head-to-head: where the SCC condensation actually pays.
+   Rings of copies make the structural delta engine chase values all
+   the way around each ring, while the condensed engine keeps one
+   shared set per component and never propagates inside it. *)
+let cyclic_head_to_head () =
+  let prepared =
+    List.init 8 (fun i ->
+        let app =
+          Corpus.Gen.cyclic_app
+            ~name:(Printf.sprintf "Cyc%d" i)
+            ~chains:6
+            ~chain_len:(120 + (24 * i))
+            ~two_cycles:8 ~bridges:12 ~seed:(77 + i) ()
+        in
+        (app, Gator.Extract.run Gator.Config.default app))
+  in
+  let delta_seconds, interned_seconds = time_engines prepared in
+  Printf.printf "Cycle-heavy solver head-to-head (solve phase only, %d apps, best of 3):\n"
+    (List.length prepared);
+  Printf.printf "  delta          %7.4f s\n" delta_seconds;
+  Printf.printf "  interned (scc) %7.4f s  %.2fx\n" interned_seconds
+    (delta_seconds /. interned_seconds);
+  print_newline ();
+  (List.length prepared, delta_seconds, interned_seconds)
+
 (* Machine-readable results: per-test median nanoseconds and GC words
    plus the solver work counters, for regression tracking across
    commits. *)
-let write_json_results rows corpus_batch engines =
+let write_json_results rows corpus_batch engines cyclic =
   let solver_counters =
     let app = app_named "XBMC" in
     List.map
@@ -212,6 +251,8 @@ let write_json_results rows corpus_batch engines =
             ("interned_values", Util.Json.Int row.sv_interned_values);
             ("bitset_words", Util.Json.Int row.sv_bitset_words);
             ("union_calls", Util.Json.Int row.sv_union_calls);
+            ("scc_count", Util.Json.Int row.sv_scc_count);
+            ("largest_scc", Util.Json.Int row.sv_largest_scc);
           ])
       [ Gator.Config.Naive; Gator.Config.Delta; Gator.Config.Interned ]
   in
@@ -230,11 +271,10 @@ let write_json_results rows corpus_batch engines =
           ])
       corpus_batch
   in
-  let apps, delta_seconds, interned_seconds = engines in
-  let engine_entry =
+  let engine_entry (apps, delta_seconds, interned_seconds) key =
     Util.Json.Obj
       [
-        ("corpus_apps", Util.Json.Int apps);
+        (key, Util.Json.Int apps);
         ("delta_seconds", Util.Json.Float delta_seconds);
         ("interned_seconds", Util.Json.Float interned_seconds);
         ("speedup", Util.Json.Float (delta_seconds /. interned_seconds));
@@ -257,7 +297,8 @@ let write_json_results rows corpus_batch engines =
                rows) );
         ("solver_stats", Util.Json.List solver_counters);
         ("corpus_batch", Util.Json.List batch_entries);
-        ("solver_head_to_head", engine_entry);
+        ("solver_head_to_head", engine_entry engines "corpus_apps");
+        ("cycle_heavy_head_to_head", engine_entry cyclic "cyclic_apps");
       ]
   in
   let path = "BENCH_results.json" in
@@ -304,5 +345,6 @@ let () =
   print_reproduction ();
   let corpus_batch = corpus_head_to_head () in
   let engines = engine_head_to_head () in
+  let cyclic = cyclic_head_to_head () in
   let rows = run_benchmarks () in
-  write_json_results rows corpus_batch engines
+  write_json_results rows corpus_batch engines cyclic

@@ -47,6 +47,23 @@ end)
 
 type op = { site : Node.op_site; op_recv : Node.t; op_args : Node.t list; op_out : Node.t option }
 
+(* Frozen flow snapshot: the full CSR plus the SCC condensation of its
+   direct-edge subgraph.  Nodes minted after the snapshot ([fc_nodes])
+   are implicitly singleton components with no edges. *)
+type flow_csr = {
+  fc_nodes : int;
+  fc_row : int array;
+  fc_edst : int array;
+  fc_ekind : int array;
+  fc_cast_names : string array;
+  fc_rep : int array;
+  fc_crow : int array;
+  fc_cdst : int array;
+  fc_ckind : int array;
+  fc_scc_count : int;
+  fc_largest_scc : int;
+}
+
 (* Dependency index for the delta solver: which ops read a given
    points-to set, and which ops read each view relation.  Built once
    from the (static) op list. *)
@@ -77,7 +94,7 @@ type t = {
           newest first *)
   icast_tbl : (string, int) Hashtbl.t;  (** cast class -> dense sym *)
   mutable icast_rev : string list;  (** newest first *)
-  mutable frozen : (int * (int array * int array * int array * string array)) option;
+  mutable frozen : (int * flow_csr) option;
       (** CSR snapshot memo, keyed by the edge count it was built at;
           flow edges only grow during extraction, so re-solving reuses
           the frozen arrays *)
@@ -218,6 +235,126 @@ let seed t node value =
   let existing = Option.value (Hashtbl.find_opt t.seed_tbl node) ~default:VS.empty in
   Hashtbl.replace t.seed_tbl node (VS.add value existing)
 
+(* Iterative Tarjan over the direct-edge subgraph ([ekind < 0]).  Cast
+   edges are excluded: they filter, and collapsing a cast into a shared
+   component set would let unfiltered values lap the filter.  Returns
+   the node -> representative map (the smallest member id, so the
+   choice is deterministic independently of traversal details), the
+   component count, and the largest component size. *)
+let condense_direct n row edst ekind =
+  let index = Array.make n (-1) in
+  let low = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let tstack = Array.make n 0 in
+  let tsp = ref 0 in
+  (* explicit DFS frames: node + next-edge cursor *)
+  let dfs_v = Array.make n 0 in
+  let dfs_e = Array.make n 0 in
+  let dsp = ref 0 in
+  let counter = ref 0 in
+  let rep = Array.make n 0 in
+  let scc_count = ref 0 in
+  let largest = ref 0 in
+  let push v =
+    index.(v) <- !counter;
+    low.(v) <- !counter;
+    incr counter;
+    tstack.(!tsp) <- v;
+    incr tsp;
+    on_stack.(v) <- true;
+    dfs_v.(!dsp) <- v;
+    dfs_e.(!dsp) <- row.(v);
+    incr dsp
+  in
+  for root = 0 to n - 1 do
+    if index.(root) < 0 then begin
+      push root;
+      while !dsp > 0 do
+        let v = dfs_v.(!dsp - 1) in
+        let e = dfs_e.(!dsp - 1) in
+        if e < row.(v + 1) then begin
+          dfs_e.(!dsp - 1) <- e + 1;
+          if ekind.(e) < 0 then begin
+            let w = edst.(e) in
+            if index.(w) < 0 then push w
+            else if on_stack.(w) && index.(w) < low.(v) then low.(v) <- index.(w)
+          end
+        end
+        else begin
+          decr dsp;
+          if !dsp > 0 then begin
+            let parent = dfs_v.(!dsp - 1) in
+            if low.(v) < low.(parent) then low.(parent) <- low.(v)
+          end;
+          if low.(v) = index.(v) then begin
+            incr scc_count;
+            let size = ref 0 in
+            let min_id = ref v in
+            let more = ref true in
+            while !more do
+              decr tsp;
+              let w = tstack.(!tsp) in
+              on_stack.(w) <- false;
+              rep.(w) <- v;
+              incr size;
+              if w < !min_id then min_id := w;
+              if w = v then more := false
+            done;
+            if !size > !largest then largest := !size;
+            (* [low] of a finished root is never read by the DFS again;
+               reuse it to carry root -> smallest member. *)
+            low.(v) <- !min_id
+          end
+        end
+      done
+    end
+  done;
+  for v = 0 to n - 1 do
+    rep.(v) <- low.(rep.(v))
+  done;
+  (rep, !scc_count, !largest)
+
+(* Condensed CSR: every edge mapped through [rep], intra-component
+   edges dropped (direct ones are subsumed by the shared component set;
+   a cast edge inside a direct cycle only re-adds a subset of what the
+   direct path already carries), duplicates merged. *)
+let build_condensed n row edst ekind rep =
+  let seen = Edge_seen.create 256 in
+  let lists = Array.make n [] in
+  (* (kind, rep dst), newest first per rep *)
+  let total = ref 0 in
+  for u = 0 to n - 1 do
+    let ru = rep.(u) in
+    for e = row.(u) to row.(u + 1) - 1 do
+      let rv = rep.(edst.(e)) in
+      if ru <> rv then begin
+        let k = ekind.(e) in
+        let key = (ru, k, rv) in
+        if not (Edge_seen.mem seen key) then begin
+          Edge_seen.add seen key ();
+          lists.(ru) <- (k, rv) :: lists.(ru);
+          incr total
+        end
+      end
+    done
+  done;
+  let crow = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    crow.(i + 1) <- crow.(i) + List.length lists.(i)
+  done;
+  let cdst = Array.make !total 0 in
+  let ckind = Array.make !total (-1) in
+  for i = 0 to n - 1 do
+    let e = ref crow.(i + 1) in
+    List.iter
+      (fun (k, rv) ->
+        decr e;
+        cdst.(!e) <- rv;
+        ckind.(!e) <- k)
+      lists.(i)
+  done;
+  (crow, cdst, ckind)
+
 (* CSR snapshot of the flow edges over the interned ids: [isuccs] keeps
    each adjacency newest-first, so laying entries out backward from the
    row boundary restores insertion order. *)
@@ -242,14 +379,34 @@ let build_frozen_flow t =
         ekind.(!e) <- ksym)
       t.isuccs.(i)
   done;
-  (row, edst, ekind, Array.of_list (List.rev t.icast_rev))
+  let rep, scc_count, largest = condense_direct n row edst ekind in
+  let crow, cdst, ckind = build_condensed n row edst ekind rep in
+  {
+    fc_nodes = n;
+    fc_row = row;
+    fc_edst = edst;
+    fc_ekind = ekind;
+    fc_cast_names = Array.of_list (List.rev t.icast_rev);
+    fc_rep = rep;
+    fc_crow = crow;
+    fc_cdst = cdst;
+    fc_ckind = ckind;
+    fc_scc_count = scc_count;
+    fc_largest_scc = largest;
+  }
 
 (* Nodes minted after the snapshot (views discovered while solving)
    have no flow edges, so a memo built at the same edge count is still
-   exact even though the interner has grown since. *)
+   exact even though the interner has grown since.  The converse —
+   serving a snapshot built over MORE nodes than the interner currently
+   holds — can only happen if a future edge-removal/graph-reset API
+   shrinks the pools without dropping the memo; the debug assert below
+   turns that silent staleness into a crash at the memo hit. *)
 let frozen_flow t =
   match t.frozen with
-  | Some (at_edges, csr) when at_edges = t.edge_total -> csr
+  | Some (at_edges, csr) when at_edges = t.edge_total ->
+      assert (Intern.node_count t.g_it >= csr.fc_nodes);
+      csr
   | _ ->
       let csr = build_frozen_flow t in
       t.frozen <- Some (t.edge_total, csr);

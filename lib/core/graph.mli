@@ -214,11 +214,32 @@ val interner : t -> Intern.t
 val node_id : t -> Node.t -> int
 (** Dense id of [node], minting one if the node is new. *)
 
-val frozen_flow : t -> int array * int array * int array * string array
-(** [(row, edst, ekind, cast_names)]: CSR flow edges over node ids in
-    insertion order.  [row] has [node count + 1] entries; edge [e] goes
-    to [edst.(e)] with [ekind.(e) = -1] for a direct edge, otherwise
-    the index of the cast class in [cast_names]. *)
+type flow_csr = {
+  fc_nodes : int;  (** interned node count at freeze time *)
+  fc_row : int array;  (** [fc_nodes + 1] entries; full CSR in insertion order *)
+  fc_edst : int array;
+  fc_ekind : int array;  (** [-1] = direct, otherwise index into [fc_cast_names] *)
+  fc_cast_names : string array;
+  fc_rep : int array;
+      (** node id -> representative of its direct-edge SCC (the
+          smallest member id); sized [fc_nodes] — ids minted after the
+          freeze are implicitly their own singleton components *)
+  fc_crow : int array;  (** condensed CSR over representatives, [fc_nodes + 1] entries *)
+  fc_cdst : int array;  (** destinations, already representatives *)
+  fc_ckind : int array;
+  fc_scc_count : int;  (** components over all [fc_nodes] nodes (singletons included) *)
+  fc_largest_scc : int;  (** size of the largest component; [0] when the graph is empty *)
+}
+
+val frozen_flow : t -> flow_csr
+(** CSR flow edges over node ids in insertion order, plus the SCC
+    condensation of the direct-edge subgraph.  Cast edges stay out of
+    the condensation (they filter); after mapping endpoints through
+    [fc_rep], intra-component edges are dropped and the rest deduped
+    into [fc_crow]/[fc_cdst]/[fc_ckind].  Memoized on the edge count:
+    adding an edge invalidates the snapshot, while nodes minted after
+    the freeze (views discovered mid-solve) need no rebuild — they have
+    no flow edges and act as singleton components. *)
 
 val ops_node_ids : t -> (int * int array * int) array
 (** Aligned with {!ops}: per op, (recv id, arg ids, out id or [-1]). *)

@@ -29,6 +29,8 @@ type solver_row = {
   sv_interned_values : int;
   sv_bitset_words : int;
   sv_union_calls : int;
+  sv_scc_count : int;
+  sv_largest_scc : int;
 }
 
 type table2_row = {
@@ -132,6 +134,8 @@ let solver_stats (r : Analysis.t) =
     sv_interned_values = stats.Solve.interned_values;
     sv_bitset_words = stats.Solve.bitset_words;
     sv_union_calls = stats.Solve.union_calls;
+    sv_scc_count = stats.Solve.scc_count;
+    sv_largest_scc = stats.Solve.largest_scc;
   }
 
 let table2 (r : Analysis.t) =

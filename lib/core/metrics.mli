@@ -50,6 +50,8 @@ type solver_row = {
       (** distinct abstract values hash-consed; [0] for structural engines *)
   sv_bitset_words : int;  (** words allocated across solution bitsets *)
   sv_union_calls : int;  (** word-level unions on direct flow edges *)
+  sv_scc_count : int;  (** direct-edge flow SCCs at freeze; [0] for structural engines *)
+  sv_largest_scc : int;  (** largest direct-edge SCC; [0] for structural engines *)
 }
 
 val table1 : Analysis.t -> table1_row

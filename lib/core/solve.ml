@@ -9,6 +9,8 @@ type stats = {
   interned_nodes : int;  (** distinct interned locations (interned solver, else 0) *)
   bitset_words : int;  (** words allocated across solution-set bitsets (interned solver, else 0) *)
   union_calls : int;  (** word-level bitset union calls on direct edges (interned solver, else 0) *)
+  scc_count : int;  (** direct-edge flow SCCs at freeze time (interned solver, else 0) *)
+  largest_scc : int;  (** members in the largest direct-edge SCC (interned solver, else 0) *)
 }
 
 (* Can a value pass through a cast to [cls]?  Sound filtering: the
@@ -745,17 +747,21 @@ type istate = {
   iapp : Framework.App.t;
   igraph : Graph.t;
   it : Intern.t;
-  (* frozen flow edges, CSR over the node ids assigned at freeze time
-     (ids >= [csr_n] are minted during solving and have no edges) *)
+  (* frozen flow edges, SCC-condensed CSR over the node ids assigned at
+     freeze time (ids >= [csr_n] are minted during solving, have no
+     edges, and are their own singleton components) *)
   csr_n : int;
-  row : int array;
-  edst : int array;
-  ekind : int array;  (** -1 = direct, else cast-class sym *)
+  nrep : int array;  (** node id -> direct-edge SCC representative, sized [csr_n] *)
+  crow : int array;  (** condensed CSR over representatives *)
+  cdst : int array;  (** destinations, already representatives *)
+  ckind : int array;  (** -1 = direct, else cast-class sym *)
   cast_names : string array;  (** cast sym -> class name *)
   mutable cast_memo : Bytes.t array;  (** per cast sym, per value id: 0 unknown / 1 pass / 2 fail *)
+  iscc_count : int;
+  ilargest_scc : int;
   (* solution state *)
-  sols : Slots.t;  (** node id -> value-id set *)
-  ideltas : Slots.t;  (** node id -> values since last drain *)
+  sols : Slots.t;  (** SCC representative -> value-id set, shared by every member *)
+  ideltas : Slots.t;  (** SCC representative -> values since last drain *)
   mutable free_deltas : Util.Bitset.t list;
       (** cleared delta sets recycled to avoid regrowing word arrays *)
   nq : int Queue.t;
@@ -765,7 +771,7 @@ type istate = {
   iop_recv : int array;
   iop_args : int array array;
   iop_out : int array;  (** -1 = no out location *)
-  op_reads : int list array;  (** node id -> op indexes reading it *)
+  op_reads : int list array;  (** SCC representative -> op indexes reading a member *)
   children_readers : int list;
   ids_readers : int list;
   roots_readers : int list;
@@ -793,6 +799,15 @@ type istate = {
 
 let ienqueue st nid = if Util.Bitset.add st.npending nid then Queue.push nid st.nq
 
+(* THE bounds guard for mid-solve-minted ids.  The CSR and the rep
+   table are sized to the node count at freeze time, but the interner
+   keeps minting ids while solving (views discovered mid-solve, [this]
+   / parameter variables of handler methods with empty bodies).  Every
+   snapshot-sized lookup — [nrep], [crow], [op_reads] — must funnel an
+   id through here first: ids >= [csr_n] are their own singleton
+   components with no edges and no static readers. *)
+let irep st nid = if nid < st.csr_n then st.nrep.(nid) else nid
+
 (* Delta slots cycle constantly (detached on drain, repopulated on the
    next push); drawing from the recycle pool keeps their word arrays at
    capacity instead of regrowing from scratch each round. *)
@@ -807,10 +822,14 @@ let idelta_slot st nid =
           d
       | [] -> Slots.get st.ideltas nid)
 
+(* Pushes land on the component representative: one shared bitset per
+   direct-edge cycle, so a value entering anywhere in a cycle is a
+   single [add] instead of a propagation lap around it. *)
 let ipush st nid vid =
-  if Util.Bitset.add (Slots.get st.sols nid) vid then begin
-    ignore (Util.Bitset.add (idelta_slot st nid) vid);
-    ienqueue st nid
+  let rid = irep st nid in
+  if Util.Bitset.add (Slots.get st.sols rid) vid then begin
+    ignore (Util.Bitset.add (idelta_slot st rid) vid);
+    ienqueue st rid
   end
 
 let cast_passes st sym vid =
@@ -836,24 +855,29 @@ let cast_passes st sym vid =
       Bytes.set memo vid (if ok then '\001' else '\002');
       ok
 
-(* Mirror of [propagate_delta] on ids.  Direct edges merge whole delta
-   words; cast edges filter per value through the per-sym memo. *)
+(* Mirror of [propagate_delta] on ids, over the SCC-condensed CSR: the
+   worklist carries component representatives only (every enqueue goes
+   through [ipush]/[irep]), and direct edges inside a component were
+   dropped at freeze time — the shared bitset IS their fixpoint.
+   Direct inter-component edges merge whole delta words; cast edges
+   filter per value through the per-sym memo.  [cdst] entries are
+   already representatives, so pushes stay in rep space. *)
 let ipropagate st ~changed =
   while not (Queue.is_empty st.nq) do
-    let nid = Queue.pop st.nq in
-    Util.Bitset.remove st.npending nid;
+    let rid = Queue.pop st.nq in
+    Util.Bitset.remove st.npending rid;
     st.ipropagations <- st.ipropagations + 1;
-    match Slots.take st.ideltas nid with
+    match Slots.take st.ideltas rid with
     | None -> ()
     | Some d when Util.Bitset.is_empty d ->
         st.free_deltas <- d :: st.free_deltas
     | Some d ->
-        (if nid < st.csr_n then begin
-           let hi = st.row.(nid + 1) in
+        (if rid < st.csr_n then begin
+           let hi = st.crow.(rid + 1) in
            let dcard = Util.Bitset.cardinal d in
-           for e = st.row.(nid) to hi - 1 do
-             let dst = st.edst.(e) in
-             let k = st.ekind.(e) in
+           for e = st.crow.(rid) to hi - 1 do
+             let dst = st.cdst.(e) in
+             let k = st.ckind.(e) in
              if k < 0 then begin
                st.idelta_pushes <- st.idelta_pushes + dcard;
                st.iunion_calls <- st.iunion_calls + 1;
@@ -873,7 +897,7 @@ let ipropagate st ~changed =
          end);
         Util.Bitset.clear d;
         st.free_deltas <- d :: st.free_deltas;
-        changed nid
+        changed rid
   done
 
 (* Relation updates (id-level mirrors of the [Graph.add_*] family). *)
@@ -938,7 +962,10 @@ let iadd_view_listener st wid entry = ignore (Util.Bitset.add (Slots.get st.ilis
 
 (* Value decoders over a location's solution set. *)
 
-let iter_ivalues st nid f = match Slots.find st.sols nid with None -> () | Some b -> Util.Bitset.iter f b
+(* All op-rule reads of a node's points-to set funnel through here;
+   the set lives on the component representative. *)
+let iter_ivalues st nid f =
+  match Slots.find st.sols (irep st nid) with None -> () | Some b -> Util.Bitset.iter f b
 
 let irids_at st nid =
   let acc = ref [] in
@@ -1409,15 +1436,23 @@ let iapply_declared_fragments st ~note_ret =
    work — no node is hashed again. *)
 let ifreeze config app graph =
   let it = Graph.interner graph in
-  let row, edst, ekind, cast_names = Graph.frozen_flow graph in
-  let csr_n = Array.length row - 1 in
+  let fc = Graph.frozen_flow graph in
+  let csr_n = fc.Graph.fc_nodes in
+  let nrep = fc.Graph.fc_rep in
+  let cast_names = fc.Graph.fc_cast_names in
   let iops = Array.of_list (Graph.ops graph) in
   let ids = Graph.ops_node_ids graph in
   let iop_recv = Array.map (fun (rid, _, _) -> rid) ids in
   let iop_args = Array.map (fun (_, aids, _) -> aids) ids in
   let iop_out = Array.map (fun (_, _, oid) -> oid) ids in
-  let op_reads = Array.make csr_n [] in
-  let note nid oi = op_reads.(nid) <- oi :: op_reads.(nid) in
+  (* Readers index in rep space: a component's set growing must
+     reschedule every op reading ANY member of it.  Ops are interned
+     during extraction, so their recv/arg ids are always < [csr_n]. *)
+  let op_reads = Array.make (max 1 csr_n) [] in
+  let note nid oi =
+    let r = nrep.(nid) in
+    op_reads.(r) <- oi :: op_reads.(r)
+  in
   Array.iteri
     (fun oi _ ->
       note iop_recv.(oi) oi;
@@ -1439,11 +1474,14 @@ let ifreeze config app graph =
     igraph = graph;
     it;
     csr_n;
-    row;
-    edst;
-    ekind;
+    nrep;
+    crow = fc.Graph.fc_crow;
+    cdst = fc.Graph.fc_cdst;
+    ckind = fc.Graph.fc_ckind;
     cast_names;
     cast_memo = Array.init (Array.length cast_names) (fun _ -> Bytes.make 256 '\000');
+    iscc_count = fc.Graph.fc_scc_count;
+    ilargest_scc = fc.Graph.fc_largest_scc;
     sols = Slots.create ();
     ideltas = Slots.create ();
     free_deltas = [];
@@ -1489,13 +1527,31 @@ let imaterialize st =
   in
   let non_empty f nid b = if not (Util.Bitset.is_empty b) then f nid b in
   Graph.reset_solution_tables g;
-  Slots.iteri
-    (non_empty (fun nid b ->
-         Graph.install_set g (Intern.node_of it nid)
-           (Util.Bitset.fold
-              (fun vid acc -> Graph.VS.add (Intern.value_of it vid) acc)
-              b Graph.VS.empty)))
-    st.sols;
+  (* Points-to sets are solved per SCC representative; expand back to
+     member nodes here — every member of a direct-edge cycle provably
+     saturates to the same set, so each component's bitset is decoded
+     once and the same structural [VS.t] is installed for all members
+     (including ids minted mid-solve, which are their own reps). *)
+  let decoded = Hashtbl.create 64 in
+  let decode rid b =
+    match Hashtbl.find_opt decoded rid with
+    | Some vs -> vs
+    | None ->
+        let vs =
+          Util.Bitset.fold
+            (fun vid acc -> Graph.VS.add (Intern.value_of it vid) acc)
+            b Graph.VS.empty
+        in
+        Hashtbl.add decoded rid vs;
+        vs
+  in
+  for nid = 0 to Intern.node_count it - 1 do
+    let rid = irep st nid in
+    match Slots.find st.sols rid with
+    | Some b when not (Util.Bitset.is_empty b) ->
+        Graph.install_set g (Intern.node_of it nid) (decode rid b)
+    | _ -> ()
+  done;
   Slots.iteri
     (non_empty (fun wid b -> Graph.install_children g (Intern.view_of it wid) (view_set b)))
     st.ichildren;
@@ -1533,9 +1589,13 @@ let run_interned config (app : Framework.App.t) graph =
   let pending_decl = ref true in
   let pending_frags = ref true in
   let ret_deps : (int, iret_target list) Hashtbl.t = Hashtbl.create 16 in
+  (* [on_changed] fires with representative ids (the propagation
+     worklist lives in rep space), so dynamic return dependencies are
+     registered under the rep too. *)
   let note_ret target nid =
-    let existing = Option.value (Hashtbl.find_opt ret_deps nid) ~default:[] in
-    if not (List.mem target existing) then Hashtbl.replace ret_deps nid (target :: existing)
+    let rid = irep st nid in
+    let existing = Option.value (Hashtbl.find_opt ret_deps rid) ~default:[] in
+    if not (List.mem target existing) then Hashtbl.replace ret_deps rid (target :: existing)
   in
   let on_changed nid =
     if nid < st.csr_n then List.iter schedule st.op_reads.(nid);
@@ -1607,6 +1667,8 @@ let run_interned config (app : Framework.App.t) graph =
     interned_nodes = Intern.node_count st.it;
     bitset_words = Slots.total_words st.sols;
     union_calls = st.iunion_calls;
+    scc_count = st.iscc_count;
+    largest_scc = st.ilargest_scc;
   }
 
 let run config (app : Framework.App.t) graph =
@@ -1648,4 +1710,6 @@ let run config (app : Framework.App.t) graph =
         interned_nodes = 0;
         bitset_words = 0;
         union_calls = 0;
+        scc_count = 0;
+        largest_scc = 0;
       }

@@ -26,6 +26,14 @@ type stats = {
   union_calls : int;
       (** word-level bitset unions performed on direct flow edges; [0]
           under the structural engines *)
+  scc_count : int;
+      (** strongly connected components of the direct-edge flow graph
+          at freeze time (singletons included); [0] under the
+          structural engines *)
+  largest_scc : int;
+      (** member count of the largest direct-edge SCC — every cycle
+          this size collapses to one shared bitset; [0] under the
+          structural engines *)
 }
 
 val run : Config.t -> Framework.App.t -> Graph.t -> stats

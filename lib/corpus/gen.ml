@@ -613,3 +613,115 @@ let random_spec ?(name = "Random") rng =
     sp_id_sharing = float_of_int (Util.Prng.int_in rng 0 5) /. 10.0;
     sp_receiver_merge = float_of_int (Util.Prng.int_in rng 0 5) /. 10.0;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Cycle-heavy generator (SCC-condensation stress).
+
+   The spec-driven generator above produces mostly acyclic flow; the
+   apps built here maximize direct-edge cycles instead: long copy
+   chains closed into rings, tight mutual-assignment 2-cycles, and
+   cast statements bridging rings.  Casts stay *out* of the SCC
+   condensation — a bridge between two rings is exactly the filtered
+   inter-component edge shape the condensed CSR must keep, and a
+   bridge landing back in its own ring is an intra-component cast
+   edge the condensation is allowed to drop (the direct path already
+   carries everything).  A few GUI operations read ring variables so
+   operation scheduling interacts with shared component sets, and a
+   listener whose handlers have empty bodies forces the solver to
+   mint handler [this]/parameter node ids mid-solve. *)
+
+let cyclic_app ?(name = "Cyclic") ~chains ~chain_len ~two_cycles ~bridges ~seed () =
+  if chains < 1 || chain_len < 2 then
+    invalid_arg "Gen.cyclic_app: chains >= 1 and chain_len >= 2 required";
+  let rng = Util.Prng.create seed in
+  let layout_name = name ^ "_main" in
+  let root_id = "vid_root" and leaf_id = "vid_leaf" in
+  let layout =
+    Layouts.Layout.def ~name:layout_name
+      (Layouts.Layout.node ~id:root_id
+         ~children:[ Layouts.Layout.node ~id:leaf_id ~children:[] "Button" ]
+         "LinearLayout")
+  in
+  let var c i = Printf.sprintf "ch%d_%d" c i in
+  let rev_stmts = ref [] in
+  let emit ss = rev_stmts := List.rev_append ss !rev_stmts in
+  emit
+    [
+      B.layout_id "lid" layout_name;
+      B.call Jir.Ast.this_var "setContentView" [ "lid" ];
+      B.view_id "a0" root_id;
+      B.call ~into:"v0" Jir.Ast.this_var "findViewById" [ "a0" ];
+    ];
+  (* Long alias chains closed into rings, each seeded from the root
+     view; every ring collapses to one SCC under condensation. *)
+  for c = 0 to chains - 1 do
+    emit [ B.copy (var c 0) "v0" ];
+    for i = 1 to chain_len - 1 do
+      emit [ B.copy (var c i) (var c (i - 1)) ]
+    done;
+    emit [ B.copy (var c 0) (var c (chain_len - 1)) ]
+  done;
+  (* Tight mutual-assignment 2-cycles. *)
+  for k = 0 to two_cycles - 1 do
+    let a = Printf.sprintf "tw%d_a" k and b = Printf.sprintf "tw%d_b" k in
+    emit [ B.copy a "v0"; B.copy b a; B.copy a b ]
+  done;
+  (* Cast edges from one ring into the next (or, with a single ring,
+     back into itself); the class alternates between one the root view
+     passes and one it does not, exercising the cast filter on both
+     kept (inter-component) and dropped (intra-component) edges. *)
+  for j = 0 to bridges - 1 do
+    let src = j mod chains and tgt = (j + 1) mod chains in
+    let cls = if Util.Prng.bool rng then "LinearLayout" else "Button" in
+    emit [ B.cast (var tgt (1 mod chain_len)) cls (var src (chain_len / 2)) ]
+  done;
+  (* GUI operations reading ring variables: growth of a shared
+     component set must reschedule them. *)
+  emit
+    [
+      B.new_ "w0" "Button";
+      B.call (var 0 (chain_len - 1)) "addView" [ "w0" ];
+      B.view_id "a1" leaf_id;
+      B.call ~into:"f0" (var 0 (chain_len / 2)) "findViewById" [ "a1" ];
+      B.copy (var (chains - 1) 0) "f0";
+    ];
+  (* A listener with empty handler bodies: its [this] and parameters
+     are only interned when handler flows are injected mid-solve. *)
+  let iface = Option.get (Framework.Listeners.by_name "OnClickListener") in
+  let listener_name = name ^ "_Listener" in
+  let listener_cls =
+    let handlers =
+      List.map
+        (fun (h : Framework.Listeners.handler) ->
+          let params =
+            List.init h.h_arity (fun i ->
+                let ty = if h.h_view_param = Some i then B.tclass "View" else Jir.Ast.Tint in
+                (Printf.sprintf "p%d" i, ty))
+          in
+          B.meth ~params h.h_name [])
+        iface.Framework.Listeners.i_handlers
+    in
+    B.cls ~implements:[ iface.Framework.Listeners.i_name ] ~methods:handlers listener_name
+  in
+  emit
+    [
+      B.new_ "l0" listener_name;
+      B.call (var 0 0) iface.Framework.Listeners.i_setter [ "l0" ];
+    ];
+  let activity =
+    B.cls ~extends:"Activity"
+      ~methods:[ B.meth "onCreate" (List.rev !rev_stmts) ]
+      (name ^ "_Activity")
+  in
+  let program = B.program [ activity; listener_cls ] in
+  let package = Layouts.Package.create () in
+  Layouts.Package.add package layout;
+  Framework.App.make ~name program package
+
+let random_cyclic_app ?(name = "Cyclic") rng =
+  let chains = Util.Prng.int_in rng 1 4 in
+  let chain_len = Util.Prng.int_in rng 2 12 in
+  let two_cycles = Util.Prng.int_in rng 0 4 in
+  let bridges = Util.Prng.int_in rng 0 (2 * chains) in
+  let seed = Int64.to_int (Util.Prng.next rng) land 0xFFFFFF in
+  cyclic_app ~name ~chains ~chain_len ~two_cycles ~bridges ~seed ()

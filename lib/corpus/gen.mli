@@ -23,3 +23,26 @@ val generate : Spec.t -> Framework.App.t
 
 val random_spec : ?name:string -> Util.Prng.t -> Spec.t
 (** A small well-formed random spec, for property-based testing. *)
+
+val cyclic_app :
+  ?name:string ->
+  chains:int ->
+  chain_len:int ->
+  two_cycles:int ->
+  bridges:int ->
+  seed:int ->
+  unit ->
+  Framework.App.t
+(** Cycle-heavy app for stressing SCC condensation of the flow graph:
+    [chains] copy chains of length [chain_len] each closed into a
+    ring, [two_cycles] tight mutual-assignment pairs, and [bridges]
+    cast statements from one ring into the next (alternating between
+    filter-passing and filter-blocking classes, drawn from [seed]).
+    All rings are seeded from the activity's root view, a couple of
+    GUI operations read ring variables, and a listener with empty
+    handler bodies forces mid-solve node interning.
+
+    @raise Invalid_argument unless [chains >= 1] and [chain_len >= 2]. *)
+
+val random_cyclic_app : ?name:string -> Util.Prng.t -> Framework.App.t
+(** Random parameters for {!cyclic_app}, for property-based testing. *)

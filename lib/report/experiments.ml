@@ -122,7 +122,7 @@ let solver_stats results =
   let header =
     [
       "App"; "solver"; "ops"; "rounds"; "op applies"; "naive equiv"; "saved"; "propagations";
-      "delta pushes"; "desc cache"; "values"; "set words"; "unions";
+      "delta pushes"; "desc cache"; "values"; "set words"; "unions"; "sccs"; "max scc";
     ]
   in
   let rows =
@@ -153,6 +153,8 @@ let solver_stats results =
               (if s.sv_interned_values = 0 then "-" else Table.cell_int s.sv_interned_values);
               (if s.sv_bitset_words = 0 then "-" else Table.cell_int s.sv_bitset_words);
               (if s.sv_union_calls = 0 then "-" else Table.cell_int s.sv_union_calls);
+              (if s.sv_scc_count = 0 then "-" else Table.cell_int s.sv_scc_count);
+              (if s.sv_scc_count = 0 then "-" else Table.cell_int s.sv_largest_scc);
             ])
       results
   in

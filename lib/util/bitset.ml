@@ -144,3 +144,10 @@ let equal a b =
 
 (* Allocated words (capacity), for memory-pressure stats. *)
 let words t = Array.length t.words
+
+(* Physical identity.  The SCC-condensed solver keys one mutable set
+   per flow-cycle component and lets every member node alias it;
+   [same] is the aliasing test (structural [equal] cannot distinguish
+   a shared set from an equal copy, and a copy would not see later
+   unions). *)
+let same a b = a == b

@@ -9,17 +9,68 @@ type t =
 
 let escape buf s =
   Buffer.add_char buf '"';
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+    | '"' ->
+        Buffer.add_string buf "\\\"";
+        incr i
+    | '\\' ->
+        Buffer.add_string buf "\\\\";
+        incr i
+    | '\n' ->
+        Buffer.add_string buf "\\n";
+        incr i
+    | '\r' ->
+        Buffer.add_string buf "\\r";
+        incr i
+    | '\t' ->
+        Buffer.add_string buf "\\t";
+        incr i
+    | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c));
+        incr i
+    | c when Char.code c < 0xF0 ->
+        (* ASCII and 2-/3-byte UTF-8 (the BMP) pass through raw *)
+        Buffer.add_char buf c;
+        incr i
+    | c ->
+        (* 4-byte UTF-8 lead: a non-BMP code point.  \uXXXX can only
+           name the BMP, so astral characters are escaped as a
+           UTF-16 surrogate pair.  Malformed sequences fall through
+           as raw bytes, like every other non-UTF-8 byte. *)
+        let astral =
+          if !i + 3 < n then begin
+            let b0 = Char.code c in
+            let b1 = Char.code s.[!i + 1] in
+            let b2 = Char.code s.[!i + 2] in
+            let b3 = Char.code s.[!i + 3] in
+            if
+              b0 land 0xF8 = 0xF0 && b1 land 0xC0 = 0x80 && b2 land 0xC0 = 0x80
+              && b3 land 0xC0 = 0x80
+            then
+              let cp =
+                ((b0 land 0x07) lsl 18)
+                lor ((b1 land 0x3F) lsl 12)
+                lor ((b2 land 0x3F) lsl 6)
+                lor (b3 land 0x3F)
+              in
+              if cp >= 0x10000 && cp <= 0x10FFFF then Some cp else None
+            else None
+          end
+          else None
+        in
+        (match astral with
+        | Some cp ->
+            let u = cp - 0x10000 in
+            Buffer.add_string buf
+              (Printf.sprintf "\\u%04x\\u%04x" (0xD800 lor (u lsr 10)) (0xDC00 lor (u land 0x3FF)));
+            i := !i + 4
+        | None ->
+            Buffer.add_char buf c;
+            incr i))
+  done;
   Buffer.add_char buf '"'
 
 let rec write ~pretty ~indent buf t =
@@ -126,6 +177,25 @@ let literal cur word value =
   end
   else error cur (Printf.sprintf "expected %s" word)
 
+(* UTF-8 encode one code point, astral plane included. *)
+let add_utf8 buf code =
+  if code < 0x80 then Buffer.add_char buf (Char.chr code)
+  else if code < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else if code < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (code lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+
 let parse_string cur =
   expect cur '"';
   let buf = Buffer.create 16 in
@@ -162,23 +232,41 @@ let parse_string cur =
             go ()
         | Some 'u' ->
             advance cur;
-            if cur.off + 4 > String.length cur.src then error cur "bad \\u escape";
-            let hex = String.sub cur.src cur.off 4 in
-            cur.off <- cur.off + 4;
-            (match int_of_string_opt ("0x" ^ hex) with
-            | Some code when code < 0x80 -> Buffer.add_char buf (Char.chr code)
-            | Some code ->
-                (* encode as UTF-8 *)
-                if code < 0x800 then begin
-                  Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
-                  Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
-                end
+            let hex4 () =
+              if cur.off + 4 > String.length cur.src then error cur "bad \\u escape";
+              let hex = String.sub cur.src cur.off 4 in
+              cur.off <- cur.off + 4;
+              match int_of_string_opt ("0x" ^ hex) with
+              | Some code -> code
+              | None -> error cur "bad \\u escape"
+            in
+            let code = hex4 () in
+            let code =
+              (* \uXXXX only reaches the BMP; astral code points arrive
+                 as a UTF-16 surrogate pair.  Combine a high surrogate
+                 with the following \u-escaped low surrogate; an
+                 unpaired surrogate keeps the old lenient per-escape
+                 byte encoding. *)
+              if
+                code >= 0xD800 && code <= 0xDBFF
+                && cur.off + 2 <= String.length cur.src
+                && cur.src.[cur.off] = '\\'
+                && cur.src.[cur.off + 1] = 'u'
+              then begin
+                let save = cur.off in
+                cur.off <- cur.off + 2;
+                let lo = hex4 () in
+                if lo >= 0xDC00 && lo <= 0xDFFF then
+                  0x10000 + (((code - 0xD800) lsl 10) lor (lo - 0xDC00))
                 else begin
-                  Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
-                  Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
-                  Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                  (* not a low surrogate: rewind and emit separately *)
+                  cur.off <- save;
+                  code
                 end
-            | None -> error cur "bad \\u escape");
+              end
+              else code
+            in
+            add_utf8 buf code;
             go ()
         | _ -> error cur "bad escape")
     | Some c ->

@@ -15,14 +15,20 @@ type t =
   | Obj of (string * t) list
 
 val to_string : ?pretty:bool -> t -> string
+(** Strings are emitted as UTF-8 with control characters escaped;
+    non-BMP code points (4-byte UTF-8 sequences) are escaped as UTF-16
+    surrogate pairs ([\uD83D\uDE00] for U+1F600), since a single
+    [\uXXXX] only reaches the BMP. *)
 
 val pp : t Fmt.t
 (** Pretty (indented) form. *)
 
 val of_string : string -> (t, string) result
 (** Parses the full JSON value grammar (numbers are read as [Int] when
-    they are exact integers, [Float] otherwise; no unicode escapes
-    beyond [\uXXXX] for the BMP). *)
+    they are exact integers, [Float] otherwise).  [\uXXXX] escapes
+    cover the BMP directly; a high/low surrogate pair of escapes is
+    combined into the astral code point it denotes (unpaired
+    surrogates are tolerated and byte-encoded individually). *)
 
 val equal : t -> t -> bool
 

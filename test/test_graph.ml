@@ -122,6 +122,68 @@ let test_dot_output () =
     && String.sub dot 0 7 = "digraph"
     && String.contains dot '}')
 
+(* ------------------------------------------------------------------ *)
+(* Frozen flow CSR and its SCC condensation *)
+
+let test_frozen_flow_condensation () =
+  let g = Graph.create () in
+  let a = var "m" "a" and b = var "m" "b" and c = var "m" "c" and d = var "m" "d" in
+  (* a -> b -> c -> a is a direct 3-cycle; d hangs off it through a
+     cast edge, which must stay OUT of the condensation *)
+  Graph.add_edge g a b;
+  Graph.add_edge g b c;
+  Graph.add_edge g c a;
+  Graph.add_edge g ~kind:(Graph.E_cast "Button") c d;
+  let fc = Graph.frozen_flow g in
+  let id n = Graph.node_id g n in
+  Alcotest.check Alcotest.int "snapshot covers the four nodes" 4 fc.Graph.fc_nodes;
+  Alcotest.check Alcotest.int "largest scc is the 3-cycle" 3 fc.Graph.fc_largest_scc;
+  Alcotest.check Alcotest.int "two components" 2 fc.Graph.fc_scc_count;
+  let ra = fc.Graph.fc_rep.(id a) in
+  Alcotest.check Alcotest.int "b joins a's component" ra fc.Graph.fc_rep.(id b);
+  Alcotest.check Alcotest.int "c joins a's component" ra fc.Graph.fc_rep.(id c);
+  Alcotest.check Alcotest.int "rep is the smallest member" (min (id a) (min (id b) (id c))) ra;
+  Alcotest.check Alcotest.int "d is its own singleton" (id d) fc.Graph.fc_rep.(id d);
+  (* condensed edges: exactly the cast edge survives — intra-component
+     direct edges are subsumed by the component's shared set *)
+  let condensed = ref [] in
+  for r = 0 to fc.Graph.fc_nodes - 1 do
+    for e = fc.Graph.fc_crow.(r) to fc.Graph.fc_crow.(r + 1) - 1 do
+      condensed := (r, fc.Graph.fc_cdst.(e), fc.Graph.fc_ckind.(e)) :: !condensed
+    done
+  done;
+  match !condensed with
+  | [ (src, dst, k) ] ->
+      Alcotest.check Alcotest.int "cast edge leaves the cycle rep" ra src;
+      Alcotest.check Alcotest.int "cast edge reaches d" (id d) dst;
+      Alcotest.check Alcotest.string "cast symbol kept" "Button" fc.Graph.fc_cast_names.(k)
+  | es -> Alcotest.failf "expected exactly the cast edge, got %d condensed edges" (List.length es)
+
+(* Regression: the [frozen_flow] memo is keyed on the edge count, so
+   interner growth without new edges must serve the old snapshot (ids
+   at or above [fc_nodes] are singleton components by construction),
+   while adding an edge must rebuild over the grown node pool. *)
+let test_frozen_flow_memo_invalidation () =
+  let g = Graph.create () in
+  let a = var "m" "a" and b = var "m" "b" in
+  Graph.add_edge g a b;
+  let fc0 = Graph.frozen_flow g in
+  Alcotest.check Alcotest.int "snapshot covers both nodes" 2 fc0.Graph.fc_nodes;
+  (* grow the interner without touching edges: memo hit, same snapshot *)
+  let late = var "m" "late" in
+  let late_id = Graph.node_id g late in
+  Alcotest.check Alcotest.bool "late id falls outside the snapshot" true
+    (late_id >= fc0.Graph.fc_nodes);
+  let fc1 = Graph.frozen_flow g in
+  Alcotest.check Alcotest.bool "memo hit serves the same snapshot" true (fc0 == fc1);
+  (* a new edge invalidates the memo: the rebuild covers the late node *)
+  Graph.add_edge g late a;
+  let fc2 = Graph.frozen_flow g in
+  Alcotest.check Alcotest.bool "edge growth rebuilds" true (fc1 != fc2);
+  Alcotest.check Alcotest.int "rebuild covers the late node" 3 fc2.Graph.fc_nodes;
+  Alcotest.check Alcotest.int "late node is now a tracked singleton" late_id
+    fc2.Graph.fc_rep.(late_id)
+
 let suite =
   [
     Alcotest.test_case "add_value grows once" `Quick test_add_value_grows_once;
@@ -137,4 +199,7 @@ let suite =
     Alcotest.test_case "op creation order" `Quick test_ops_order;
     Alcotest.test_case "locations" `Quick test_locations;
     Alcotest.test_case "dot output" `Quick test_dot_output;
+    Alcotest.test_case "frozen flow: scc condensation" `Quick test_frozen_flow_condensation;
+    Alcotest.test_case "frozen flow: memo invalidation" `Quick
+      test_frozen_flow_memo_invalidation;
   ]

@@ -199,14 +199,105 @@ let test_corpus_reports_identical () =
     (Report.Experiments.solver_stats (Report.Experiments.run_corpus ~config:interned ~jobs:1 ()))
     (Report.Experiments.solver_stats (Report.Experiments.run_corpus ~config:interned ~jobs:4 ()))
 
+(* ------------------------------------------------------------------ *)
+(* SCC condensation: cycle-heavy apps *)
+
+(* [Bitset.same] is physical identity — the aliasing test for shared
+   component sets in the condensed engine. *)
+let test_bitset_same () =
+  let a = Util.Bitset.create () in
+  ignore (Util.Bitset.add a 3);
+  let alias = a and copy = Util.Bitset.copy a in
+  Alcotest.check Alcotest.bool "alias is same" true (Util.Bitset.same a alias);
+  Alcotest.check Alcotest.bool "copy is not same" false (Util.Bitset.same a copy);
+  Alcotest.check Alcotest.bool "copy is still equal" true (Util.Bitset.equal a copy)
+
+let test_cyclic_three_engines () =
+  let app =
+    Corpus.Gen.cyclic_app ~name:"CycBig" ~chains:3 ~chain_len:9 ~two_cycles:2 ~bridges:4 ~seed:41
+      ()
+  in
+  let reference = check_three "CycBig" app in
+  (* the rings actually carry abstract views: the listener registered
+     on a ring variable reaches its SETLISTENER operation *)
+  let setlistener_ops =
+    List.filter
+      (fun (op : Graph.op) ->
+        match op.site.o_kind with Framework.Api.Set_listener _ -> true | _ -> false)
+      (Graph.ops reference.graph)
+  in
+  Alcotest.check Alcotest.bool "listener reaches its registration" true
+    (List.exists (fun op -> Analysis.op_listeners reference op <> []) setlistener_ops)
+
+(* The condensation stats surface through the interned engine, and the
+   listener's empty-bodied handlers force node ids to be minted after
+   the flow CSR froze — the path covered by the [irep] bounds guard. *)
+let test_scc_stats_and_midsolve_minting () =
+  let chain_len = 8 in
+  let app =
+    Corpus.Gen.cyclic_app ~name:"CycStats" ~chains:2 ~chain_len ~two_cycles:1 ~bridges:2 ~seed:5
+      ()
+  in
+  let r = analyze_with Config.Interned app in
+  let s = r.stats in
+  Alcotest.check Alcotest.bool "sccs counted" true (s.Solve.scc_count > 0);
+  Alcotest.check Alcotest.bool "a ring condensed" true (s.Solve.largest_scc >= chain_len);
+  let fc = Graph.frozen_flow r.graph in
+  Alcotest.check Alcotest.bool "nodes minted after freeze" true
+    (s.Solve.interned_nodes > fc.Graph.fc_nodes);
+  (* structural engines report no condensation *)
+  let d = analyze_with Config.Delta app in
+  Alcotest.check Alcotest.int "delta reports no sccs" 0
+    (d.stats.Solve.scc_count + d.stats.Solve.largest_scc)
+
+let test_qcheck_cyclic_three_engines =
+  QCheck.Test.make ~count:10 ~name:"cyclic app: naive = delta = interned"
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Util.Prng.create seed in
+      let app = Corpus.Gen.random_cyclic_app ~name:(Printf.sprintf "QCyc_%d" seed) rng in
+      ignore (check_three (Printf.sprintf "QCyc_%d" seed) app);
+      true)
+
+(* Cycle-heavy batch under the worker pool: the condensed engine's
+   solution must be independent of domain scheduling.  Every pooled
+   interned run is checked against a sequential naive reference. *)
+let test_cyclic_jobs () =
+  let mk i =
+    Corpus.Gen.cyclic_app
+      ~name:(Printf.sprintf "CycJ%d" i)
+      ~chains:(1 + (i mod 3))
+      ~chain_len:(3 + i) ~two_cycles:(i mod 3) ~bridges:i ~seed:(900 + i) ()
+  in
+  let apps = List.init 6 mk in
+  let references = List.map (analyze_with Config.Naive) apps in
+  List.iter
+    (fun jobs ->
+      let outcomes =
+        Pool.run ~jobs (List.map (fun app () -> analyze_with Config.Interned app) apps)
+      in
+      List.iteri
+        (fun i outcome ->
+          Test_delta.check_same_solution
+            (Printf.sprintf "CycJ%d[jobs=%d]" i jobs)
+            (List.nth references i) (Pool.value_exn outcome))
+        outcomes)
+    [ 1; 4 ]
+
 let suite =
   [
     Alcotest.test_case "bitset vs reference set" `Quick test_bitset_random;
     Alcotest.test_case "bitset union_delta semantics" `Quick test_bitset_union_delta;
+    Alcotest.test_case "bitset physical identity (same)" `Quick test_bitset_same;
     Alcotest.test_case "interner round-trip and dense ids" `Quick test_interner_roundtrip;
     Alcotest.test_case "ConnectBot: three engines agree" `Quick test_connectbot_three_engines;
     Alcotest.test_case "interned work counters" `Quick test_interned_work_counters;
     QCheck_alcotest.to_alcotest test_qcheck_three_engines;
+    Alcotest.test_case "cyclic app: three engines agree" `Quick test_cyclic_three_engines;
+    Alcotest.test_case "cyclic app: scc stats and mid-solve minting" `Quick
+      test_scc_stats_and_midsolve_minting;
+    QCheck_alcotest.to_alcotest test_qcheck_cyclic_three_engines;
+    Alcotest.test_case "cyclic batch under pool (jobs 1/4)" `Slow test_cyclic_jobs;
     Alcotest.test_case "corpus reports byte-identical (jobs 1/4)" `Slow
       test_corpus_reports_identical;
   ]

@@ -48,6 +48,48 @@ let test_numeric_equal () =
   Alcotest.check Alcotest.bool "order insensitive fields are NOT equal" false
     (J.equal (J.Obj [ ("a", J.Int 1); ("b", J.Int 2) ]) (J.Obj [ ("b", J.Int 2); ("a", J.Int 1) ]))
 
+(* Astral (non-BMP) code points: the writer must emit UTF-16 surrogate
+   pairs (one \uXXXX only reaches the BMP) and the parser must combine
+   them back into the original 4-byte UTF-8 sequence. *)
+let test_astral_roundtrip () =
+  (* U+1F600 GRINNING FACE as raw UTF-8 bytes *)
+  let grin = "\xF0\x9F\x98\x80" in
+  let gclef = "\xF0\x9D\x84\x9E" (* U+1D11E MUSICAL SYMBOL G CLEF *) in
+  let printed = J.to_string (J.String grin) in
+  Alcotest.check Alcotest.string "writer emits the surrogate pair" {|"\ud83d\ude00"|} printed;
+  Alcotest.check Alcotest.bool "print/parse round-trip" true
+    (parse_ok printed = J.String grin);
+  Alcotest.check Alcotest.bool "parser combines an escaped pair" true
+    (parse_ok {|"\uD834\uDD1E"|} = J.String gclef);
+  (* mixed BMP / astral content survives both directions *)
+  let mixed = "a" ^ grin ^ "\xE2\x82\xAC" ^ gclef ^ "z" (* a😀€𝄞z *) in
+  Alcotest.check Alcotest.bool "mixed string round-trips" true
+    (parse_ok (J.to_string (J.String mixed)) = J.String mixed);
+  Alcotest.check Alcotest.bool "pretty form round-trips too" true
+    (parse_ok (J.to_string ~pretty:true (J.String mixed)) = J.String mixed);
+  (* object keys go through the same escaper *)
+  let keyed = J.Obj [ (grin, J.Int 1) ] in
+  Alcotest.check Alcotest.bool "astral object key round-trips" true
+    (J.equal (parse_ok (J.to_string keyed)) keyed)
+
+let test_unpaired_surrogates () =
+  (* a lone high or low surrogate escape is tolerated (lenient
+     per-escape byte encoding), not an error *)
+  let lone_hi = parse_ok {|"\uD83Dx"|} and lone_lo = parse_ok {|"\uDE00"|} in
+  (match (lone_hi, lone_lo) with
+  | J.String hi, J.String lo ->
+      Alcotest.check Alcotest.bool "high surrogate kept, tail intact" true
+        (String.length hi > 1 && hi.[String.length hi - 1] = 'x');
+      Alcotest.check Alcotest.bool "low surrogate kept" true (String.length lo > 0)
+  | _ -> Alcotest.fail "expected strings");
+  (* high surrogate followed by a non-surrogate escape: the follower
+     must be decoded on its own (the parser rewinds) *)
+  match parse_ok {|"\uD83D\u0041"|} with
+  | J.String s ->
+      Alcotest.check Alcotest.bool "follower decoded separately" true
+        (String.length s > 1 && s.[String.length s - 1] = 'A')
+  | _ -> Alcotest.fail "expected a string"
+
 let json_gen =
   let open QCheck.Gen in
   let scalar =
@@ -138,6 +180,8 @@ let suite =
     Alcotest.test_case "errors" `Quick test_errors;
     Alcotest.test_case "member" `Quick test_member;
     Alcotest.test_case "numeric equality" `Quick test_numeric_equal;
+    Alcotest.test_case "astral round-trip" `Quick test_astral_roundtrip;
+    Alcotest.test_case "unpaired surrogates tolerated" `Quick test_unpaired_surrogates;
     QCheck_alcotest.to_alcotest roundtrip_compact;
     QCheck_alcotest.to_alcotest roundtrip_pretty;
     Alcotest.test_case "export: ConnectBot document" `Quick test_export_connectbot;
