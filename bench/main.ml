@@ -10,6 +10,27 @@ open Toolkit
 
 let app_named name = Corpus.Gen.generate (Option.get (Corpus.Apps.by_name name))
 
+(* The small patch the incremental benches re-solve: one added
+   allocation in an activity's onCreate.  Flow/seed-only — a New
+   statement contributes a fresh node, edge and seed but no
+   relation-writing op, so the warm restart invalidates only the new
+   component. *)
+let xbmc_small_patch app =
+  let patch =
+    [
+      Corpus.Patch.Add_stmt
+        {
+          cls = "Activity_0";
+          meth = "onCreate";
+          arity = 0;
+          stmt = Jir.Ast.New ("inc_bench_tmp", "android.widget.Button");
+        };
+    ]
+  in
+  match Corpus.Patch.apply app patch with
+  | Ok patched -> patched
+  | Error msg -> failwith ("incremental bench patch failed: " ^ msg)
+
 (* ------------------------------------------------------------------ *)
 (* Reproduction output: the rows/series the paper reports. *)
 
@@ -108,6 +129,30 @@ let tests () =
          (let graph = Gator.Extract.run Gator.Config.default xbmc in
           let config = { Gator.Config.default with solver = Gator.Config.Interned } in
           fun () -> Gator.Solve.run config xbmc graph));
+    (* Incremental re-analysis: cold solve-and-capture vs warm re-solve
+       of a one-statement patch over the same interner.  The patch adds
+       a single allocation (flow/seed-only — no relation-writing op),
+       so the warm path re-solves just the fresh component and restores
+       everything else by aliasing. *)
+    Test.make ~name:"analysis/incremental-cold(XBMC)"
+      (Staged.stage
+         (let graph = Gator.Extract.run Gator.Config.default xbmc in
+          fun () -> Gator.Solve.run_solved Gator.Config.default xbmc graph));
+    Test.make ~name:"analysis/incremental-warm-small-patch(XBMC)"
+      (Staged.stage
+         (let _, prev = Gator.Incremental.analyze_solved xbmc in
+          let patched = xbmc_small_patch xbmc in
+          let graph =
+            Gator.Extract.run ~interner:(Gator.Solve.solved_interner prev) Gator.Config.default
+              patched
+          in
+          let new_shape = Gator.Solve.shape_of_graph graph in
+          let edits =
+            Gator.Diff.edit_script ~old_:(Gator.Solve.shape_of_solved prev) ~new_:new_shape
+          in
+          fun () ->
+            Gator.Solve.run_incremental ~prev ~edits ~new_shape Gator.Config.default patched
+              graph));
     (* Ablations: each knob on the XBMC outlier *)
     config_bench "ablation/default(XBMC)" Gator.Config.default xbmc;
     config_bench "ablation/no-cast-filter(XBMC)"
@@ -226,10 +271,62 @@ let cyclic_head_to_head () =
   print_newline ();
   (List.length prepared, delta_seconds, interned_seconds)
 
+(* Incremental head-to-head on XBMC: full interned solve of the
+   patched app from scratch vs the warm delta restart from the
+   previous solve's captured state, best of 5 each, with a
+   bit-identity check on the resulting analyses. *)
+let incremental_head_to_head () =
+  let xbmc = app_named "XBMC" in
+  let config = Gator.Config.default in
+  let _, prev = Gator.Incremental.analyze_solved ~config xbmc in
+  let patched = xbmc_small_patch xbmc in
+  let best_of n f =
+    ignore (f ());
+    let best = ref infinity in
+    for _ = 1 to n do
+      let t0 = Unix.gettimeofday () in
+      ignore (f ());
+      best := min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  (* full: from-scratch interned solve of the patched graph *)
+  let cold_graph = Gator.Extract.run config patched in
+  let full_seconds = best_of 5 (fun () -> Gator.Solve.run_solved config patched cold_graph) in
+  (* warm: delta restart over the shared interner *)
+  let warm_graph =
+    Gator.Extract.run ~interner:(Gator.Solve.solved_interner prev) config patched
+  in
+  let new_shape = Gator.Solve.shape_of_graph warm_graph in
+  let edits = Gator.Diff.edit_script ~old_:(Gator.Solve.shape_of_solved prev) ~new_:new_shape in
+  let warm_seconds =
+    best_of 5 (fun () ->
+        Gator.Solve.run_incremental ~prev ~edits ~new_shape config patched warm_graph)
+  in
+  let warm_stats, _ =
+    Gator.Solve.run_incremental ~prev ~edits ~new_shape config patched warm_graph
+  in
+  (* bit-identity: the warm analysis must match a cold one exactly *)
+  let cold_analysis, _ = Gator.Incremental.analyze_solved ~config patched in
+  let warm_analysis, _ = Gator.Incremental.analyze_incremental ~config ~prev patched in
+  let identical = Gator.Diff.is_empty (Gator.Diff.compare cold_analysis warm_analysis) in
+  let ratio = warm_seconds /. full_seconds in
+  Printf.printf "Incremental re-analysis on XBMC (solve phase, best of 5):\n";
+  Printf.printf "  full (cold)        %9.6f s\n" full_seconds;
+  Printf.printf "  warm small patch   %9.6f s  (%.2f%% of full)\n" warm_seconds (100. *. ratio);
+  Printf.printf "  warm=%b fallback=%s dirty=%d reused=%d sccs=%d  bit-identical %s\n"
+    warm_stats.Gator.Solve.warm_solve
+    (Option.value ~default:"-" warm_stats.Gator.Solve.fallback)
+    warm_stats.Gator.Solve.dirty_comps warm_stats.Gator.Solve.reused_comps
+    warm_stats.Gator.Solve.scc_count
+    (if identical then "yes" else "NO");
+  print_newline ();
+  (full_seconds, warm_seconds, ratio, warm_stats, identical)
+
 (* Machine-readable results: per-test median nanoseconds and GC words
    plus the solver work counters, for regression tracking across
    commits. *)
-let write_json_results rows corpus_batch engines cyclic =
+let write_json_results rows corpus_batch engines cyclic incremental =
   let solver_counters =
     let app = app_named "XBMC" in
     List.map
@@ -299,6 +396,20 @@ let write_json_results rows corpus_batch engines cyclic =
         ("corpus_batch", Util.Json.List batch_entries);
         ("solver_head_to_head", engine_entry engines "corpus_apps");
         ("cycle_heavy_head_to_head", engine_entry cyclic "cyclic_apps");
+        ( "incremental",
+          let full_seconds, warm_seconds, ratio, warm_stats, identical = incremental in
+          Util.Json.Obj
+            [
+              ("app", Util.Json.String "XBMC");
+              ("full_seconds", Util.Json.Float full_seconds);
+              ("warm_small_patch_seconds", Util.Json.Float warm_seconds);
+              ("warm_over_full", Util.Json.Float ratio);
+              ("warm_solve", Util.Json.Bool warm_stats.Gator.Solve.warm_solve);
+              ("dirty_comps", Util.Json.Int warm_stats.Gator.Solve.dirty_comps);
+              ("reused_comps", Util.Json.Int warm_stats.Gator.Solve.reused_comps);
+              ("scc_count", Util.Json.Int warm_stats.Gator.Solve.scc_count);
+              ("bit_identical", Util.Json.Bool identical);
+            ] );
       ]
   in
   let path = "BENCH_results.json" in
@@ -346,5 +457,6 @@ let () =
   let corpus_batch = corpus_head_to_head () in
   let engines = engine_head_to_head () in
   let cyclic = cyclic_head_to_head () in
+  let incremental = incremental_head_to_head () in
   let rows = run_benchmarks () in
-  write_json_results rows corpus_batch engines cyclic
+  write_json_results rows corpus_batch engines cyclic incremental

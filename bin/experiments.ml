@@ -41,6 +41,51 @@ let run_soundness apps seed = print_endline (Report.Experiments.soundness_sweep 
 
 let run_scalability () = print_endline (Report.Experiments.scalability ())
 
+(* CI smoke, part 2: a warm (incremental) re-solve of a patched app
+   must be bit-identical to a from-scratch solve of the same app —
+   checked through a snapshot round-trip, on a seed-level patch of the
+   corpus outlier and on a cycle-splitting edit of a cycle-heavy app
+   (the worst case for the condensation-based invalidation). *)
+let verify_incremental name app patch =
+  let config = Gator.Config.default in
+  let _, solved = Gator.Incremental.analyze_solved ~config app in
+  let state = Filename.temp_file "gator_verify" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove state)
+    (fun () ->
+      Gator.Snapshot.save solved state;
+      let prev =
+        match Gator.Snapshot.load state with
+        | Ok prev -> prev
+        | Error e ->
+            Fmt.epr "verify: snapshot round-trip failed on %s: %s@." name e;
+            exit 1
+      in
+      let patched =
+        match Corpus.Patch.apply app patch with
+        | Ok patched -> patched
+        | Error e ->
+            Fmt.epr "verify: patch failed to apply on %s: %s@." name e;
+            exit 1
+      in
+      let warm, _ = Gator.Incremental.analyze_incremental ~config ~prev patched in
+      let cold = Gator.Analysis.analyze ~config patched in
+      let d = Gator.Diff.compare cold warm in
+      if not (Gator.Diff.is_empty d) then begin
+        Fmt.epr "verify: warm solution DIFFERS from cold on patched %s:@.%a@." name Gator.Diff.pp
+          d;
+        exit 1
+      end;
+      let s = warm.Gator.Analysis.stats in
+      if not s.Gator.Solve.warm_solve then begin
+        Fmt.epr "verify: incremental solve of patched %s was not warm (fallback: %s)@." name
+          (Option.value ~default:"-" s.Gator.Solve.fallback);
+        exit 1
+      end;
+      Printf.printf "verify: incremental (warm) = from-scratch on patched %s (%d dirty / %d \
+                     reused of %d components)\n"
+        name s.Gator.Solve.dirty_comps s.Gator.Solve.reused_comps s.Gator.Solve.scc_count)
+
 (* CI smoke: the interned engine must agree bit-for-bit with the naive
    executable specification on the largest corpus app. *)
 let run_verify () =
@@ -71,9 +116,44 @@ let run_verify () =
   check spec.Corpus.Spec.sp_name (Corpus.Gen.generate spec);
   (* the condensation earns its keep on cyclic flow, so check it where
      the direct-edge graph is one big tangle of rings *)
-  check "CycleHeavy"
-    (Corpus.Gen.cyclic_app ~name:"CycleHeavy" ~chains:4 ~chain_len:24 ~two_cycles:6 ~bridges:8
-       ~seed:2014 ());
+  let cycle_heavy =
+    Corpus.Gen.cyclic_app ~name:"CycleHeavy" ~chains:4 ~chain_len:24 ~two_cycles:6 ~bridges:8
+      ~seed:2014 ()
+  in
+  check "CycleHeavy" cycle_heavy;
+  verify_incremental spec.Corpus.Spec.sp_name (Corpus.Gen.generate spec)
+    [
+      Corpus.Patch.Add_stmt
+        {
+          cls = "Activity_0";
+          meth = "onCreate";
+          arity = 0;
+          stmt = Jir.Ast.New ("verify_tmp", "android.widget.Button");
+        };
+    ];
+  (* a cycle-splitting edit moves SCC membership — the invalidation
+     path the seed-level patch above never exercises; the ring-closing
+     copy is located by scanning so the index tracks the generator *)
+  let ring_close =
+    let open Jir.Ast in
+    let meth =
+      Option.bind
+        (find_class cycle_heavy.Framework.App.program "CycleHeavy_Activity")
+        (fun c -> find_meth c { mk_name = "onCreate"; mk_arity = 0 })
+    in
+    match meth with
+    | None -> failwith "CycleHeavy_Activity.onCreate not found"
+    | Some m -> (
+        let close i = function Copy ("ch0_0", "ch0_23") -> Some i | _ -> None in
+        match List.find_mapi (fun i s -> close i s) m.m_body with
+        | Some i -> i
+        | None -> failwith "ring-closing copy ch0_0 <- ch0_23 not found")
+  in
+  verify_incremental "CycleHeavy" cycle_heavy
+    [
+      Corpus.Patch.Remove_stmt
+        { cls = "CycleHeavy_Activity"; meth = "onCreate"; arity = 0; index = ring_close };
+    ];
   exit 0
 
 let run_all jobs fail_apps =

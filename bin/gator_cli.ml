@@ -25,8 +25,33 @@ let load code_path layout_paths =
    stays in submission order no matter which worker finishes first.
    Every failure mode — unreadable file, parse error, failed
    diagnostics, analysis crash — is an [Error]. *)
+(* Incremental mode: warm-start from a state file when one exists and
+   loads, fall back to a recorded full solve otherwise, and always save
+   the new solved state back.  The stats line surfaces which path ran
+   and why. *)
+let analyze_with_state ~config ~state app =
+  let result, solved =
+    if Sys.file_exists state then
+      match Gator.Snapshot.load state with
+      | Ok prev -> Gator.Incremental.analyze_incremental ~config ~prev app
+      | Error reason -> Gator.Incremental.analyze_solved ~config ~fallback:reason app
+    else Gator.Incremental.analyze_solved ~config app
+  in
+  Gator.Snapshot.save solved state;
+  result
+
+let pp_incremental_stats ppf (r : Gator.Analysis.t) =
+  let s = r.Gator.Analysis.stats in
+  match s.Gator.Solve.fallback with
+  | Some reason -> Fmt.pf ppf "incremental: full solve (fallback: %s)@." reason
+  | None ->
+      if s.Gator.Solve.warm_solve then
+        Fmt.pf ppf "incremental: warm solve, %d dirty / %d reused of %d components@."
+          s.Gator.Solve.dirty_comps s.Gator.Solve.reused_comps s.Gator.Solve.scc_count
+      else Fmt.pf ppf "incremental: full solve (no usable state)@."
+
 let analyze_one ~config ~dump_dot ~show_interactions ~show_diagnostics ~run_dynamic ~json
-    code_path layout_paths =
+    ~state code_path layout_paths =
   match load code_path layout_paths with
   | Error e -> Error e
   | Ok app ->
@@ -45,7 +70,14 @@ let analyze_one ~config ~dump_dot ~show_interactions ~show_diagnostics ~run_dyna
         Error (Buffer.contents buf ^ "diagnostics reported errors")
       end
       else begin
-        let r = Gator.Analysis.analyze ~config app in
+        let r =
+          match state with
+          | None -> Gator.Analysis.analyze ~config app
+          | Some state ->
+              let r = analyze_with_state ~config ~state app in
+              if not json then pp_incremental_stats ppf r;
+              r
+        in
         if json then Buffer.add_string buf (Gator.Export.to_string ~pretty:true r ^ "\n")
         else begin
           Fmt.pf ppf "%a@.@." Gator.Analysis.pp_summary r;
@@ -84,11 +116,23 @@ let analyze_one ~config ~dump_dot ~show_interactions ~show_diagnostics ~run_dyna
       end
 
 let run code_paths layout_paths solver dump_dot show_interactions show_diagnostics run_dynamic
-    json jobs =
+    json jobs incremental state_path =
   let config = { Gator.Config.default with solver } in
+  let state =
+    match (incremental, state_path) with
+    | false, _ -> None
+    | true, Some path -> Some path
+    | true, None ->
+        Fmt.epr "error: --incremental requires --state FILE@.";
+        exit 2
+  in
+  if Option.is_some state && List.length code_paths > 1 then begin
+    Fmt.epr "error: --incremental analyzes a single program (one state file, one app)@.";
+    exit 2
+  end;
   let analyze path =
-    analyze_one ~config ~dump_dot ~show_interactions ~show_diagnostics ~run_dynamic ~json path
-      layout_paths
+    analyze_one ~config ~dump_dot ~show_interactions ~show_diagnostics ~run_dynamic ~json ~state
+      path layout_paths
   in
   match code_paths with
   | [ single ] -> (
@@ -182,10 +226,27 @@ let () =
             "Worker domains for batch (multi-program) runs. Defaults to the recommended domain \
              count capped by the configured maximum; 1 forces the sequential path.")
   in
+  let incremental =
+    Arg.(
+      value & flag
+      & info [ "incremental" ]
+          ~doc:
+            "Re-analyze incrementally against the state file given by $(b,--state): warm-start \
+             from the previous solution, re-solve only the components the edit touched, and save \
+             the updated state back. Falls back to a full solve (reported, never an error) when \
+             the state is missing, corrupt, or stale.")
+  in
+  let state_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "state" ] ~docv:"FILE"
+          ~doc:"Solved-state file for $(b,--incremental) (created on first run).")
+  in
   let term =
     Term.(
       const run $ code $ layouts $ solver $ dot $ interactions $ diagnostics $ dynamic $ json
-      $ jobs)
+      $ jobs $ incremental $ state_path)
   in
   let info =
     Cmd.info "gator" ~doc:"Static reference analysis for GUI objects (CGO'14) on ALite programs."

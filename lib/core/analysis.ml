@@ -13,6 +13,8 @@ let analyze ?(config = Config.default) app =
   let solve_seconds = Unix.gettimeofday () -. start in
   { app; config; graph; stats; solve_seconds }
 
+let make ~app ~config ~graph ~stats ~solve_seconds = { app; config; graph; stats; solve_seconds }
+
 let var ~cls ~meth ~arity v =
   Node.N_var ({ Node.mid_cls = cls; mid_name = meth; mid_arity = arity }, v)
 

@@ -16,6 +16,16 @@ type t = private {
 
 val analyze : ?config:Config.t -> Framework.App.t -> t
 
+val make :
+  app:Framework.App.t ->
+  config:Config.t ->
+  graph:Graph.t ->
+  stats:Solve.stats ->
+  solve_seconds:float ->
+  t
+(** Wrap an already-solved graph (the incremental driver solves
+    through {!Solve.run_solved}/{!Solve.run_incremental} itself). *)
+
 (** {1 Location lookup} *)
 
 val var : cls:string -> meth:string -> arity:int -> string -> Node.t

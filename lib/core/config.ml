@@ -11,6 +11,7 @@ type t = {
   max_iterations : int;
   solver : solver;
   jobs : int;
+  incremental : bool;
 }
 
 let default =
@@ -23,6 +24,7 @@ let default =
     max_iterations = 1000;
     solver = Interned;
     jobs = 8;
+    incremental = false;
   }
 
 let baseline =
@@ -35,4 +37,5 @@ let baseline =
     max_iterations = 1000;
     solver = Interned;
     jobs = 8;
+    incremental = false;
   }

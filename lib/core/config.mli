@@ -47,6 +47,12 @@ type t = {
           capped by this value; an explicit [--jobs N] on the batch
           CLIs overrides both.  Single-app analysis never spawns
           domains. *)
+  incremental : bool;
+      (** Drivers that own a state file (the CLI's [--incremental])
+          set this to request warm re-solves against a persisted
+          {!Solve.solved}.  The flag participates in the warm guard's
+          configuration equality, so a warm solution can never leak
+          into a non-incremental run's stats. *)
 }
 
 val default : t

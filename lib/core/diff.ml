@@ -109,6 +109,160 @@ let is_empty d =
   d.d_ops_only_left = [] && d.d_ops_only_right = [] && d.d_changed = []
   && d.d_transitions_only_left = [] && d.d_transitions_only_right = []
 
+(* ------------------------------------------------------------------ *)
+(* Graph-level edit scripts (incremental re-analysis).
+
+   Coverage audit — every relation kind of the constraint graph a
+   patch can change, and where the diff accounts for it:
+   - direct flow edges (assignments, field flows, call bindings,
+     return flows): per-source row comparison below;
+   - CAST flow edges: compared by cast class NAME, not raw symbol.
+     Each shape carries its own cast-symbol table, so old symbols are
+     normalized into the new shape's space first; a cast class that
+     vanished from the program gets a per-symbol sentinel [<= -2] so
+     its edges can only ever compare unequal (comparing raw kind
+     indices would silently treat a re-ordered cast table as a sea of
+     spurious edge edits — or worse, mask real ones);
+   - seeds: allocation results, resource-id constants, and the
+     lifecycle/menu/dialog callback injections are all ordinary seeds,
+     and so are the activity seeds behind DECLARATIVE [android:onClick]
+     handlers — the seed diff covers every one of them, no special
+     case needed;
+   - operation nodes: matched as a multiset on the full static tuple
+     (site, receiver id, argument ids, out id); a shifted statement
+     index changes the site and is soundly treated as removed+added;
+   - dynamic N_ret dependencies are deliberately NOT here: which ops
+     re-fire when a method-return location grows is discovered at
+     solve time, not extraction time, so it cannot be diffed
+     statically.  The warm solver restores them from the captured
+     solution ([Solve.solved.sd_ret_deps]) and runs its suspect
+     fixpoint over them instead. *)
+
+let edit_script ~old_:(o : Solve.shape) ~new_:(n : Solve.shape) =
+  let new_sym = Hashtbl.create 16 in
+  Array.iteri (fun i name -> Hashtbl.replace new_sym name i) n.Solve.sh_cast_names;
+  let old_kind k =
+    if k < 0 then -1
+    else
+      match Hashtbl.find_opt new_sym o.Solve.sh_cast_names.(k) with
+      | Some i -> i
+      | None -> -2 - k
+  in
+  (* Rows are sets (edge insertion is idempotent) and small, so
+     mismatched rows are diffed as lists; identical rows — the vast
+     majority — are skipped by an element-wise scan. *)
+  let removed_edges = ref [] in
+  let added_edges = ref [] in
+  let row_old src =
+    if src >= o.Solve.sh_nodes then []
+    else
+      List.init
+        (o.Solve.sh_row.(src + 1) - o.Solve.sh_row.(src))
+        (fun i ->
+          let e = o.Solve.sh_row.(src) + i in
+          (old_kind o.Solve.sh_ekind.(e), o.Solve.sh_edst.(e)))
+  in
+  let row_new src =
+    if src >= n.Solve.sh_nodes then []
+    else
+      List.init
+        (n.Solve.sh_row.(src + 1) - n.Solve.sh_row.(src))
+        (fun i ->
+          let e = n.Solve.sh_row.(src) + i in
+          (n.Solve.sh_ekind.(e), n.Solve.sh_edst.(e)))
+  in
+  for src = 0 to max o.Solve.sh_nodes n.Solve.sh_nodes - 1 do
+    let same =
+      src < o.Solve.sh_nodes && src < n.Solve.sh_nodes
+      && o.Solve.sh_row.(src + 1) - o.Solve.sh_row.(src)
+         = n.Solve.sh_row.(src + 1) - n.Solve.sh_row.(src)
+      &&
+      let len = n.Solve.sh_row.(src + 1) - n.Solve.sh_row.(src) in
+      let rec eq i =
+        i >= len
+        ||
+        let eo = o.Solve.sh_row.(src) + i and en = n.Solve.sh_row.(src) + i in
+        o.Solve.sh_edst.(eo) = n.Solve.sh_edst.(en)
+        && old_kind o.Solve.sh_ekind.(eo) = n.Solve.sh_ekind.(en)
+        && eq (i + 1)
+      in
+      eq 0
+    in
+    if not same then begin
+      let ro = row_old src and rn = row_new src in
+      List.iter
+        (fun (k, d) -> if not (List.mem (k, d) rn) then removed_edges := (src, k, d) :: !removed_edges)
+        ro;
+      List.iter
+        (fun (k, d) -> if not (List.mem (k, d) ro) then added_edges := (src, k, d) :: !added_edges)
+        rn
+    end
+  done;
+  (* Seeds are sorted (node, value) pairs: a two-pointer merge. *)
+  let removed_seeds = ref [] in
+  let added_seeds = ref [] in
+  let so = o.Solve.sh_seeds and sn = n.Solve.sh_seeds in
+  let i = ref 0 and j = ref 0 in
+  while !i < Array.length so || !j < Array.length sn do
+    if !i >= Array.length so then begin
+      added_seeds := sn.(!j) :: !added_seeds;
+      incr j
+    end
+    else if !j >= Array.length sn then begin
+      removed_seeds := so.(!i) :: !removed_seeds;
+      incr i
+    end
+    else
+      let c = Stdlib.compare so.(!i) sn.(!j) in
+      if c = 0 then begin
+        incr i;
+        incr j
+      end
+      else if c < 0 then begin
+        removed_seeds := so.(!i) :: !removed_seeds;
+        incr i
+      end
+      else begin
+        added_seeds := sn.(!j) :: !added_seeds;
+        incr j
+      end
+  done;
+  (* Multiset op matching on the full static tuple.  The op site
+     contains only strings, ints and flat variants, so polymorphic
+     hashing is safe. *)
+  let old_to_new = Array.make (Array.length o.Solve.sh_ops) (-1) in
+  let new_to_old = Array.make (Array.length n.Solve.sh_ops) (-1) in
+  let tbl = Hashtbl.create ((2 * Array.length o.Solve.sh_ops) + 1) in
+  Array.iteri
+    (fun oj (site, recv, args, out) -> Hashtbl.add tbl (site, recv, Array.to_list args, out) oj)
+    o.Solve.sh_ops;
+  Array.iteri
+    (fun oi (site, recv, args, out) ->
+      let key = (site, recv, Array.to_list args, out) in
+      match Hashtbl.find_opt tbl key with
+      | Some oj ->
+          Hashtbl.remove tbl key;
+          old_to_new.(oj) <- oi;
+          new_to_old.(oi) <- oj
+      | None -> ())
+    n.Solve.sh_ops;
+  {
+    Solve.es_removed_edges = Array.of_list (List.rev !removed_edges);
+    es_added_edges = Array.of_list (List.rev !added_edges);
+    es_removed_seeds = Array.of_list (List.rev !removed_seeds);
+    es_added_seeds = Array.of_list (List.rev !added_seeds);
+    es_old_to_new = old_to_new;
+    es_new_to_old = new_to_old;
+  }
+
+let edit_script_is_empty (es : Solve.edit_script) =
+  Array.length es.es_removed_edges = 0
+  && Array.length es.es_added_edges = 0
+  && Array.length es.es_removed_seeds = 0
+  && Array.length es.es_added_seeds = 0
+  && Array.for_all (fun x -> x >= 0) es.es_old_to_new
+  && Array.for_all (fun x -> x >= 0) es.es_new_to_old
+
 let pp ppf d =
   if is_empty d then Fmt.pf ppf "no differences between %s and %s" d.d_left d.d_right
   else begin

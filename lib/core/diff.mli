@@ -27,3 +27,16 @@ val is_empty : t -> bool
 (** No differences. *)
 
 val pp : t Fmt.t
+
+(** {1 Graph-level edit scripts (incremental re-analysis)} *)
+
+val edit_script : old_:Solve.shape -> new_:Solve.shape -> Solve.edit_script
+(** Structural diff between two graph shapes sharing an interner:
+    added/removed flow edges (cast kinds matched by class name across
+    the two symbol tables), added/removed seeds, and a multiset op
+    matching.  Dynamic N_ret dependencies are not part of the static
+    shape and are handled by the warm solver from the captured
+    solution. *)
+
+val edit_script_is_empty : Solve.edit_script -> bool
+(** No edits and every op matched. *)

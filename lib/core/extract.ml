@@ -194,14 +194,14 @@ let seed_dialog_callbacks (app : Framework.App.t) graph =
           Framework.Lifecycle.dialog_callbacks)
     (Graph.allocs graph)
 
-let run config (app : Framework.App.t) =
+let run ?interner config (app : Framework.App.t) =
   (* Clone names must be deterministic per extraction, not per process:
      two runs over the same app (e.g. the naive/delta equivalence
      tests, or Diff) must name inlined variables identically.  The
      counter lives here rather than at module level so extractions
      running concurrently on separate domains cannot interleave. *)
   let clones = ref 0 in
-  let graph = Graph.create () in
+  let graph = Graph.create ?interner () in
   List.iter
     (fun (cls : Jir.Ast.cls) ->
       List.iter (extract_meth config app graph ~clones ~owner:cls.c_name) cls.c_methods)

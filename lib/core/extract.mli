@@ -8,6 +8,8 @@
     platform callbacks are modeled by seeding activity values into the
     [this] of lifecycle callbacks. *)
 
-val run : Config.t -> Framework.App.t -> Graph.t
+val run : ?interner:Intern.t -> Config.t -> Framework.App.t -> Graph.t
 (** Build the (unsolved) constraint graph: locations, flow edges,
-    operation nodes, allocation sites, and initial-value seeds. *)
+    operation nodes, allocation sites, and initial-value seeds.
+    [?interner] pre-seeds the id pools so an incremental re-extraction
+    keeps ids stable with the previous solve. *)

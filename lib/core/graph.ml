@@ -103,7 +103,14 @@ type t = {
   edge_seen : unit Edge_seen.t;
   mutable edge_total : int;
   seed_tbl : (Node.t, VS.t) Hashtbl.t;
-  sets : (Node.t, VS.t) Hashtbl.t;
+  mutable sets : (Node.t, VS.t) Hashtbl.t;
+  mutable sets_base : (Node.t, VS.t) Hashtbl.t option;
+      (** read-only donor layer under [sets], adopted by warm
+          materialisation: lookups fall through to it, writes land in
+          [sets], removals leave a tombstone in [sets_dead] — O(1) to
+          adopt a previous solve's table instead of O(app) to copy it *)
+  sets_dead : (Node.t, unit) Hashtbl.t;
+      (** base-layer rows deleted from this graph's view *)
   delta_tbl : (Node.t, Node.value list) Hashtbl.t;
       (** values added since the node's last drain, newest first; a
           list because [add_value] already guarantees uniqueness *)
@@ -112,16 +119,16 @@ type t = {
   mutable dep_index : dep_index option;  (** lazily built, invalidated by [fresh_op] *)
   mutable alloc_list : Node.alloc_site list;  (** reversed creation order *)
   alloc_seen : unit Alloc_seen.t;
-  children_tbl : (Node.view_abs, View_set.t) Hashtbl.t;
-  parents_tbl : (Node.view_abs, View_set.t) Hashtbl.t;
+  mutable children_tbl : (Node.view_abs, View_set.t) Hashtbl.t;
+  mutable parents_tbl : (Node.view_abs, View_set.t) Hashtbl.t;
   desc_cache : (Node.view_abs, View_set.t) Hashtbl.t;
       (** memoized strict descendants closures, invalidated by [add_child] *)
   mutable desc_hits : int;
   mutable desc_misses : int;
-  ids_tbl : (Node.view_abs, Int_set.t) Hashtbl.t;
-  views_by_id_tbl : (int, View_set.t) Hashtbl.t;  (** reverse of [ids_tbl] *)
-  roots_tbl : (Node.holder, View_set.t) Hashtbl.t;
-  listeners_tbl : (Node.view_abs, Listener_set.t) Hashtbl.t;
+  mutable ids_tbl : (Node.view_abs, Int_set.t) Hashtbl.t;
+  mutable views_by_id_tbl : (int, View_set.t) Hashtbl.t;  (** reverse of [ids_tbl] *)
+  mutable roots_tbl : (Node.holder, View_set.t) Hashtbl.t;
+  mutable listeners_tbl : (Node.view_abs, Listener_set.t) Hashtbl.t;
   root_layout_tbl : (Node.view_abs, Int_set.t) Hashtbl.t;
   inflations : (Node.site * string, Node.view_abs list) Hashtbl.t;
   transitions_tbl : (string * string, unit) Hashtbl.t;  (** activity transition edges *)
@@ -134,9 +141,13 @@ type t = {
   mutable rc_fragments : bool;
 }
 
-let create () =
+(* [?interner] lets an incremental re-extraction mint ids in a
+   pre-populated pool: every node/value/view already known from the
+   previous solve keeps its id, so the warm solver can alias the old
+   per-representative bitsets instead of translating them. *)
+let create ?interner () =
   {
-    g_it = Intern.create ();
+    g_it = (match interner with Some it -> it | None -> Intern.create ());
     edges = Hashtbl.create 256;
     isuccs = [||];
     icast_tbl = Hashtbl.create 8;
@@ -147,6 +158,8 @@ let create () =
     edge_total = 0;
     seed_tbl = Hashtbl.create 128;
     sets = Hashtbl.create 256;
+    sets_base = None;
+    sets_dead = Hashtbl.create 16;
     delta_tbl = Hashtbl.create 256;
     track_deltas = false;
     op_list = [];
@@ -414,7 +427,14 @@ let frozen_flow t =
 
 let ops_node_ids t = Array.of_list (List.rev t.iop_ids)
 
-let set_of t node = Option.value (Hashtbl.find_opt t.sets node) ~default:VS.empty
+let set_of t node =
+  match Hashtbl.find_opt t.sets node with
+  | Some vs -> vs
+  | None -> (
+      match t.sets_base with
+      | Some base when not (Hashtbl.mem t.sets_dead node) ->
+          Option.value (Hashtbl.find_opt base node) ~default:VS.empty
+      | _ -> VS.empty)
 
 let add_value t node value =
   let existing = set_of t node in
@@ -455,6 +475,8 @@ let seeds t = Hashtbl.fold (fun node vs acc -> (node, vs) :: acc) t.seed_tbl []
 
 let reset_sets t =
   Hashtbl.reset t.sets;
+  t.sets_base <- None;
+  Hashtbl.reset t.sets_dead;
   Hashtbl.reset t.delta_tbl;
   t.track_deltas <- false;
   Hashtbl.reset t.children_tbl;
@@ -632,6 +654,20 @@ let record_inflation t ~site ~layout views = Hashtbl.replace t.inflations (site,
 
 let inflated_views t = Hashtbl.fold (fun _ views acc -> views @ acc) t.inflations []
 
+(* Enumeration of the cold relations (snapshot encoding and warm
+   restore).  Hashtbl fold order — callers must not depend on it. *)
+let inflation_entries t =
+  Hashtbl.fold (fun (site, layout) views acc -> (site, layout, views) :: acc) t.inflations []
+
+let onclick_entries t =
+  Hashtbl.fold (fun v s acc -> (v, String_set.elements s) :: acc) t.onclick_tbl []
+
+let declared_fragment_entries t =
+  Hashtbl.fold (fun v s acc -> (v, String_set.elements s) :: acc) t.declared_fragments_tbl []
+
+let root_layout_entries t =
+  Hashtbl.fold (fun v s acc -> (v, Int_set.elements s) :: acc) t.root_layout_tbl []
+
 let take_rel_changes t =
   let c : rel_changes =
     {
@@ -658,6 +694,8 @@ let take_rel_changes t =
    inflations, transitions) are left untouched. *)
 let reset_solution_tables t =
   Hashtbl.reset t.sets;
+  t.sets_base <- None;
+  Hashtbl.reset t.sets_dead;
   Hashtbl.reset t.children_tbl;
   Hashtbl.reset t.parents_tbl;
   Hashtbl.reset t.ids_tbl;
@@ -678,6 +716,44 @@ let install_views_by_id t id ws = Hashtbl.replace t.views_by_id_tbl id ws
 let install_roots t holder ws = Hashtbl.replace t.roots_tbl holder ws
 
 let install_listeners t view ls = Hashtbl.replace t.listeners_tbl view ls
+
+(* Warm materialisation: seed [dst]'s solution tables from a previous
+   solve's, then let the caller decode and re-install only the dirty
+   rows.  Per-kind flags skip relations the warm solver rebuilds from
+   scratch (their invalidation was too coarse to patch row-wise).  The
+   copied tables share the immutable set values with [src]. *)
+let copy_solution_tables ~children ~ids ~roots ~listeners ~src dst =
+  (* The points-to table — by far the largest — is adopted as a
+     read-only base layer instead of copied: [dst]'s own writes land in
+     its overlay.  A layered donor is flattened first so layers never
+     chain (a warm-of-warm pays one copy per generation; re-warming
+     from the same donor pays none). *)
+  (match src.sets_base with
+  | Some base ->
+      let flat = Hashtbl.copy base in
+      Hashtbl.iter (fun n () -> Hashtbl.remove flat n) src.sets_dead;
+      Hashtbl.iter (fun n vs -> Hashtbl.replace flat n vs) src.sets;
+      src.sets <- flat;
+      src.sets_base <- None;
+      Hashtbl.reset src.sets_dead
+  | None -> ());
+  dst.sets <- Hashtbl.create 64;
+  dst.sets_base <- Some src.sets;
+  Hashtbl.reset dst.sets_dead;
+  if children then begin
+    dst.children_tbl <- Hashtbl.copy src.children_tbl;
+    dst.parents_tbl <- Hashtbl.copy src.parents_tbl
+  end;
+  if ids then begin
+    dst.ids_tbl <- Hashtbl.copy src.ids_tbl;
+    dst.views_by_id_tbl <- Hashtbl.copy src.views_by_id_tbl
+  end;
+  if roots then dst.roots_tbl <- Hashtbl.copy src.roots_tbl;
+  if listeners then dst.listeners_tbl <- Hashtbl.copy src.listeners_tbl
+
+let remove_solution_row t node =
+  Hashtbl.remove t.sets node;
+  if Option.is_some t.sets_base then Hashtbl.replace t.sets_dead node ()
 
 let ops t = List.rev t.op_list
 
@@ -754,6 +830,10 @@ let locations t =
     t.edges;
   Hashtbl.iter (fun node _ -> add node) t.seed_tbl;
   Hashtbl.iter (fun node _ -> add node) t.sets;
+  (match t.sets_base with
+  | Some base ->
+      Hashtbl.iter (fun node _ -> if not (Hashtbl.mem t.sets_dead node) then add node) base
+  | None -> ());
   List.iter
     (fun op ->
       add op.op_recv;

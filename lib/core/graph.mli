@@ -40,7 +40,10 @@ type rel_changes = {
 
 type t
 
-val create : unit -> t
+val create : ?interner:Intern.t -> unit -> t
+(** [?interner] pre-seeds the graph's id pools (incremental
+    re-extraction: nodes shared with a previous solve keep their
+    ids). *)
 
 (** {1 Construction (used by {!Extract})} *)
 
@@ -174,6 +177,19 @@ val record_inflation : t -> site:Node.site -> layout:string -> Node.view_abs lis
 val inflated_views : t -> Node.view_abs list
 (** Every [V_infl] minted so far (Table 1's "views (I)"). *)
 
+(** {1 Cold-relation enumeration (snapshots, warm restarts)}
+
+    Entries of the relations maintained structurally during interned
+    solving, in unspecified order. *)
+
+val inflation_entries : t -> (Node.site * string * Node.view_abs list) list
+
+val onclick_entries : t -> (Node.view_abs * string list) list
+
+val declared_fragment_entries : t -> (Node.view_abs * string list) list
+
+val root_layout_entries : t -> (Node.view_abs * int list) list
+
 (** {1 Inspection} *)
 
 val ops : t -> op list
@@ -270,6 +286,19 @@ val install_views_by_id : t -> int -> View_set.t -> unit
 val install_roots : t -> Node.holder -> View_set.t -> unit
 
 val install_listeners : t -> Node.view_abs -> Listener_set.t -> unit
+
+val copy_solution_tables :
+  children:bool -> ids:bool -> roots:bool -> listeners:bool -> src:t -> t -> unit
+(** Warm materialisation: seed this graph's solution tables from
+    [src]'s, skipping the relations whose flag is [false] (the warm
+    solver rebuilds those wholesale); the caller then re-installs only
+    the dirty rows.  The points-to table is adopted as a read-only
+    base layer (O(1)) rather than copied — this graph's own installs
+    and removals shadow it — while the relation tables are copied. *)
+
+val remove_solution_row : t -> Node.t -> unit
+(** Drop a copied points-to row whose set emptied out (node no longer
+    reached after a patch). *)
 
 val allocs : t -> Node.alloc_site list
 

@@ -1,0 +1,20 @@
+(* Incremental analysis orchestration: solve-and-capture, then warm
+   re-solves of patched apps over the shared interner. *)
+
+let analyze_solved ?(config = Config.default) ?fallback app =
+  let start = Unix.gettimeofday () in
+  let graph = Extract.run config app in
+  let stats, solved = Solve.run_solved ?fallback config app graph in
+  let solve_seconds = Unix.gettimeofday () -. start in
+  (Analysis.make ~app ~config ~graph ~stats ~solve_seconds, solved)
+
+let analyze_incremental ?(config = Config.default) ~prev app =
+  let start = Unix.gettimeofday () in
+  (* Extraction over the previous solve's interner keeps every shared
+     node, value and view id stable — the whole scheme rests on it. *)
+  let graph = Extract.run ~interner:(Solve.solved_interner prev) config app in
+  let new_shape = Solve.shape_of_graph graph in
+  let edits = Diff.edit_script ~old_:(Solve.shape_of_solved prev) ~new_:new_shape in
+  let stats, solved = Solve.run_incremental ~prev ~edits ~new_shape config app graph in
+  let solve_seconds = Unix.gettimeofday () -. start in
+  (Analysis.make ~app ~config ~graph ~stats ~solve_seconds, solved)

@@ -31,6 +31,10 @@ type solver_row = {
   sv_union_calls : int;
   sv_scc_count : int;
   sv_largest_scc : int;
+  sv_warm : bool;  (** solved by the incremental (warm) path *)
+  sv_dirty_comps : int;  (** components re-solved by a warm solve *)
+  sv_reused_comps : int;  (** components restored by aliasing *)
+  sv_fallback : string option;  (** why a requested warm start refused *)
 }
 
 type table2_row = {
@@ -136,6 +140,10 @@ let solver_stats (r : Analysis.t) =
     sv_union_calls = stats.Solve.union_calls;
     sv_scc_count = stats.Solve.scc_count;
     sv_largest_scc = stats.Solve.largest_scc;
+    sv_warm = stats.Solve.warm_solve;
+    sv_dirty_comps = stats.Solve.dirty_comps;
+    sv_reused_comps = stats.Solve.reused_comps;
+    sv_fallback = stats.Solve.fallback;
   }
 
 let table2 (r : Analysis.t) =

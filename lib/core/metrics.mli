@@ -52,6 +52,11 @@ type solver_row = {
   sv_union_calls : int;  (** word-level unions on direct flow edges *)
   sv_scc_count : int;  (** direct-edge flow SCCs at freeze; [0] for structural engines *)
   sv_largest_scc : int;  (** largest direct-edge SCC; [0] for structural engines *)
+  sv_warm : bool;  (** solved by the incremental (warm) path *)
+  sv_dirty_comps : int;  (** components re-solved by a warm solve; [0] when cold *)
+  sv_reused_comps : int;  (** components restored by aliasing; [0] when cold *)
+  sv_fallback : string option;
+      (** the reason a requested warm start fell back to a full solve *)
 }
 
 val table1 : Analysis.t -> table1_row

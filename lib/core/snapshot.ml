@@ -1,0 +1,499 @@
+(* Persistence of solved state (incremental re-analysis across
+   processes).  A snapshot is a versioned JSON document: the interner
+   pools in id order, the frozen flow CSR, per-representative solution
+   bitsets, relation rows, dynamic return dependencies and per-op write
+   targets, plus the donor graph's cold structural tables.  Replaying
+   the value pool in id order recreates the value AND view pools
+   exactly — interning a value and its paired view is atomic with
+   respect to other interns, so the relative order of view allocations
+   equals the relative order of their paired values. *)
+
+module J = Util.Json
+
+let magic = "GATOR-SNAP"
+
+let version = 1
+
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Structural encoders *)
+
+let jmid (m : Node.mid) = J.List [ J.String m.mid_cls; J.String m.mid_name; J.Int m.mid_arity ]
+
+let jsite (s : Node.site) = J.List [ jmid s.s_in; J.Int s.s_stmt ]
+
+let jalloc (a : Node.alloc_site) = J.List [ jsite a.a_site; J.String a.a_cls ]
+
+let jinfl (i : Node.infl_site) =
+  J.List
+    [
+      jsite i.v_site;
+      J.String i.v_layout;
+      J.List (List.map (fun p -> J.Int p) i.v_path);
+      J.String i.v_cls;
+      (match i.v_vid with None -> J.Null | Some v -> J.String v);
+    ]
+
+let jview = function
+  | Node.V_infl i -> J.List [ J.String "i"; jinfl i ]
+  | Node.V_alloc a -> J.List [ J.String "a"; jalloc a ]
+
+let jvalue = function
+  | Node.V_view w -> J.List [ J.String "view"; jview w ]
+  | Node.V_act a -> J.List [ J.String "act"; J.String a ]
+  | Node.V_obj a -> J.List [ J.String "obj"; jalloc a ]
+  | Node.V_layout_id n -> J.List [ J.String "lid"; J.Int n ]
+  | Node.V_view_id n -> J.List [ J.String "vid"; J.Int n ]
+
+let jnode = function
+  | Node.N_var (m, v) -> J.List [ J.String "var"; jmid m; J.String v ]
+  | Node.N_field f -> J.List [ J.String "field"; J.String f ]
+  | Node.N_ret m -> J.List [ J.String "ret"; jmid m ]
+
+let jlistener_entry (l, iface) =
+  let jl =
+    match l with
+    | Node.L_alloc a -> J.List [ J.String "alloc"; jalloc a ]
+    | Node.L_act a -> J.List [ J.String "act"; J.String a ]
+  in
+  J.List [ jl; J.String iface ]
+
+let jholder = function
+  | Node.H_act a -> J.List [ J.String "act"; J.String a ]
+  | Node.H_dialog d -> J.List [ J.String "dialog"; jalloc d ]
+
+let jkind = function
+  | Framework.Api.Inflate -> J.String "inflate"
+  | Framework.Api.Set_content -> J.String "set_content"
+  | Framework.Api.Add_view -> J.String "add_view"
+  | Framework.Api.Set_id -> J.String "set_id"
+  | Framework.Api.Set_listener iface ->
+      J.List [ J.String "set_listener"; J.String iface.Framework.Listeners.i_name ]
+  | Framework.Api.Find_view -> J.String "find_view"
+  | Framework.Api.Find_one Framework.Api.Children -> J.String "find_one_children"
+  | Framework.Api.Find_one Framework.Api.Descendants -> J.String "find_one_descendants"
+  | Framework.Api.Get_parent -> J.String "get_parent"
+  | Framework.Api.Start_activity -> J.String "start_activity"
+  | Framework.Api.Pass_through -> J.String "pass_through"
+  | Framework.Api.Fragment_add -> J.String "fragment_add"
+  | Framework.Api.Menu_add -> J.String "menu_add"
+  | Framework.Api.Set_adapter -> J.String "set_adapter"
+
+let jop_site (o : Node.op_site) = J.List [ jsite o.o_site; jkind o.o_kind ]
+
+let jconfig (c : Config.t) =
+  J.Obj
+    [
+      ("cast_filtering", J.Bool c.cast_filtering);
+      ("findone_refinement", J.Bool c.findone_refinement);
+      ("listener_callbacks", J.Bool c.listener_callbacks);
+      ("model_dialogs", J.Bool c.model_dialogs);
+      ("inline_depth", J.Int c.inline_depth);
+      ("max_iterations", J.Int c.max_iterations);
+      ("solver", J.String (Config.solver_name c.solver));
+      ("jobs", J.Int c.jobs);
+      ("incremental", J.Bool c.incremental);
+    ]
+
+let jints a = J.List (Array.to_list (Array.map (fun i -> J.Int i) a))
+
+let jstrings a = J.List (Array.to_list (Array.map (fun s -> J.String s) a))
+
+let jbitset b = J.List (List.map (fun i -> J.Int i) (Util.Bitset.elements b))
+
+let jrows rows =
+  J.List
+    (List.filter_map Fun.id
+       (Array.to_list
+          (Array.mapi
+             (fun i o ->
+               match o with Some b -> Some (J.List [ J.Int i; jbitset b ]) | None -> None)
+             rows)))
+
+let jpairs a = J.List (Array.to_list (Array.map (fun (x, y) -> J.List [ J.Int x; J.Int y ]) a))
+
+let to_json (sd : Solve.solved) =
+  let it = sd.Solve.sd_it in
+  J.Obj
+    [
+      ("magic", J.String magic);
+      ("version", J.Int version);
+      ("config", jconfig sd.sd_config);
+      ("app_name", J.String sd.sd_app_name);
+      ("class_fp", J.String sd.sd_class_fp);
+      ("method_fp", J.String sd.sd_method_fp);
+      ("layout_fp", J.String sd.sd_layout_fp);
+      ("values", J.List (List.init (Intern.value_count it) (fun i -> jvalue (Intern.value_of it i))));
+      ("nodes", J.List (List.init (Intern.node_count it) (fun i -> jnode (Intern.node_of it i))));
+      ( "pool_listeners",
+        J.List
+          (List.init (Intern.listener_count it) (fun i -> jlistener_entry (Intern.listener_of it i)))
+      );
+      ("pool_holders", J.List (List.init (Intern.holder_count it) (fun i -> jholder (Intern.holder_of it i))));
+      ("rids", J.List (List.init (Intern.rid_count it) (fun i -> J.Int (Intern.rid_of it i))));
+      ("node_total", J.Int sd.sd_node_total);
+      ("value_total", J.Int sd.sd_value_total);
+      ("csr_n", J.Int sd.sd_csr_n);
+      ("nrep", jints sd.sd_nrep);
+      ("row", jints sd.sd_row);
+      ("edst", jints sd.sd_edst);
+      ("ekind", jints sd.sd_ekind);
+      ("cast_names", jstrings sd.sd_cast_names);
+      ("seeds", jpairs sd.sd_seeds);
+      ( "ops",
+        J.List
+          (Array.to_list
+             (Array.map
+                (fun (site, recv, args, out) ->
+                  J.List [ jop_site site; J.Int recv; jints args; J.Int out ])
+                sd.sd_ops)) );
+      ("sols", jrows sd.sd_sols);
+      ("children", jrows sd.sd_children);
+      ("parents", jrows sd.sd_parents);
+      ("ids", jrows sd.sd_ids);
+      ("by_id", jrows sd.sd_by_id);
+      ("roots", jrows sd.sd_roots);
+      ("listeners", jrows sd.sd_listeners);
+      ("holder_ids", J.List (List.map (fun i -> J.Int i) sd.sd_holder_ids));
+      ( "ret_deps",
+        J.List
+          (List.map
+             (fun (r, rd) ->
+               J.List [ J.Int r; J.Int (match rd with Solve.RD_op i -> i | Solve.RD_frags -> -1) ])
+             sd.sd_ret_deps) );
+      ("targets", J.List (Array.to_list (Array.map jbitset sd.sd_targets)));
+      ( "inflations",
+        J.List
+          (List.map
+             (fun (site, layout, views) ->
+               J.List [ jsite site; J.String layout; J.List (List.map jview views) ])
+             (Graph.inflation_entries sd.sd_graph)) );
+      ( "onclicks",
+        J.List
+          (List.map
+             (fun (view, names) ->
+               J.List [ jview view; J.List (List.map (fun n -> J.String n) names) ])
+             (Graph.onclick_entries sd.sd_graph)) );
+      ( "declared_fragments",
+        J.List
+          (List.map
+             (fun (view, classes) ->
+               J.List [ jview view; J.List (List.map (fun c -> J.String c) classes) ])
+             (Graph.declared_fragment_entries sd.sd_graph)) );
+      ( "root_layouts",
+        J.List
+          (List.map
+             (fun (view, lids) -> J.List [ jview view; J.List (List.map (fun l -> J.Int l) lids) ])
+             (Graph.root_layout_entries sd.sd_graph)) );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Structural decoders (exception-based; [of_json] catches [Bad]) *)
+
+let dstr = function J.String s -> s | _ -> bad "expected string"
+
+let dint = function J.Int n -> n | _ -> bad "expected int"
+
+let dlist = function J.List l -> l | _ -> bad "expected list"
+
+let dfield name j = match J.member name j with Some v -> v | None -> bad "missing field %s" name
+
+let dmid = function
+  | J.List [ c; n; a ] -> { Node.mid_cls = dstr c; mid_name = dstr n; mid_arity = dint a }
+  | _ -> bad "bad mid"
+
+let dsite = function
+  | J.List [ m; s ] -> { Node.s_in = dmid m; s_stmt = dint s }
+  | _ -> bad "bad site"
+
+let dalloc = function
+  | J.List [ s; c ] -> { Node.a_site = dsite s; a_cls = dstr c }
+  | _ -> bad "bad alloc site"
+
+let dinfl = function
+  | J.List [ s; layout; path; cls; vid ] ->
+      {
+        Node.v_site = dsite s;
+        v_layout = dstr layout;
+        v_path = List.map dint (dlist path);
+        v_cls = dstr cls;
+        v_vid = (match vid with J.Null -> None | v -> Some (dstr v));
+      }
+  | _ -> bad "bad inflation site"
+
+let dview = function
+  | J.List [ J.String "i"; i ] -> Node.V_infl (dinfl i)
+  | J.List [ J.String "a"; a ] -> Node.V_alloc (dalloc a)
+  | _ -> bad "bad view"
+
+let dvalue = function
+  | J.List [ J.String "view"; w ] -> Node.V_view (dview w)
+  | J.List [ J.String "act"; a ] -> Node.V_act (dstr a)
+  | J.List [ J.String "obj"; a ] -> Node.V_obj (dalloc a)
+  | J.List [ J.String "lid"; n ] -> Node.V_layout_id (dint n)
+  | J.List [ J.String "vid"; n ] -> Node.V_view_id (dint n)
+  | _ -> bad "bad value"
+
+let dnode = function
+  | J.List [ J.String "var"; m; v ] -> Node.N_var (dmid m, dstr v)
+  | J.List [ J.String "field"; f ] -> Node.N_field (dstr f)
+  | J.List [ J.String "ret"; m ] -> Node.N_ret (dmid m)
+  | _ -> bad "bad node"
+
+let dlistener_entry = function
+  | J.List [ l; iface ] ->
+      let l =
+        match l with
+        | J.List [ J.String "alloc"; a ] -> Node.L_alloc (dalloc a)
+        | J.List [ J.String "act"; a ] -> Node.L_act (dstr a)
+        | _ -> bad "bad listener"
+      in
+      (l, dstr iface)
+  | _ -> bad "bad listener entry"
+
+let dholder = function
+  | J.List [ J.String "act"; a ] -> Node.H_act (dstr a)
+  | J.List [ J.String "dialog"; d ] -> Node.H_dialog (dalloc d)
+  | _ -> bad "bad holder"
+
+let dkind = function
+  | J.String "inflate" -> Framework.Api.Inflate
+  | J.String "set_content" -> Framework.Api.Set_content
+  | J.String "add_view" -> Framework.Api.Add_view
+  | J.String "set_id" -> Framework.Api.Set_id
+  | J.List [ J.String "set_listener"; J.String name ] -> (
+      match Framework.Listeners.by_name name with
+      | Some iface -> Framework.Api.Set_listener iface
+      | None -> bad "unknown listener interface %s" name)
+  | J.String "find_view" -> Framework.Api.Find_view
+  | J.String "find_one_children" -> Framework.Api.Find_one Framework.Api.Children
+  | J.String "find_one_descendants" -> Framework.Api.Find_one Framework.Api.Descendants
+  | J.String "get_parent" -> Framework.Api.Get_parent
+  | J.String "start_activity" -> Framework.Api.Start_activity
+  | J.String "pass_through" -> Framework.Api.Pass_through
+  | J.String "fragment_add" -> Framework.Api.Fragment_add
+  | J.String "menu_add" -> Framework.Api.Menu_add
+  | J.String "set_adapter" -> Framework.Api.Set_adapter
+  | _ -> bad "bad op kind"
+
+let dop_site = function
+  | J.List [ s; k ] -> { Node.o_site = dsite s; o_kind = dkind k }
+  | _ -> bad "bad op site"
+
+let dconfig j =
+  let bool_field name = match dfield name j with J.Bool b -> b | _ -> bad "bad %s" name in
+  {
+    Config.cast_filtering = bool_field "cast_filtering";
+    findone_refinement = bool_field "findone_refinement";
+    listener_callbacks = bool_field "listener_callbacks";
+    model_dialogs = bool_field "model_dialogs";
+    inline_depth = dint (dfield "inline_depth" j);
+    max_iterations = dint (dfield "max_iterations" j);
+    solver =
+      (match dstr (dfield "solver" j) with
+      | "naive" -> Config.Naive
+      | "delta" -> Config.Delta
+      | "interned" -> Config.Interned
+      | s -> bad "unknown solver %s" s);
+    jobs = dint (dfield "jobs" j);
+    incremental = bool_field "incremental";
+  }
+
+let dints j = Array.of_list (List.map dint (dlist j))
+
+let dstrings j = Array.of_list (List.map dstr (dlist j))
+
+let dbitset j =
+  let b = Util.Bitset.create () in
+  List.iter (fun i -> ignore (Util.Bitset.add b (dint i))) (dlist j);
+  b
+
+let drows ~size j =
+  let rows = List.map (function J.List [ i; b ] -> (dint i, dbitset b) | _ -> bad "bad row") (dlist j) in
+  let n = List.fold_left (fun acc (i, _) -> max acc (i + 1)) size rows in
+  let a = Array.make n None in
+  List.iter (fun (i, b) -> a.(i) <- Some b) rows;
+  a
+
+let dpairs j =
+  Array.of_list
+    (List.map (function J.List [ x; y ] -> (dint x, dint y) | _ -> bad "bad pair") (dlist j))
+
+let of_json j =
+  try
+    (match dfield "magic" j with
+    | J.String m when m = magic -> ()
+    | _ -> bad "not a snapshot (bad magic)");
+    (match dint (dfield "version" j) with
+    | v when v = version -> ()
+    | v -> bad "unsupported snapshot version %d (expected %d)" v version);
+    let config = dconfig (dfield "config" j) in
+    let it = Intern.create () in
+    (* Pool replay: ids are assigned densely in replay order, so each
+       entry must come back with exactly the id it was serialized
+       under. *)
+    List.iteri
+      (fun i v -> if Intern.value it (dvalue v) <> i then bad "value pool replay diverged at %d" i)
+      (dlist (dfield "values" j));
+    List.iteri
+      (fun i n -> if Intern.node it (dnode n) <> i then bad "node pool replay diverged at %d" i)
+      (dlist (dfield "nodes" j));
+    List.iteri
+      (fun i l ->
+        if Intern.listener it (dlistener_entry l) <> i then
+          bad "listener pool replay diverged at %d" i)
+      (dlist (dfield "pool_listeners" j));
+    List.iteri
+      (fun i h -> if Intern.holder it (dholder h) <> i then bad "holder pool replay diverged at %d" i)
+      (dlist (dfield "pool_holders" j));
+    List.iteri
+      (fun i r -> if Intern.rid it (dint r) <> i then bad "rid pool replay diverged at %d" i)
+      (dlist (dfield "rids" j));
+    let node_total = dint (dfield "node_total" j) in
+    let value_total = dint (dfield "value_total" j) in
+    if Intern.node_count it < node_total || Intern.value_count it < value_total then
+      bad "pool counts below recorded totals";
+    let csr_n = dint (dfield "csr_n" j) in
+    let nrep = dints (dfield "nrep" j) in
+    if Array.length nrep <> csr_n then bad "nrep size mismatch";
+    let sols = drows ~size:node_total (dfield "sols" j) in
+    let children = drows ~size:0 (dfield "children" j) in
+    let parents = drows ~size:0 (dfield "parents" j) in
+    let ids = drows ~size:0 (dfield "ids" j) in
+    let by_id = drows ~size:0 (dfield "by_id" j) in
+    let roots = drows ~size:0 (dfield "roots" j) in
+    let listeners = drows ~size:0 (dfield "listeners" j) in
+    (* Donor graph: structural solution tables decoded from the id
+       level, plus the cold tables.  Never re-solved. *)
+    let graph = Graph.create ~interner:it () in
+    for nid = 0 to node_total - 1 do
+      let rep = if nid < csr_n then nrep.(nid) else nid in
+      match sols.(rep) with
+      | Some b when not (Util.Bitset.is_empty b) ->
+          Graph.install_set graph (Intern.node_of it nid)
+            (Util.Bitset.fold
+               (fun vid acc -> Graph.VS.add (Intern.value_of it vid) acc)
+               b Graph.VS.empty)
+      | _ -> ()
+    done;
+    let view_set b =
+      Util.Bitset.fold (fun wid acc -> Graph.View_set.add (Intern.view_of it wid) acc) b
+        Graph.View_set.empty
+    in
+    let each rows f = Array.iteri (fun i o -> match o with Some b -> f i b | None -> ()) rows in
+    each children (fun wid b -> Graph.install_children graph (Intern.view_of it wid) (view_set b));
+    each parents (fun wid b -> Graph.install_parents graph (Intern.view_of it wid) (view_set b));
+    each ids (fun wid b ->
+        Graph.install_ids graph (Intern.view_of it wid)
+          (Util.Bitset.fold
+             (fun sym acc -> Graph.Int_set.add (Intern.rid_of it sym) acc)
+             b Graph.Int_set.empty));
+    each by_id (fun sym b -> Graph.install_views_by_id graph (Intern.rid_of it sym) (view_set b));
+    each roots (fun hid b -> Graph.install_roots graph (Intern.holder_of it hid) (view_set b));
+    each listeners (fun wid b ->
+        Graph.install_listeners graph (Intern.view_of it wid)
+          (Util.Bitset.fold
+             (fun eid acc -> Graph.Listener_set.add (Intern.listener_of it eid) acc)
+             b Graph.Listener_set.empty));
+    List.iter
+      (function
+        | J.List [ s; layout; views ] ->
+            Graph.record_inflation graph ~site:(dsite s) ~layout:(dstr layout)
+              (List.map dview (dlist views))
+        | _ -> bad "bad inflation entry")
+      (dlist (dfield "inflations" j));
+    List.iter
+      (function
+        | J.List [ v; names ] ->
+            let view = dview v in
+            List.iter (fun n -> ignore (Graph.add_onclick graph view (dstr n))) (dlist names)
+        | _ -> bad "bad onclick entry")
+      (dlist (dfield "onclicks" j));
+    List.iter
+      (function
+        | J.List [ v; classes ] ->
+            let view = dview v in
+            List.iter
+              (fun c -> ignore (Graph.add_declared_fragment graph view (dstr c)))
+              (dlist classes)
+        | _ -> bad "bad declared-fragment entry")
+      (dlist (dfield "declared_fragments" j));
+    List.iter
+      (function
+        | J.List [ v; lids ] ->
+            let view = dview v in
+            List.iter (fun l -> ignore (Graph.add_root_layout graph view (dint l))) (dlist lids)
+        | _ -> bad "bad root-layout entry")
+      (dlist (dfield "root_layouts" j));
+    ignore (Graph.take_rel_changes graph);
+    Ok
+      {
+        Solve.sd_config = config;
+        sd_app_name = dstr (dfield "app_name" j);
+        sd_class_fp = dstr (dfield "class_fp" j);
+        sd_method_fp = dstr (dfield "method_fp" j);
+        sd_layout_fp = dstr (dfield "layout_fp" j);
+        (* a fresh empty package: physically distinct from any app's,
+           so the warm guard always decides by layout fingerprint *)
+        sd_package = Layouts.Package.create ();
+        sd_graph = graph;
+        sd_it = it;
+        sd_node_total = node_total;
+        sd_value_total = value_total;
+        sd_csr_n = csr_n;
+        sd_nrep = nrep;
+        sd_row = dints (dfield "row" j);
+        sd_edst = dints (dfield "edst" j);
+        sd_ekind = dints (dfield "ekind" j);
+        sd_cast_names = dstrings (dfield "cast_names" j);
+        sd_seeds = dpairs (dfield "seeds" j);
+        sd_ops =
+          Array.of_list
+            (List.map
+               (function
+                 | J.List [ site; recv; args; out ] ->
+                     (dop_site site, dint recv, dints args, dint out)
+                 | _ -> bad "bad op")
+               (dlist (dfield "ops" j)));
+        sd_sols = sols;
+        sd_sols_mask =
+          (let mask = Util.Bitset.create () in
+           Array.iteri
+             (fun i o ->
+               match o with Some _ -> ignore (Util.Bitset.add mask i) | None -> ())
+             sols;
+           mask);
+        sd_children = children;
+        sd_parents = parents;
+        sd_ids = ids;
+        sd_by_id = by_id;
+        sd_roots = roots;
+        sd_listeners = listeners;
+        sd_holder_ids = List.map dint (dlist (dfield "holder_ids" j));
+        sd_ret_deps =
+          List.map
+            (function
+              | J.List [ r; rd ] ->
+                  (dint r, if dint rd < 0 then Solve.RD_frags else Solve.RD_op (dint rd))
+              | _ -> bad "bad return dependency")
+            (dlist (dfield "ret_deps" j));
+        sd_targets = Array.of_list (List.map dbitset (dlist (dfield "targets" j)));
+      }
+  with
+  | Bad msg -> Error msg
+  | Invalid_argument msg -> Error ("malformed snapshot: " ^ msg)
+
+let save sd path =
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (J.to_string (to_json sd)))
+
+let load path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | contents -> (
+      match J.of_string contents with
+      | Error msg -> Error ("snapshot is not valid JSON: " ^ msg)
+      | Ok j -> of_json j)

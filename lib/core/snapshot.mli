@@ -1,0 +1,22 @@
+(** Persistence of solved state: serialize a {!Solve.solved} to a
+    versioned state file and restore it to a warm-start-ready value in
+    another process ([gator --incremental --state FILE]).
+
+    The file is a JSON document stamped with a magic string and format
+    version.  {!load} never raises on hostile input: corruption, a
+    stale version, or an unknown framework entity all come back as
+    [Error reason], which drivers surface as a full solve with
+    [stats.fallback] set.
+
+    A loaded snapshot carries a fresh empty layout package, so the warm
+    guard always compares layout fingerprints (never pointer equality)
+    against the current app. *)
+
+val save : Solve.solved -> string -> unit
+(** Write the state file (overwrites). *)
+
+val load : string -> (Solve.solved, string) result
+
+val to_json : Solve.solved -> Util.Json.t
+
+val of_json : Util.Json.t -> (Solve.solved, string) result

@@ -11,6 +11,11 @@ type stats = {
   union_calls : int;  (** word-level bitset union calls on direct edges (interned solver, else 0) *)
   scc_count : int;  (** direct-edge flow SCCs at freeze time (interned solver, else 0) *)
   largest_scc : int;  (** members in the largest direct-edge SCC (interned solver, else 0) *)
+  warm_solve : bool;  (** solved incrementally from a previous solution *)
+  dirty_comps : int;  (** condensation components invalidated by the edit script (warm solves) *)
+  reused_comps : int;  (** components whose solution sets were restored by aliasing (warm solves) *)
+  fallback : string option;
+      (** why an incremental request fell back to a full solve, if it did *)
 }
 
 (* Can a value pass through a cast to [cls]?  Sound filtering: the
@@ -790,6 +795,37 @@ type istate = {
   mutable irc_children : bool;
   mutable irc_ids : bool;
   mutable irc_roots : bool;
+  (* warm (incremental) solving: copy-on-write over a previous solution.
+     Solution sets and relation rows restored from a prior [solved] are
+     aliased, never mutated in place; a borrowed row is copied the first
+     time a write would grow it. *)
+  mutable iwarm : bool;
+  iborrowed : Util.Bitset.t;  (** reps whose [sols] slot aliases the previous solution *)
+  imutated : Util.Bitset.t;  (** borrowed reps that were copied and then grew *)
+  icreated : Util.Bitset.t;
+      (** reps whose [sols] slot was first created during a warm solve;
+          together with [iborrowed] and [imutated] this covers every
+          populated slot, so capture derives its slot mask from three
+          small bitsets instead of scanning the slot array *)
+  ibor_children : Util.Bitset.t;
+  ibor_parents : Util.Bitset.t;
+  ibor_ids : Util.Bitset.t;
+  ibor_by_id : Util.Bitset.t;
+  ibor_roots : Util.Bitset.t;
+  ibor_listeners : Util.Bitset.t;
+  itouched_children : Util.Bitset.t;  (** relation rows written during a warm solve *)
+  itouched_parents : Util.Bitset.t;
+  itouched_ids : Util.Bitset.t;
+  itouched_by_id : Util.Bitset.t;
+  itouched_roots : Util.Bitset.t;
+  itouched_listeners : Util.Bitset.t;
+  (* write recording: while an op (or the declarative/fragment pseudo
+     pass) runs, every rep it pushes to is logged, so a later patch that
+     invalidates the op knows which components its values reached.
+     [irec_writer] is the running op index, [Array.length iops] for the
+     declarative pass, [+1] for the fragment pass, [-1] off. *)
+  mutable irec_writer : int;
+  irec_targets : Util.Bitset.t array;
   (* counters *)
   mutable ipropagations : int;
   mutable iop_applications : int;
@@ -822,12 +858,46 @@ let idelta_slot st nid =
           d
       | [] -> Slots.get st.ideltas nid)
 
+(* Take ownership of a borrowed solution slot before a mutating write:
+   the previous solution's bitset must stay intact (it is shared with
+   the captured [solved] and possibly older ones), so the slot is
+   replaced with a copy. *)
+let iown_sol st rid =
+  let b = match Slots.find st.sols rid with Some b -> b | None -> assert false in
+  Util.Bitset.remove st.iborrowed rid;
+  ignore (Util.Bitset.add st.imutated rid);
+  let c = Util.Bitset.copy b in
+  Slots.set st.sols rid c;
+  c
+
 (* Pushes land on the component representative: one shared bitset per
    direct-edge cycle, so a value entering anywhere in a cycle is a
-   single [add] instead of a propagation lap around it. *)
+   single [add] instead of a propagation lap around it.
+
+   Recording is unconditional on the writer, not gated on growth: a
+   removed op's contribution must dirty every component it ever pushed
+   to, even where another source supplied the same value. *)
 let ipush st nid vid =
   let rid = irep st nid in
-  if Util.Bitset.add (Slots.get st.sols rid) vid then begin
+  if st.irec_writer >= 0 then ignore (Util.Bitset.add st.irec_targets.(st.irec_writer) rid);
+  if st.iwarm then begin
+    let present =
+      match Slots.find st.sols rid with Some b -> Util.Bitset.mem b vid | None -> false
+    in
+    if not present then begin
+      let slot =
+        if Util.Bitset.mem st.iborrowed rid then iown_sol st rid
+        else begin
+          ignore (Util.Bitset.add st.icreated rid);
+          Slots.get st.sols rid
+        end
+      in
+      ignore (Util.Bitset.add slot vid);
+      ignore (Util.Bitset.add (idelta_slot st rid) vid);
+      ienqueue st rid
+    end
+  end
+  else if Util.Bitset.add (Slots.get st.sols rid) vid then begin
     ignore (Util.Bitset.add (idelta_slot st rid) vid);
     ienqueue st rid
   end
@@ -881,8 +951,22 @@ let ipropagate st ~changed =
              if k < 0 then begin
                st.idelta_pushes <- st.idelta_pushes + dcard;
                st.iunion_calls <- st.iunion_calls + 1;
+               let into = Slots.get st.sols dst in
+               if st.iwarm then ignore (Util.Bitset.add st.icreated dst);
+               (* A borrowed destination is copied only when the union
+                  would actually grow it; [union_delta] on a borrowed
+                  set that already holds the delta at most grows its
+                  capacity, which leaves the shared bits intact. *)
+               let into =
+                 if
+                   st.iwarm
+                   && Util.Bitset.mem st.iborrowed dst
+                   && not (Util.Bitset.subset d into)
+                 then iown_sol st dst
+                 else into
+               in
                let grew = ref false in
-               Util.Bitset.union_delta ~into:(Slots.get st.sols dst) d ~on_new:(fun vid ->
+               Util.Bitset.union_delta ~into d ~on_new:(fun vid ->
                    grew := true;
                    ignore (Util.Bitset.add (idelta_slot st dst) vid));
                if !grew then ienqueue st dst
@@ -938,10 +1022,31 @@ let idesc_cached st wid =
       Hashtbl.replace st.idesc_cache wid s;
       s
 
+(* Insert [v] into relation row [i], copy-on-write under a warm solve:
+   a borrowed row (aliased from the previous solution) is copied before
+   it grows, and every row modified while warm is marked touched so the
+   warm materialisation re-installs exactly those rows. *)
+let rel_add st slots bor touched i v =
+  match Slots.find slots i with
+  | Some b when Util.Bitset.mem b v -> false
+  | existing ->
+      let b =
+        match existing with
+        | Some b when st.iwarm && Util.Bitset.mem bor i ->
+            Util.Bitset.remove bor i;
+            let c = Util.Bitset.copy b in
+            Slots.set slots i c;
+            c
+        | Some b -> b
+        | None -> Slots.get slots i
+      in
+      if st.iwarm then ignore (Util.Bitset.add touched i);
+      Util.Bitset.add b v
+
 let iadd_child st ~parent ~child =
-  let grew = Util.Bitset.add (Slots.get st.ichildren parent) child in
+  let grew = rel_add st st.ichildren st.ibor_children st.itouched_children parent child in
   if grew then begin
-    ignore (Util.Bitset.add (Slots.get st.iparents child) parent);
+    ignore (rel_add st st.iparents st.ibor_parents st.itouched_parents child parent);
     st.irc_children <- true;
     if Hashtbl.length st.idesc_cache > 0 then
       Util.Bitset.iter (fun v -> Hashtbl.remove st.idesc_cache v) (iancestors st parent)
@@ -949,16 +1054,17 @@ let iadd_child st ~parent ~child =
 
 let iadd_view_id st wid raw =
   let sym = Intern.rid st.it raw in
-  if Util.Bitset.add (Slots.get st.iids wid) sym then begin
-    ignore (Util.Bitset.add (Slots.get st.iby_id sym) wid);
+  if rel_add st st.iids st.ibor_ids st.itouched_ids wid sym then begin
+    ignore (rel_add st st.iby_id st.ibor_by_id st.itouched_by_id sym wid);
     st.irc_ids <- true
   end
 
 let iadd_holder_root st hid root =
   if Util.Bitset.add st.iholders_seen hid then st.iholder_ids <- hid :: st.iholder_ids;
-  if Util.Bitset.add (Slots.get st.iroots hid) root then st.irc_roots <- true
+  if rel_add st st.iroots st.ibor_roots st.itouched_roots hid root then st.irc_roots <- true
 
-let iadd_view_listener st wid entry = ignore (Util.Bitset.add (Slots.get st.ilisteners wid) entry)
+let iadd_view_listener st wid entry =
+  ignore (rel_add st st.ilisteners st.ibor_listeners st.itouched_listeners wid entry)
 
 (* Value decoders over a location's solution set. *)
 
@@ -1509,31 +1615,41 @@ let ifreeze config app graph =
     irc_children = false;
     irc_ids = false;
     irc_roots = false;
+    iwarm = false;
+    iborrowed = Util.Bitset.create ();
+    imutated = Util.Bitset.create ();
+    icreated = Util.Bitset.create ();
+    ibor_children = Util.Bitset.create ();
+    ibor_parents = Util.Bitset.create ();
+    ibor_ids = Util.Bitset.create ();
+    ibor_by_id = Util.Bitset.create ();
+    ibor_roots = Util.Bitset.create ();
+    ibor_listeners = Util.Bitset.create ();
+    itouched_children = Util.Bitset.create ();
+    itouched_parents = Util.Bitset.create ();
+    itouched_ids = Util.Bitset.create ();
+    itouched_by_id = Util.Bitset.create ();
+    itouched_roots = Util.Bitset.create ();
+    itouched_listeners = Util.Bitset.create ();
+    irec_writer = -1;
+    irec_targets = Array.init (Array.length iops + 2) (fun _ -> Util.Bitset.create ());
     ipropagations = 0;
     iop_applications = 0;
     idelta_pushes = 0;
     iunion_calls = 0;
   }
 
-(* Write the final id-level solution back into the graph's structural
-   tables so every downstream consumer sees exactly what the structural
-   engines would have produced. *)
-let imaterialize st =
-  let g = st.igraph in
-  let it = st.it in
-  let view_set b =
-    Util.Bitset.fold (fun wid acc -> Graph.View_set.add (Intern.view_of it wid) acc) b
-      Graph.View_set.empty
-  in
-  let non_empty f nid b = if not (Util.Bitset.is_empty b) then f nid b in
-  Graph.reset_solution_tables g;
-  (* Points-to sets are solved per SCC representative; expand back to
-     member nodes here — every member of a direct-edge cycle provably
-     saturates to the same set, so each component's bitset is decoded
-     once and the same structural [VS.t] is installed for all members
-     (including ids minted mid-solve, which are their own reps). *)
+(* Shared decoders for materialisation: bitsets back to structural
+   sets.  [decoder] memoizes per-representative value decoding — every
+   member of a direct-edge cycle provably saturates to the same set, so
+   each component's bitset is decoded once. *)
+let iview_set it b =
+  Util.Bitset.fold (fun wid acc -> Graph.View_set.add (Intern.view_of it wid) acc) b
+    Graph.View_set.empty
+
+let idecoder it =
   let decoded = Hashtbl.create 64 in
-  let decode rid b =
+  fun rid b ->
     match Hashtbl.find_opt decoded rid with
     | Some vs -> vs
     | None ->
@@ -1544,7 +1660,20 @@ let imaterialize st =
         in
         Hashtbl.add decoded rid vs;
         vs
-  in
+
+(* Write the final id-level solution back into the graph's structural
+   tables so every downstream consumer sees exactly what the structural
+   engines would have produced. *)
+let imaterialize st =
+  let g = st.igraph in
+  let it = st.it in
+  let view_set b = iview_set it b in
+  let non_empty f nid b = if not (Util.Bitset.is_empty b) then f nid b in
+  Graph.reset_solution_tables g;
+  (* Points-to sets are solved per SCC representative; expand back to
+     member nodes here (including ids minted mid-solve, which are their
+     own reps). *)
+  let decode = idecoder it in
   for nid = 0 to Intern.node_count it - 1 do
     let rid = irep st nid in
     match Slots.find st.sols rid with
@@ -1581,13 +1710,19 @@ let imaterialize st =
 
 type iret_target = IT_op of int | IT_frags
 
-let run_interned config (app : Framework.App.t) graph =
-  let st = ifreeze config app graph in
+(* The interned fixed-point loop, shared by cold and warm solves.
+   [init] performs the mode-specific setup (seeding and scheduling)
+   once the worklist plumbing exists; [record] turns on write
+   recording (needed whenever the result will be captured as a
+   [solved]).  Recording never changes what is pushed, so a recorded
+   solve is bit-identical to an unrecorded one. *)
+let iloop st ~record ~init config =
+  let op_count = Array.length st.iops in
   let op_wl = Queue.create () in
   let op_pending = Util.Bitset.create () in
   let schedule oi = if Util.Bitset.add op_pending oi then Queue.push oi op_wl in
-  let pending_decl = ref true in
-  let pending_frags = ref true in
+  let pending_decl = ref false in
+  let pending_frags = ref false in
   let ret_deps : (int, iret_target list) Hashtbl.t = Hashtbl.create 16 in
   (* [on_changed] fires with representative ids (the propagation
      worklist lives in rep space), so dynamic return dependencies are
@@ -1606,13 +1741,8 @@ let run_interned config (app : Framework.App.t) graph =
           targets
     | None -> ()
   in
-  List.iter
-    (fun (node, values) ->
-      let nid = Intern.node st.it node in
-      Graph.VS.iter (fun v -> ipush st nid (Intern.value st.it v)) values)
-    (Graph.seeds graph);
-  ipropagate st ~changed:on_changed;
-  Array.iteri (fun oi _ -> schedule oi) st.iops;
+  init ~schedule ~on_changed ~pending_decl ~pending_frags ~ret_deps ~note_ret;
+  let set_writer w = if record then st.irec_writer <- w in
   let iterations = ref 0 in
   let work_remaining () =
     (not (Queue.is_empty op_wl)) || !pending_decl || !pending_frags
@@ -1623,18 +1753,24 @@ let run_interned config (app : Framework.App.t) graph =
       let oi = Queue.pop op_wl in
       Util.Bitset.remove op_pending oi;
       st.iop_applications <- st.iop_applications + 1;
-      iapply_op st ~note_ret:(note_ret (IT_op oi)) oi
+      set_writer oi;
+      iapply_op st ~note_ret:(note_ret (IT_op oi)) oi;
+      set_writer (-1)
     done;
     if !pending_decl then begin
       pending_decl := false;
-      iapply_declarative_handlers st
+      set_writer op_count;
+      iapply_declarative_handlers st;
+      set_writer (-1)
     end;
     if !pending_frags then begin
       pending_frags := false;
-      iapply_declared_fragments st ~note_ret:(note_ret IT_frags)
+      set_writer (op_count + 1);
+      iapply_declared_fragments st ~note_ret:(note_ret IT_frags);
+      set_writer (-1)
     end;
     ipropagate st ~changed:on_changed;
-    let rc = Graph.take_rel_changes graph in
+    let rc = Graph.take_rel_changes st.igraph in
     let rc_children = rc.Graph.rc_children || st.irc_children in
     let rc_ids = rc.Graph.rc_ids || st.irc_ids in
     let rc_roots = rc.Graph.rc_roots || st.irc_roots in
@@ -1655,9 +1791,24 @@ let run_interned config (app : Framework.App.t) graph =
   done;
   if work_remaining () then
     Logs.warn (fun m -> m "solver hit the iteration cap (%d); result may be partial" !iterations);
-  imaterialize st;
+  (!iterations, ret_deps)
+
+(* Cold start: push every seed, propagate, schedule every op and both
+   declarative passes. *)
+let icold_init st ~schedule ~on_changed ~pending_decl ~pending_frags ~ret_deps:_ ~note_ret:_ =
+  pending_decl := true;
+  pending_frags := true;
+  List.iter
+    (fun (node, values) ->
+      let nid = Intern.node st.it node in
+      Graph.VS.iter (fun v -> ipush st nid (Intern.value st.it v)) values)
+    (Graph.seeds st.igraph);
+  ipropagate st ~changed:on_changed;
+  Array.iteri (fun oi _ -> schedule oi) st.iops
+
+let istats st ~iterations ~warm_solve ~dirty_comps ~reused_comps ~fallback =
   {
-    iterations = !iterations;
+    iterations;
     propagations = st.ipropagations;
     op_applications = st.iop_applications;
     delta_pushes = st.idelta_pushes;
@@ -1669,7 +1820,808 @@ let run_interned config (app : Framework.App.t) graph =
     union_calls = st.iunion_calls;
     scc_count = st.iscc_count;
     largest_scc = st.ilargest_scc;
+    warm_solve;
+    dirty_comps;
+    reused_comps;
+    fallback;
   }
+
+let run_interned config (app : Framework.App.t) graph =
+  let st = ifreeze config app graph in
+  let iterations, _ret_deps = iloop st ~record:false ~init:(icold_init st) config in
+  imaterialize st;
+  istats st ~iterations ~warm_solve:false ~dirty_comps:0 ~reused_comps:0 ~fallback:None
+
+(* ------------------------------------------------------------------ *)
+(* Incremental re-analysis.
+
+   A solve can be captured as a [solved]: the interner, the frozen flow
+   snapshot, the per-representative solution bitsets, relation rows,
+   dynamic return dependencies and per-op write targets.  When a
+   patched version of the app is extracted over the SAME interner
+   (every node, value and view shared with the previous program keeps
+   its id), an edit script between the two graph shapes drives a warm
+   re-solve: only the condensation components forward-reachable from
+   the edits are reset and re-solved; every other component's solution
+   is restored by aliasing the previous bitsets (copy-on-write guards
+   them against later growth). *)
+
+(* Fingerprints guarding the warm path.  The class fingerprint covers
+   everything CHA and subtype tests depend on; a mismatch forces a full
+   solve.  The method fingerprint covers [Hierarchy.resolve] outcomes
+   and callback parameter names: adding a handler method changes which
+   flows a Set_listener injects WITHOUT changing any of that op's
+   inputs, so a mismatch marks every resolve-dependent op suspect
+   rather than falling back. *)
+(* Fingerprints are pure functions of immutable program/package values,
+   yet a single warm re-solve consults them several times (guard,
+   suspect analysis, capture).  A one-slot-per-domain memo keyed on
+   physical identity makes every consultation after the first free;
+   per-domain slots keep it race-free under the parallel batch
+   driver. *)
+let fp_memo (type k) () : (k * string) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let memoized key k compute =
+  let memo = Domain.DLS.get key in
+  match !memo with
+  | Some (k', fp) when k' == k -> fp
+  | _ ->
+      let fp = compute () in
+      memo := Some (k, fp);
+      fp
+
+let class_fp_memo : (Jir.Ast.program * string) option ref Domain.DLS.key = fp_memo ()
+
+let class_fp (app : Framework.App.t) =
+  memoized class_fp_memo app.program (fun () ->
+      let b = Buffer.create 1024 in
+      List.iter
+        (fun (c : Jir.Ast.cls) ->
+          Buffer.add_string b c.c_name;
+          Buffer.add_char b '\x01';
+          Buffer.add_string b (match c.c_kind with `Class -> "c" | `Interface -> "i");
+          Buffer.add_string b (Option.value c.c_super ~default:"");
+          Buffer.add_char b '\x01';
+          List.iter
+            (fun i ->
+              Buffer.add_string b i;
+              Buffer.add_char b ',')
+            c.c_interfaces;
+          Buffer.add_char b '\n')
+        (List.sort
+           (fun (a : Jir.Ast.cls) (b : Jir.Ast.cls) -> String.compare a.c_name b.c_name)
+           app.program.p_classes);
+      Digest.to_hex (Digest.string (Buffer.contents b)))
+
+(* The method fingerprint guards only [Hierarchy.resolve] outcomes
+   (which methods exist, by class, name and arity): parameter renames
+   and body edits show up in the extracted graph and are covered by
+   the edit script instead.  Classes and methods are hashed in program
+   order — a pure reordering flips the fingerprint, which costs a
+   conservative suspect pass, never soundness. *)
+let method_fp_memo : (Jir.Ast.program * string) option ref Domain.DLS.key = fp_memo ()
+
+let small_arities = Array.init 64 string_of_int
+
+let method_fp (app : Framework.App.t) =
+  memoized method_fp_memo app.program (fun () ->
+      let b = Buffer.create 4096 in
+      List.iter
+        (fun (c : Jir.Ast.cls) ->
+          Buffer.add_string b c.c_name;
+          Buffer.add_char b '\x01';
+          List.iter
+            (fun (m : Jir.Ast.meth) ->
+              Buffer.add_string b m.m_name;
+              Buffer.add_char b '/';
+              let a = List.length m.m_params in
+              Buffer.add_string b (if a < 64 then small_arities.(a) else string_of_int a);
+              Buffer.add_char b ';')
+            c.c_methods;
+          Buffer.add_char b '\n')
+        app.program.p_classes;
+      Digest.to_hex (Digest.string (Buffer.contents b)))
+
+let layout_fp_memo : (Layouts.Package.t * string) option ref Domain.DLS.key = fp_memo ()
+
+let layout_fp (app : Framework.App.t) =
+  memoized layout_fp_memo app.Framework.App.package (fun () ->
+      let b = Buffer.create 4096 in
+      List.iter
+        (fun (def : Layouts.Layout.def) ->
+          Buffer.add_string b def.name;
+          Buffer.add_char b '\x01';
+          Buffer.add_string b (Fmt.str "%a" Layouts.Layout.pp def);
+          Buffer.add_char b '\n')
+        (Layouts.Package.layouts app.Framework.App.package);
+      Digest.to_hex (Digest.string (Buffer.contents b)))
+
+(* Seeds as sorted (node id, value id) pairs — the diffable form. *)
+let iseed_pairs it graph =
+  Graph.seeds graph
+  |> List.concat_map (fun (node, vs) ->
+         let nid = Intern.node it node in
+         Graph.VS.fold (fun v acc -> (nid, Intern.value it v) :: acc) vs [])
+  |> List.sort compare
+  |> Array.of_list
+
+type shape = {
+  sh_nodes : int;  (** nodes covered by the flow CSR *)
+  sh_row : int array;
+  sh_edst : int array;
+  sh_ekind : int array;  (** [-1] direct, else index into [sh_cast_names] *)
+  sh_cast_names : string array;
+  sh_seeds : (int * int) array;  (** sorted (node id, value id) pairs *)
+  sh_ops : (Node.op_site * int * int array * int) array;
+}
+
+let shape_of_graph graph =
+  let fc = Graph.frozen_flow graph in
+  let ids = Graph.ops_node_ids graph in
+  let ops = Array.of_list (Graph.ops graph) in
+  let sh_ops =
+    Array.mapi
+      (fun i (op : Graph.op) ->
+        let recv, args, out = ids.(i) in
+        (op.Graph.site, recv, args, out))
+      ops
+  in
+  {
+    sh_nodes = fc.Graph.fc_nodes;
+    sh_row = fc.Graph.fc_row;
+    sh_edst = fc.Graph.fc_edst;
+    sh_ekind = fc.Graph.fc_ekind;
+    sh_cast_names = fc.Graph.fc_cast_names;
+    sh_seeds = iseed_pairs (Graph.interner graph) graph;
+    sh_ops;
+  }
+
+(* Graph-level edit script between two shapes over a shared interner.
+   Edge kinds are expressed in the NEW shape's cast-symbol space
+   (removed edges whose cast class vanished get a sentinel [<= -2];
+   only the destination matters for invalidation). *)
+type edit_script = {
+  es_removed_edges : (int * int * int) array;  (** (src, kind, dst) *)
+  es_added_edges : (int * int * int) array;
+  es_removed_seeds : (int * int) array;
+  es_added_seeds : (int * int) array;
+  es_old_to_new : int array;  (** old op index -> new, [-1] unmatched (removed) *)
+  es_new_to_old : int array;  (** new op index -> old, [-1] unmatched (added) *)
+}
+
+(* Dynamic return dependency kinds, as persisted. *)
+type rd = RD_op of int | RD_frags
+
+(* A captured solution.  Treat every field as read-only: the bitsets
+   are shared (aliased) with later warm solves, and [sd_graph] is the
+   donor of structural solution tables for warm materialisation — it
+   must never be re-solved, or the tables every captured row aliases
+   would be clobbered. *)
+type solved = {
+  sd_config : Config.t;
+  sd_app_name : string;
+  sd_class_fp : string;
+  sd_method_fp : string;
+  sd_layout_fp : string;
+  sd_package : Layouts.Package.t;
+  sd_graph : Graph.t;
+  sd_it : Intern.t;
+  sd_node_total : int;  (** interned node count at capture *)
+  sd_value_total : int;
+  sd_csr_n : int;  (** nodes covered by the frozen CSR (freeze-time count) *)
+  sd_nrep : int array;
+  sd_row : int array;
+  sd_edst : int array;
+  sd_ekind : int array;
+  sd_cast_names : string array;
+  sd_seeds : (int * int) array;
+  sd_ops : (Node.op_site * int * int array * int) array;
+  sd_sols : Util.Bitset.t option array;  (** per representative; aliased, never mutated *)
+  sd_sols_mask : Util.Bitset.t;  (** bits of the [Some] slots of [sd_sols] *)
+  sd_children : Util.Bitset.t option array;
+  sd_parents : Util.Bitset.t option array;
+  sd_ids : Util.Bitset.t option array;
+  sd_by_id : Util.Bitset.t option array;
+  sd_roots : Util.Bitset.t option array;
+  sd_listeners : Util.Bitset.t option array;
+  sd_holder_ids : int list;  (** discovery order, newest first *)
+  sd_ret_deps : (int * rd) list;  (** rep -> dynamic reader *)
+  sd_targets : Util.Bitset.t array;
+      (** per op (plus declarative and fragment pseudo-slots at
+          [|ops|] and [|ops|+1]): representatives the writer pushed
+          values to, across this solve and, transitively, the solves
+          it warm-started from *)
+}
+
+let shape_of_solved sd =
+  {
+    sh_nodes = sd.sd_csr_n;
+    sh_row = sd.sd_row;
+    sh_edst = sd.sd_edst;
+    sh_ekind = sd.sd_ekind;
+    sh_cast_names = sd.sd_cast_names;
+    sh_seeds = sd.sd_seeds;
+    sh_ops = sd.sd_ops;
+  }
+
+let solved_interner sd = sd.sd_it
+
+(* Capture the fixpoint reached by [st].  [carry] maps each write slot
+   to its previous-solve target set (matched ops under a warm solve);
+   carried targets are mapped through the current representatives so
+   invalidation stays sound across repeated patches. *)
+let icapture st ?carry_map ?fps ?seeds ?reuse_ops ~config ~(app : Framework.App.t) ~ret_deps
+    carry =
+  let fc = Graph.frozen_flow st.igraph in
+  let op_count = Array.length st.iops in
+  (* Carried-over targets are reps of the previous condensation; when
+     no representative moved they are still reps, so the merge is a
+     word-level union with no per-element remapping — and an op that
+     recorded nothing this solve keeps its previous target set by
+     aliasing it outright (target sets are never mutated after
+     capture). *)
+  let sd_targets =
+    Array.init (op_count + 2) (fun i ->
+        let t = st.irec_targets.(i) in
+        match (carry i, carry_map) with
+        | Some old, None when Util.Bitset.is_empty t -> old
+        | Some old, None ->
+            Util.Bitset.union_delta ~into:t old ~on_new:(fun _ -> ());
+            t
+        | Some old, Some f ->
+            Util.Bitset.iter (fun r -> ignore (Util.Bitset.add t (f r))) old;
+            t
+        | None, _ -> t)
+  in
+  let sd_ret_deps =
+    Hashtbl.fold
+      (fun rid targets acc ->
+        List.fold_left
+          (fun acc t ->
+            (rid, match t with IT_op oi -> RD_op oi | IT_frags -> RD_frags) :: acc)
+          acc targets)
+      ret_deps []
+  in
+  (* A matched op's tuple (site, recv ids, arg ids, out id) is exactly
+     what the multiset matching keyed on, so the previous capture's
+     entry can be shared instead of rebuilt. *)
+  let fresh_op i =
+    let op = st.iops.(i) in
+    (op.Graph.site, st.iop_recv.(i), st.iop_args.(i), st.iop_out.(i))
+  in
+  let sd_ops =
+    match reuse_ops with
+    | Some (prev_ops, new_to_old) ->
+        Array.init op_count (fun i ->
+            let oj = new_to_old.(i) in
+            if oj >= 0 then prev_ops.(oj) else fresh_op i)
+    | None -> Array.init op_count fresh_op
+  in
+  (* Warm captures pass the fingerprints through: the guard already
+     proved class/layout equal to the previous solve's and the method
+     fingerprint was computed for the suspect analysis. *)
+  let sd_class_fp, sd_method_fp, sd_layout_fp =
+    match fps with Some t -> t | None -> (class_fp app, method_fp app, layout_fp app)
+  in
+  let sd_seeds = match seeds with Some s -> s | None -> iseed_pairs st.it st.igraph in
+  (* The captured arrays alias the solver state's backing stores — the
+     state is dead once capture runs, so nothing mutates them later. *)
+  let sd_sols = st.sols.Slots.a in
+  (* Warm solves know exactly which slots are populated — still
+     borrowed, copied on write, or created this solve — so the mask is
+     a union of three small bitsets; a cold solve scans the array. *)
+  let sd_sols_mask =
+    if st.iwarm then begin
+      let mask = Util.Bitset.copy st.iborrowed in
+      Util.Bitset.union_delta ~into:mask st.imutated ~on_new:ignore;
+      Util.Bitset.union_delta ~into:mask st.icreated ~on_new:ignore;
+      mask
+    end
+    else begin
+      let mask = Util.Bitset.create () in
+      Array.iteri
+        (fun i o -> match o with Some _ -> ignore (Util.Bitset.add mask i) | None -> ())
+        sd_sols;
+      mask
+    end
+  in
+  {
+    sd_config = config;
+    sd_app_name = app.Framework.App.name;
+    sd_class_fp;
+    sd_method_fp;
+    sd_layout_fp;
+    sd_package = app.Framework.App.package;
+    sd_graph = st.igraph;
+    sd_it = st.it;
+    sd_node_total = Intern.node_count st.it;
+    sd_value_total = Intern.value_count st.it;
+    sd_csr_n = st.csr_n;
+    sd_nrep = st.nrep;
+    sd_row = fc.Graph.fc_row;
+    sd_edst = fc.Graph.fc_edst;
+    sd_ekind = fc.Graph.fc_ekind;
+    sd_cast_names = st.cast_names;
+    sd_seeds;
+    sd_ops;
+    sd_sols;
+    sd_sols_mask;
+    sd_children = st.ichildren.Slots.a;
+    sd_parents = st.iparents.Slots.a;
+    sd_ids = st.iids.Slots.a;
+    sd_by_id = st.iby_id.Slots.a;
+    sd_roots = st.iroots.Slots.a;
+    sd_listeners = st.ilisteners.Slots.a;
+    sd_holder_ids = st.iholder_ids;
+    sd_ret_deps;
+    sd_targets;
+  }
+
+(* Full solve that also captures the solution for later warm restarts.
+   Always runs the interned engine (the captured state is id-level);
+   bit-identical to [run] under the interned solver. *)
+let run_solved ?fallback config (app : Framework.App.t) graph =
+  Graph.reset_sets graph;
+  let st = ifreeze config app graph in
+  let iterations, ret_deps = iloop st ~record:true ~init:(icold_init st) config in
+  imaterialize st;
+  let stats = istats st ~iterations ~warm_solve:false ~dirty_comps:0 ~reused_comps:0 ~fallback in
+  (stats, icapture st ~config ~app ~ret_deps (fun _ -> None))
+
+(* Is a warm start sound?  Returns the reason to fall back, if any. *)
+let warm_guard prev config (app : Framework.App.t) graph =
+  if not (Graph.interner graph == prev.sd_it) then
+    Some "graph was not extracted over the previous solve's interner"
+  else if config <> prev.sd_config then Some "configuration changed"
+  else if class_fp app <> prev.sd_class_fp then Some "class hierarchy changed"
+  else if
+    (not (app.Framework.App.package == prev.sd_package)) && layout_fp app <> prev.sd_layout_fp
+  then Some "layout resources changed"
+  else None
+
+(* Which view relations each op kind writes; a suspect or removed
+   writer leaves rows with no justification, so its kinds are rebuilt
+   wholesale.  [Inflate]/[Set_content] write children and ids through
+   the inflation import. *)
+let iwrites_children = function
+  | Framework.Api.Inflate | Framework.Api.Set_content | Framework.Api.Add_view
+  | Framework.Api.Fragment_add | Framework.Api.Menu_add | Framework.Api.Set_adapter ->
+      true
+  | _ -> false
+
+let iwrites_ids = function
+  | Framework.Api.Inflate | Framework.Api.Set_content | Framework.Api.Set_id
+  | Framework.Api.Menu_add ->
+      true
+  | _ -> false
+
+let iwrites_roots = function Framework.Api.Set_content -> true | _ -> false
+
+let iwrites_listeners = function Framework.Api.Set_listener _ -> true | _ -> false
+
+(* Ops whose rule consults [Hierarchy.resolve] (callback injection):
+   a method-set change can alter their effects with unchanged op
+   inputs. *)
+let iresolve_dependent = function
+  | Framework.Api.Set_listener _ | Framework.Api.Fragment_add | Framework.Api.Menu_add
+  | Framework.Api.Set_adapter ->
+      true
+  | _ -> false
+
+(* Warm materialisation: copy the previous solve's structural tables,
+   then re-install only what changed — rows of dirty or grown
+   components, nodes minted this solve, rows of relations rebuilt
+   wholesale, and relation rows touched while warm. *)
+let imaterialize_warm st ~prev ~dirty ~children_cleared ~ids_cleared ~roots_cleared
+    ~listeners_cleared =
+  let g = st.igraph in
+  let it = st.it in
+  let view_set b = iview_set it b in
+  Graph.reset_solution_tables g;
+  Graph.copy_solution_tables ~children:(not children_cleared) ~ids:(not ids_cleared)
+    ~roots:(not roots_cleared) ~listeners:(not listeners_cleared) ~src:prev.sd_graph g;
+  let decode = idecoder it in
+  (* When no component was invalidated or grown, only nodes minted
+     this solve can be stale — the copied rows cover the rest. *)
+  let lo =
+    if Util.Bitset.is_empty dirty && Util.Bitset.is_empty st.imutated then prev.sd_node_total
+    else 0
+  in
+  for nid = lo to Intern.node_count it - 1 do
+    let rid = irep st nid in
+    let stale =
+      nid >= prev.sd_node_total || Util.Bitset.mem dirty rid || Util.Bitset.mem st.imutated rid
+    in
+    if stale then
+      match Slots.find st.sols rid with
+      | Some b when not (Util.Bitset.is_empty b) ->
+          Graph.install_set g (Intern.node_of it nid) (decode rid b)
+      | _ ->
+          (* a copied row whose set emptied out (node dropped by the
+             patch) must not survive; removed nodes are provably dirty *)
+          if nid < prev.sd_node_total then Graph.remove_solution_row g (Intern.node_of it nid)
+  done;
+  let fixup cleared touched slots install =
+    if cleared then
+      Slots.iteri (fun i b -> if not (Util.Bitset.is_empty b) then install i b) slots
+    else
+      Util.Bitset.iter
+        (fun i -> match Slots.find slots i with Some b -> install i b | None -> ())
+        touched
+  in
+  fixup children_cleared st.itouched_children st.ichildren (fun wid b ->
+      Graph.install_children g (Intern.view_of it wid) (view_set b));
+  fixup children_cleared st.itouched_parents st.iparents (fun wid b ->
+      Graph.install_parents g (Intern.view_of it wid) (view_set b));
+  fixup ids_cleared st.itouched_ids st.iids (fun wid b ->
+      Graph.install_ids g (Intern.view_of it wid)
+        (Util.Bitset.fold
+           (fun sym acc -> Graph.Int_set.add (Intern.rid_of it sym) acc)
+           b Graph.Int_set.empty));
+  fixup ids_cleared st.itouched_by_id st.iby_id (fun sym b ->
+      Graph.install_views_by_id g (Intern.rid_of it sym) (view_set b));
+  fixup roots_cleared st.itouched_roots st.iroots (fun hid b ->
+      Graph.install_roots g (Intern.holder_of it hid) (view_set b));
+  fixup listeners_cleared st.itouched_listeners st.ilisteners (fun wid b ->
+      Graph.install_listeners g (Intern.view_of it wid)
+        (Util.Bitset.fold
+           (fun eid acc -> Graph.Listener_set.add (Intern.listener_of it eid) acc)
+           b Graph.Listener_set.empty))
+
+(* Warm re-solve against a previous solution.  [graph] must be the
+   patched app's graph extracted over [prev]'s interner; [edits] the
+   edit script between [shape_of_solved prev] and [shape_of_graph
+   graph].  Falls back to a recorded full solve when the warm guard
+   refuses.  The result is bit-identical to a from-scratch solve of
+   [graph]. *)
+let run_incremental ~prev ~edits ?new_shape config (app : Framework.App.t) graph =
+  match warm_guard prev config app graph with
+  | Some reason -> run_solved ~fallback:reason config app graph
+  | None ->
+      Graph.reset_sets graph;
+      let st = ifreeze config app graph in
+      st.iwarm <- true;
+      let op_count = Array.length st.iops in
+      let old_op_count = Array.length prev.sd_ops in
+      let orep nid = if nid < prev.sd_csr_n then prev.sd_nrep.(nid) else nid in
+      let new_seeds =
+        match new_shape with Some s -> s.sh_seeds | None -> iseed_pairs st.it st.igraph
+      in
+      let new_method_fp = method_fp app in
+      let methods_changed = new_method_fp <> prev.sd_method_fp in
+      (* Dirty components: everything forward-reachable (over ALL edge
+         kinds of the new condensation) from the edit set. *)
+      let dirty = Util.Bitset.create () in
+      let frontier = Queue.create () in
+      let mark_dirty r = if Util.Bitset.add dirty r then Queue.push r frontier in
+      let close () =
+        while not (Queue.is_empty frontier) do
+          let r = Queue.pop frontier in
+          if r < st.csr_n then
+            for e = st.crow.(r) to st.crow.(r + 1) - 1 do
+              mark_dirty st.cdst.(e)
+            done
+        done
+      in
+      (* Components whose membership changed between the two
+         condensations (cycle splits and merges): representatives are
+         smallest-member ids and new ids are larger, so an unchanged
+         component keeps its representative — any moved rep flags both
+         the node's new component and its old rep's. *)
+      let reps_moved = ref false in
+      for nid = 0 to prev.sd_node_total - 1 do
+        let o = orep nid and n = irep st nid in
+        if n <> o then begin
+          reps_moved := true;
+          mark_dirty n;
+          mark_dirty (irep st o)
+        end
+      done;
+      Array.iter (fun (_, _, dst) -> mark_dirty (irep st dst)) edits.es_removed_edges;
+      Array.iter (fun (nid, _) -> mark_dirty (irep st nid)) edits.es_removed_seeds;
+      let dirty_old_targets i =
+        Util.Bitset.iter (fun r -> mark_dirty (irep st r)) prev.sd_targets.(i)
+      in
+      let target_dirty i =
+        let hit = ref false in
+        Util.Bitset.iter
+          (fun r -> if (not !hit) && Util.Bitset.mem dirty (irep st r) then hit := true)
+          prev.sd_targets.(i);
+        !hit
+      in
+      let children_cleared = ref false in
+      let ids_cleared = ref false in
+      let roots_cleared = ref false in
+      let listeners_cleared = ref false in
+      let clear_for kind =
+        if iwrites_children kind then children_cleared := true;
+        if iwrites_ids kind then ids_cleared := true;
+        if iwrites_roots kind then roots_cleared := true;
+        if iwrites_listeners kind then listeners_cleared := true
+      in
+      (* Removed ops: recorded contributions are stale. *)
+      Array.iteri
+        (fun oj ni ->
+          if ni < 0 then begin
+            let (site : Node.op_site), _, _, _ = prev.sd_ops.(oj) in
+            dirty_old_targets oj;
+            clear_for site.Node.o_kind
+          end)
+        edits.es_old_to_new;
+      (* Old dynamic return dependencies, re-keyed to surviving ops. *)
+      let op_ret_reps = Array.make (max 1 op_count) [] in
+      let frags_dep_reps = ref [] in
+      List.iter
+        (fun (r, rdep) ->
+          match rdep with
+          | RD_op oj ->
+              if oj >= 0 && oj < old_op_count then begin
+                let oi = edits.es_old_to_new.(oj) in
+                if oi >= 0 then op_ret_reps.(oi) <- r :: op_ret_reps.(oi)
+              end
+          | RD_frags -> frags_dep_reps := r :: !frags_dep_reps)
+        prev.sd_ret_deps;
+      (* Suspect fixpoint: an op whose inputs (static reads, restored
+         return deps, consulted relations, resolve outcomes) may have
+         changed gets its old targets dirtied and its written relation
+         kinds cleared; clears and new dirt can suspect further ops, so
+         iterate with the closure until stable. *)
+      let suspect = Util.Bitset.create () in
+      let decl_suspect = ref methods_changed in
+      let frags_suspect = ref methods_changed in
+      let decl_applied = ref false in
+      let frags_applied = ref false in
+      close ();
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        Array.iteri
+          (fun oi (op : Graph.op) ->
+            let oj = edits.es_new_to_old.(oi) in
+            if oj >= 0 && not (Util.Bitset.mem suspect oi) then begin
+              let kind = op.Graph.site.Node.o_kind in
+              let sus =
+                (methods_changed && iresolve_dependent kind)
+                || Util.Bitset.mem dirty (irep st st.iop_recv.(oi))
+                || Array.exists
+                     (fun a -> Util.Bitset.mem dirty (irep st a))
+                     st.iop_args.(oi)
+                || List.exists
+                     (fun r -> Util.Bitset.mem dirty (irep st r))
+                     op_ret_reps.(oi)
+                || (!children_cleared && Graph.reads_children op)
+                || (!ids_cleared && Graph.reads_ids op)
+                || (!roots_cleared && Graph.reads_roots op)
+              in
+              if sus then begin
+                ignore (Util.Bitset.add suspect oi);
+                dirty_old_targets oj;
+                clear_for kind;
+                changed := true
+              end
+            end)
+          st.iops;
+        if (not !decl_suspect) && (!children_cleared || !roots_cleared) then begin
+          decl_suspect := true;
+          changed := true
+        end;
+        if !decl_suspect && not !decl_applied then begin
+          decl_applied := true;
+          dirty_old_targets old_op_count;
+          listeners_cleared := true;
+          changed := true
+        end;
+        if
+          (not !frags_suspect)
+          && (!children_cleared
+             || List.exists (fun r -> Util.Bitset.mem dirty (irep st r)) !frags_dep_reps)
+        then begin
+          frags_suspect := true;
+          changed := true
+        end;
+        if !frags_suspect && not !frags_applied then begin
+          frags_applied := true;
+          dirty_old_targets (old_op_count + 1);
+          children_cleared := true;
+          changed := true
+        end;
+        close ()
+      done;
+      (* Restore the solution sets of clean components by aliasing: a
+         previous slot at [r] means [r] was a representative; it is
+         restorable when it still represents itself and is clean
+         (membership changes always dirty the affected reps). *)
+      let reused = ref 0 in
+      (if not !reps_moved then begin
+         (* Every previous slot index is still its own representative,
+            so the whole slot array restores as one blit; only the
+            dirty components are withheld. *)
+         let n = Array.length prev.sd_sols in
+         if n > 0 then begin
+           Slots.ensure st.sols (n - 1);
+           Array.blit prev.sd_sols 0 st.sols.Slots.a 0 n
+         end;
+         Util.Bitset.assign st.iborrowed prev.sd_sols_mask;
+         reused := Util.Bitset.cardinal prev.sd_sols_mask;
+         Util.Bitset.iter
+           (fun r ->
+             if r < n && Util.Bitset.mem prev.sd_sols_mask r then begin
+               st.sols.Slots.a.(r) <- None;
+               Util.Bitset.remove st.iborrowed r;
+               decr reused
+             end)
+           dirty
+       end
+       else
+         Array.iteri
+           (fun r slot ->
+             match slot with
+             | Some b
+               when r < prev.sd_node_total && irep st r = r && not (Util.Bitset.mem dirty r) ->
+                 Slots.set st.sols r b;
+                 ignore (Util.Bitset.add st.iborrowed r);
+                 incr reused
+             | _ -> ())
+           prev.sd_sols);
+      let restore_rows slots bor rows =
+        Array.iteri
+          (fun i o ->
+            match o with
+            | Some b ->
+                Slots.set slots i b;
+                ignore (Util.Bitset.add bor i)
+            | None -> ())
+          rows
+      in
+      if not !children_cleared then begin
+        restore_rows st.ichildren st.ibor_children prev.sd_children;
+        restore_rows st.iparents st.ibor_parents prev.sd_parents
+      end;
+      if not !ids_cleared then begin
+        restore_rows st.iids st.ibor_ids prev.sd_ids;
+        restore_rows st.iby_id st.ibor_by_id prev.sd_by_id
+      end;
+      if not !roots_cleared then begin
+        restore_rows st.iroots st.ibor_roots prev.sd_roots;
+        st.iholder_ids <- prev.sd_holder_ids;
+        List.iter (fun hid -> ignore (Util.Bitset.add st.iholders_seen hid)) prev.sd_holder_ids
+      end;
+      if not !listeners_cleared then
+        restore_rows st.ilisteners st.ibor_listeners prev.sd_listeners;
+      (* Cold structural tables (inflation memo, declarative handlers,
+         fragment placeholders, root layouts) are restored only when
+         both children and ids survive: a memo hit skips the id-level
+         subtree import, which is exactly what a suspect inflating op
+         would need to redo — and any such op clears children. *)
+      if not (!children_cleared || !ids_cleared) then begin
+        List.iter
+          (fun (site, layout, views) -> Graph.record_inflation graph ~site ~layout views)
+          (Graph.inflation_entries prev.sd_graph);
+        List.iter
+          (fun (view, names) ->
+            List.iter (fun n -> ignore (Graph.add_onclick graph view n)) names)
+          (Graph.onclick_entries prev.sd_graph);
+        List.iter
+          (fun (view, classes) ->
+            List.iter (fun c -> ignore (Graph.add_declared_fragment graph view c)) classes)
+          (Graph.declared_fragment_entries prev.sd_graph);
+        List.iter
+          (fun (view, lids) ->
+            List.iter (fun lid -> ignore (Graph.add_root_layout graph view lid)) lids)
+          (Graph.root_layout_entries prev.sd_graph);
+        (* restoration must not look like solve-time growth *)
+        ignore (Graph.take_rel_changes graph)
+      end;
+      let iwarm_init ~schedule ~on_changed ~pending_decl ~pending_frags ~ret_deps:_ ~note_ret =
+        List.iter
+          (fun (r, rdep) ->
+            match rdep with
+            | RD_op oj ->
+                if oj >= 0 && oj < old_op_count then begin
+                  let oi = edits.es_old_to_new.(oj) in
+                  if oi >= 0 then note_ret (IT_op oi) r
+                end
+            | RD_frags -> note_ret IT_frags r)
+          prev.sd_ret_deps;
+        (* Seeds of dirty components refill their reset sets; seeds of
+           unrestored (fresh) components fill them for the first time.
+           Seeds of restored components are already present — their
+           push would be a mem no-op — so they are skipped outright
+           rather than paying an interner lookup each. *)
+        Array.iter
+          (fun (nid, vid) ->
+            let r = irep st nid in
+            if Util.Bitset.mem dirty r || not (Util.Bitset.mem st.iborrowed r) then
+              ipush st nid vid)
+          new_seeds;
+        (* Restored components never emit deltas, so their outflow must
+           be injected once: into dirty successors (reset to empty),
+           and through edges that did not exist before.  Later growth
+           of a restored set turns it into an owned, delta-emitting
+           copy, so only the restored portion needs this.  With no
+           dirty components there is nowhere to inject. *)
+        if not (Util.Bitset.is_empty dirty) then
+          Util.Bitset.iter
+            (fun r ->
+              match Slots.find st.sols r with
+              | None -> ()
+              | Some set ->
+                  if r < st.csr_n then
+                    for e = st.crow.(r) to st.crow.(r + 1) - 1 do
+                      let dst = st.cdst.(e) in
+                      if Util.Bitset.mem dirty dst then begin
+                        let k = st.ckind.(e) in
+                        Util.Bitset.iter
+                          (fun vid -> if k < 0 || cast_passes st k vid then ipush st dst vid)
+                          set
+                      end
+                    done)
+            st.iborrowed;
+        Array.iter
+          (fun (src, k, dst) ->
+            let rsrc = irep st src in
+            if not (Util.Bitset.mem dirty rsrc) then
+              match Slots.find st.sols rsrc with
+              | None -> ()
+              | Some set ->
+                  Util.Bitset.iter
+                    (fun vid -> if k < 0 || cast_passes st k vid then ipush st dst vid)
+                    set)
+          edits.es_added_edges;
+        (* Schedule: added ops, suspects, writers of rebuilt relation
+           kinds, ops whose previous targets were reset, and every
+           Start_activity op (transitions are rebuilt each solve). *)
+        Array.iteri
+          (fun oi (op : Graph.op) ->
+            let oj = edits.es_new_to_old.(oi) in
+            let kind = op.Graph.site.Node.o_kind in
+            let is_start =
+              match kind with Framework.Api.Start_activity -> true | _ -> false
+            in
+            let rerun =
+              oj < 0
+              || Util.Bitset.mem suspect oi
+              || is_start
+              || (!children_cleared && iwrites_children kind)
+              || (!ids_cleared && iwrites_ids kind)
+              || (!roots_cleared && iwrites_roots kind)
+              || (!listeners_cleared && iwrites_listeners kind)
+              || target_dirty oj
+            in
+            if rerun then schedule oi)
+          st.iops;
+        pending_decl :=
+          !decl_suspect || !listeners_cleared || !roots_cleared || target_dirty old_op_count;
+        pending_frags :=
+          !frags_suspect || !children_cleared || target_dirty (old_op_count + 1);
+        ipropagate st ~changed:on_changed
+      in
+      let iterations, ret_deps = iloop st ~record:true ~init:iwarm_init config in
+      imaterialize_warm st ~prev ~dirty ~children_cleared:!children_cleared
+        ~ids_cleared:!ids_cleared ~roots_cleared:!roots_cleared
+        ~listeners_cleared:!listeners_cleared;
+      let stats =
+        istats st ~iterations ~warm_solve:true ~dirty_comps:(Util.Bitset.cardinal dirty)
+          ~reused_comps:!reused ~fallback:None
+      in
+      let carry i =
+        if i < op_count then begin
+          let oj = edits.es_new_to_old.(i) in
+          if oj >= 0 then Some prev.sd_targets.(oj) else None
+        end
+        else if i = op_count then Some prev.sd_targets.(old_op_count)
+        else Some prev.sd_targets.(old_op_count + 1)
+      in
+      let carry_map = if !reps_moved then Some (irep st) else None in
+      let sd =
+        icapture st ?carry_map
+          ~fps:(prev.sd_class_fp, new_method_fp, prev.sd_layout_fp)
+          ~seeds:new_seeds
+          ~reuse_ops:(prev.sd_ops, edits.es_new_to_old)
+          ~config ~app ~ret_deps carry
+      in
+      (stats, sd)
 
 let run config (app : Framework.App.t) graph =
   Graph.reset_sets graph;
@@ -1712,4 +2664,8 @@ let run config (app : Framework.App.t) graph =
         union_calls = 0;
         scc_count = 0;
         largest_scc = 0;
+        warm_solve = false;
+        dirty_comps = 0;
+        reused_comps = 0;
+        fallback = None;
       }

@@ -121,8 +121,9 @@ let table2 ?(timings = true) results =
 let solver_stats results =
   let header =
     [
-      "App"; "solver"; "ops"; "rounds"; "op applies"; "naive equiv"; "saved"; "propagations";
-      "delta pushes"; "desc cache"; "values"; "set words"; "unions"; "sccs"; "max scc";
+      "App"; "solver"; "mode"; "ops"; "rounds"; "op applies"; "naive equiv"; "saved";
+      "propagations"; "delta pushes"; "desc cache"; "values"; "set words"; "unions"; "sccs";
+      "max scc";
     ]
   in
   let rows =
@@ -139,9 +140,18 @@ let solver_stats results =
                   (float_of_int s.sv_naive_equivalent
                   /. float_of_int (max 1 s.sv_op_applications))
             in
+            let mode =
+              match s.sv_fallback with
+              | Some _ -> "fallback"
+              | None ->
+                  if s.sv_warm then
+                    Printf.sprintf "warm %d/%d" s.sv_dirty_comps s.sv_reused_comps
+                  else "-"
+            in
             [
               s.sv_app;
               s.sv_solver;
+              mode;
               Table.cell_int s.sv_ops;
               Table.cell_int s.sv_iterations;
               Table.cell_int s.sv_op_applications;
@@ -158,7 +168,8 @@ let solver_stats results =
             ])
       results
   in
-  "Solver work: delta scheduling vs naive re-iteration (naive equiv = rounds * |ops|)\n"
+  "Solver work: delta scheduling vs naive re-iteration (naive equiv = rounds * |ops|; mode: \
+   warm dirty/reused components for incremental solves, \"-\" for cold)\n"
   ^ Table.render ~header rows
 
 let case_study () =

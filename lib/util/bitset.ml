@@ -56,6 +56,10 @@ let clear t = Array.fill t.words 0 (Array.length t.words) 0
 
 let copy t = { words = Array.copy t.words }
 
+(* Overwrite [dst]'s contents with a copy of [src]'s — the bulk
+   counterpart of clearing and re-adding every member. *)
+let assign dst src = dst.words <- Array.copy src.words
+
 (* Number of trailing zeros of a one-bit word (a power of two). *)
 let ntz_pow2 b =
   let n = ref 0 in
@@ -131,6 +135,23 @@ let union_delta ~into src ~on_new =
       end
     end
   done
+
+(* Is every member of [a] already in [b]?  Word-level; the warm
+   (incremental) solver uses this as its would-grow test before
+   copying a borrowed solution set. *)
+let subset a b =
+  let na = Array.length a.words and nb = Array.length b.words in
+  let rec go i =
+    i >= na
+    || a.words.(i) land lnot (if i < nb then b.words.(i) else 0) = 0
+       && go (i + 1)
+  in
+  go 0
+
+let intersects a b =
+  let n = min (Array.length a.words) (Array.length b.words) in
+  let rec go i = i < n && (a.words.(i) land b.words.(i) <> 0 || go (i + 1)) in
+  go 0
 
 let equal a b =
   let na = Array.length a.words and nb = Array.length b.words in

@@ -22,6 +22,7 @@ let () =
       ("solve", Test_solve.suite);
       ("delta", Test_delta.suite);
       ("intern", Test_intern.suite);
+      ("incremental", Test_incremental.suite);
       ("interp", Test_interp.suite);
       ("oracle", Test_oracle.suite);
       ("corpus", Test_corpus.suite);
