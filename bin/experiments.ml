@@ -86,6 +86,104 @@ let verify_incremental name app patch =
                      reused of %d components)\n"
         name s.Gator.Solve.dirty_comps s.Gator.Solve.reused_comps s.Gator.Solve.scc_count)
 
+(* CI smoke, part 3: the query daemon's full dispatch — load XBMC,
+   query a node, patch, re-query, shutdown — through the exact handler
+   the socket loop runs.  The patched-in allocation must be invisible
+   before the patch (a structured unknown-node error), resolve to its
+   one Button allocation after, and both the patch and the query must
+   take the cheap path (warm incremental solve, backward walk without
+   budget fallback — both asserted from the responses). *)
+let verify_daemon () =
+  let module J = Util.Json in
+  let t = Server.Daemon.create ~log:false ~socket:"(in-process)" () in
+  let rpc name payload =
+    match J.of_string (Server.Daemon.handle t (J.to_string payload)) with
+    | Ok j -> j
+    | Error e ->
+        Fmt.epr "verify: daemon %s: response is not JSON: %s@." name e;
+        exit 1
+  in
+  let fail name resp =
+    Fmt.epr "verify: daemon %s: unexpected response %s@." name (J.to_string resp);
+    exit 1
+  in
+  let expect_ok name resp =
+    match (J.member "error" resp, J.member "ok" resp) with
+    | None, Some payload -> payload
+    | _ -> fail name resp
+  in
+  let expect_error name code resp =
+    match Option.bind (J.member "error" resp) (J.member "code") with
+    | Some (J.String c) when c = code -> ()
+    | _ -> fail (Printf.sprintf "%s (wanted error %s)" name code) resp
+  in
+  let int_field name field payload =
+    match J.member field payload with Some (J.Int n) -> n | _ -> fail name payload
+  in
+  let node =
+    J.Obj
+      [
+        ( "var",
+          J.Obj
+            [
+              ("cls", J.String "Activity_0");
+              ("meth", J.String "onCreate");
+              ("arity", J.Int 0);
+              ("name", J.String "verify_daemon_tmp");
+            ] );
+      ]
+  in
+  let query =
+    J.Obj
+      [ ("method", J.String "points-to-of-node"); ("app", J.String "XBMC"); ("node", node) ]
+  in
+  ignore (expect_ok "load" (rpc "load" (J.Obj [ ("method", J.String "load"); ("app", J.String "XBMC") ])));
+  expect_error "pre-patch query" "unknown-node" (rpc "pre-patch query" query);
+  let edits =
+    J.List
+      [
+        J.Obj
+          [
+            ("edit", J.String "add_stmt");
+            ("cls", J.String "Activity_0");
+            ("meth", J.String "onCreate");
+            ("arity", J.Int 0);
+            ( "stmt",
+              J.Obj
+                [
+                  ( "new",
+                    J.List [ J.String "verify_daemon_tmp"; J.String "android.widget.Button" ] );
+                ] );
+          ];
+      ]
+  in
+  let patched =
+    expect_ok "patch"
+      (rpc "patch"
+         (J.Obj [ ("method", J.String "patch"); ("app", J.String "XBMC"); ("edits", edits) ]))
+  in
+  (match J.member "warm" patched with
+  | Some (J.Bool true) -> ()
+  | _ -> fail "patch (wanted a warm incremental solve)" patched);
+  let answer = rpc "post-patch query" query in
+  (match expect_ok "post-patch query" answer with
+  | J.List [ J.String _ ] -> ()
+  | payload -> fail "post-patch query (wanted exactly one value)" payload);
+  (match J.member "generation" answer with
+  | Some (J.Int 1) -> ()
+  | _ -> fail "post-patch query (wanted generation 1)" answer);
+  let stats =
+    expect_ok "stats"
+      (rpc "stats" (J.Obj [ ("method", J.String "stats"); ("app", J.String "XBMC") ]))
+  in
+  if int_field "stats" "expanded" stats < 1 then fail "stats (backward walk never expanded)" stats;
+  if int_field "stats" "budget_fallbacks" stats <> 0 then
+    fail "stats (query fell back to the forward solution)" stats;
+  ignore (expect_ok "shutdown" (rpc "shutdown" (J.Obj [ ("method", J.String "shutdown") ])));
+  Printf.printf
+    "verify: daemon load/query/patch/re-query round-trip OK on XBMC (warm patch to generation 1, \
+     backward query without fallback)\n"
+
 (* CI smoke: the interned engine must agree bit-for-bit with the naive
    executable specification on the largest corpus app. *)
 let run_verify () =
@@ -154,6 +252,7 @@ let run_verify () =
       Corpus.Patch.Remove_stmt
         { cls = "CycleHeavy_Activity"; meth = "onCreate"; arity = 0; index = ring_close };
     ];
+  verify_daemon ();
   exit 0
 
 let run_all jobs fail_apps =
@@ -216,7 +315,8 @@ let () =
       simple "scalability" "Analysis cost vs application size." run_scalability;
       simple "verify"
         "CI smoke: SCC-condensed interned engine agrees bit-for-bit with naive on XBMC and on a \
-         cycle-heavy app."
+         cycle-heavy app; incremental warm solves match cold ones; the query daemon answers a \
+         load/query/patch/re-query round-trip."
         run_verify;
       soundness_cmd;
     ]

@@ -166,7 +166,78 @@ let run code_paths layout_paths solver dump_dot show_interactions show_diagnosti
         many outcomes;
       if !failed then exit 1
 
+(* Serving mode: a resident daemon keeping solved corpora hot, and a
+   one-shot query client speaking its framed-JSON protocol. *)
+
+let run_serve socket state_dir preload =
+  let t = Server.Daemon.create ?state_dir ~socket () in
+  Server.Daemon.run ~preload t
+
+let run_query socket payload pretty =
+  let request =
+    match Util.Json.of_string payload with
+    | Ok j -> j
+    | Error e ->
+        Fmt.epr "error: request is not JSON: %s@." e;
+        exit 2
+  in
+  match Server.Client.request ~socket request with
+  | Error e ->
+      Fmt.epr "error: %s@." e;
+      exit 1
+  | Ok response ->
+      print_endline (Util.Json.to_string ~pretty response);
+      if Option.is_some (Util.Json.member "error" response) then exit 1
+
 open Cmdliner
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket the daemon listens on.")
+
+let serve_cmd =
+  let state_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "state-dir" ] ~docv:"DIR"
+          ~doc:
+            "Persist solved state (snapshots + accepted patch edits) here; a restarted daemon \
+             recovers loaded apps from it without re-solving.")
+  in
+  let preload =
+    Arg.(
+      value & opt_all string []
+      & info [ "preload" ] ~docv:"APP"
+          ~doc:"Corpus app to load (and solve) before accepting requests. Repeatable.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the resident query daemon: solved apps stay hot in memory, point queries are \
+          answered backward from the query node, and patch requests update the state \
+          incrementally. Shut down with a $(b,shutdown) request.")
+    Term.(const run_serve $ socket_arg $ state_dir $ preload)
+
+let query_cmd =
+  let payload =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"REQUEST"
+          ~doc:
+            "The request as JSON, e.g. '{\"method\":\"load\",\"app\":\"XBMC\"}' or \
+             '{\"method\":\"points-to-of-node\",\"app\":\"XBMC\",\"node\":{\"var\":{\"cls\":\"Activity_0\",\"meth\":\"onCreate\",\"arity\":0,\"name\":\"root\"}}}'.")
+  in
+  let pretty = Arg.(value & flag & info [ "pretty" ] ~doc:"Indent the response JSON.") in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:
+         "Send one framed request to a running daemon and print the response. Exits non-zero on \
+          transport failure or an error envelope.")
+    Term.(const run_query $ socket_arg $ payload $ pretty)
 
 let () =
   let code =
@@ -248,7 +319,19 @@ let () =
       const run $ code $ layouts $ solver $ dot $ interactions $ diagnostics $ dynamic $ json
       $ jobs $ incremental $ state_path)
   in
+  let analyze_cmd =
+    Cmd.v (Cmd.info "analyze" ~doc:"Analyze ALite programs and print the computed GUI models.") term
+  in
   let info =
     Cmd.info "gator" ~doc:"Static reference analysis for GUI objects (CGO'14) on ALite programs."
   in
-  exit (Cmd.eval (Cmd.v info term))
+  (* [gator PROGRAM...] still works: cmdliner's group rejects unknown
+     first positionals instead of routing them to a default term, so
+     only dispatch into the group when an explicit subcommand is
+     named; everything else is the original analyze surface. *)
+  let group = Cmd.group ~default:term info [ analyze_cmd; serve_cmd; query_cmd ] in
+  let explicit_subcommand =
+    Array.length Sys.argv > 1 && List.mem Sys.argv.(1) [ "analyze"; "serve"; "query" ]
+  in
+  if explicit_subcommand then exit (Cmd.eval group)
+  else exit (Cmd.eval (Cmd.v info term))

@@ -183,6 +183,13 @@ and view t (w : Node.view_abs) =
 
 let node t n = Node_pool.intern t.nodes n
 
+(* Non-minting lookups, for demand-side callers (the query engine must
+   not pollute a solved state's interner with ids the CSR has never
+   seen just because a client asked about an unknown node). *)
+let find_node t n = Node_pool.find_opt t.nodes n
+
+let find_value t v = Value_pool.find_opt t.values v
+
 let listener t entry = Listener_pool.intern t.listeners entry
 
 let holder t h = Holder_pool.intern t.holders h

@@ -2047,6 +2047,18 @@ let shape_of_solved sd =
 
 let solved_interner sd = sd.sd_it
 
+(* Documented read-side accessors for [Query]: the rep map with the
+   same out-of-range guard as [irep] (ids minted after freeze are their
+   own singleton components), plus the identity fields a registry keys
+   on. *)
+let solved_rep sd nid = if nid >= 0 && nid < sd.sd_csr_n then sd.sd_nrep.(nid) else nid
+
+let solved_app_name sd = sd.sd_app_name
+
+let solved_config sd = sd.sd_config
+
+let solved_class_fp sd = sd.sd_class_fp
+
 (* Capture the fixpoint reached by [st].  [carry] maps each write slot
    to its previous-solve target set (matched ops under a warm solve);
    carried targets are mapped through the current representatives so

@@ -23,6 +23,8 @@ let () =
       ("delta", Test_delta.suite);
       ("intern", Test_intern.suite);
       ("incremental", Test_incremental.suite);
+      ("query", Test_query.suite);
+      ("server", Test_server.suite);
       ("interp", Test_interp.suite);
       ("oracle", Test_oracle.suite);
       ("corpus", Test_corpus.suite);
