@@ -414,10 +414,66 @@ let query_head_to_head () =
   print_newline ();
   (forward_seconds, cold_seconds, warm_seconds, List.length locations, stats, identical)
 
+(* Streaming ingestion head-to-head: the same generated stream driven
+   through [Experiments.run_stream] on the shared frozen interner tier
+   and again with per-app private interners (every task re-interns the
+   framework id vocabulary from scratch), at several job counts.  The
+   rows each run spills are compared order-normalized — tier choice
+   and schedule may never leak into results — and the apps-per-second
+   figures land in BENCH_results.json as the [stream] series. *)
+let stream_head_to_head () =
+  let apps = 600 and seed = 42 in
+  let shared_config = Gator.Config.default in
+  let private_config = { Gator.Config.default with shared_intern = false } in
+  let run config jobs =
+    let rows = ref [] in
+    let t0 = Unix.gettimeofday () in
+    ignore
+      (Report.Experiments.run_stream ~config ~jobs ~timings:false ~seed ~apps
+         ~emit:(fun row -> rows := row :: !rows)
+         ());
+    (Unix.gettimeofday () -. t0, List.sort compare !rows)
+  in
+  let best_of n config jobs =
+    ignore (run config jobs);
+    let best = ref infinity and rows = ref [] in
+    for _ = 1 to n do
+      let seconds, r = run config jobs in
+      if seconds < !best then begin
+        best := seconds;
+        rows := r
+      end
+    done;
+    (!best, !rows)
+  in
+  Printf.printf
+    "Streaming ingestion head-to-head (%d generated apps, shared vs private tier, best of 3):\n"
+    apps;
+  let entries =
+    List.map
+      (fun jobs ->
+        let shared_seconds, shared_rows = best_of 3 shared_config jobs in
+        let private_seconds, private_rows = best_of 3 private_config jobs in
+        let identical = shared_rows = private_rows in
+        Printf.printf
+          "  jobs=%d  shared %6.3f s (%6.1f apps/s)  private %6.3f s (%6.1f apps/s)  %.2fx  rows \
+           %s\n"
+          jobs shared_seconds
+          (float_of_int apps /. shared_seconds)
+          private_seconds
+          (float_of_int apps /. private_seconds)
+          (private_seconds /. shared_seconds)
+          (if identical then "identical" else "DIFFER");
+        (jobs, shared_seconds, private_seconds, identical))
+      [ 1; 4; 8 ]
+  in
+  print_newline ();
+  (apps, entries)
+
 (* Machine-readable results: per-test median nanoseconds and GC words
    plus the solver work counters, for regression tracking across
    commits. *)
-let write_json_results rows corpus_batch engines cyclic incremental queries =
+let write_json_results rows corpus_batch engines cyclic incremental queries stream =
   let solver_counters =
     let app = app_named "XBMC" in
     List.map
@@ -518,6 +574,25 @@ let write_json_results rows corpus_batch engines cyclic incremental queries =
               ("budget_fallbacks", Util.Json.Int stats.Gator.Query.q_budget_fallbacks);
               ("bit_identical", Util.Json.Bool identical);
             ] );
+        ( "stream",
+          let stream_apps, entries = stream in
+          Util.Json.List
+            (List.map
+               (fun (jobs, shared_seconds, private_seconds, identical) ->
+                 Util.Json.Obj
+                   [
+                     ("jobs", Util.Json.Int jobs);
+                     ("apps", Util.Json.Int stream_apps);
+                     ("shared_seconds", Util.Json.Float shared_seconds);
+                     ("private_seconds", Util.Json.Float private_seconds);
+                     ( "shared_apps_per_sec",
+                       Util.Json.Float (float_of_int stream_apps /. shared_seconds) );
+                     ( "private_apps_per_sec",
+                       Util.Json.Float (float_of_int stream_apps /. private_seconds) );
+                     ("shared_over_private", Util.Json.Float (private_seconds /. shared_seconds));
+                     ("rows_identical", Util.Json.Bool identical);
+                   ])
+               entries) );
       ]
   in
   let path = "BENCH_results.json" in
@@ -567,5 +642,6 @@ let () =
   let cyclic = cyclic_head_to_head () in
   let incremental = incremental_head_to_head () in
   let queries = query_head_to_head () in
+  let stream = stream_head_to_head () in
   let rows = run_benchmarks () in
-  write_json_results rows corpus_batch engines cyclic incremental queries
+  write_json_results rows corpus_batch engines cyclic incremental queries stream

@@ -184,6 +184,53 @@ let verify_daemon () =
     "verify: daemon load/query/patch/re-query round-trip OK on XBMC (warm patch to generation 1, \
      backward query without fallback)\n"
 
+(* CI smoke, part 4: the streaming pipeline — a small stream at jobs 4
+   must produce exactly one row per app, byte-identical (after order
+   normalization) to the batch pool over the same specs with private
+   interners, without ever writing the frozen shared tier. *)
+let verify_stream () =
+  let apps = 24 and seed = 77 and jobs = 4 in
+  let tier = Gator.Intern.shared_tier () in
+  let frozen_before = Gator.Intern.shared_counts tier in
+  let rows = ref [] in
+  let stats =
+    Report.Experiments.run_stream ~jobs ~timings:false ~seed ~apps
+      ~emit:(fun line -> rows := line :: !rows)
+      ()
+  in
+  if stats.Pool.Stream.st_consumed <> apps || List.length !rows <> apps then begin
+    Fmt.epr "verify: stream produced %d rows for %d apps@." (List.length !rows) apps;
+    exit 1
+  end;
+  if stats.Pool.Stream.st_failed <> 0 then begin
+    Fmt.epr "verify: stream reported %d failed apps@." stats.Pool.Stream.st_failed;
+    exit 1
+  end;
+  let frozen_after = Gator.Intern.shared_counts tier in
+  if frozen_before <> frozen_after then begin
+    Fmt.epr "verify: frozen tier grew during the stream: (%d,%d) -> (%d,%d)@."
+      (fst frozen_before) (snd frozen_before) (fst frozen_after) (snd frozen_after);
+    exit 1
+  end;
+  (* differential: same specs through the batch pool with fully
+     private interners must yield the same rows *)
+  let specs = List.init apps (Corpus.Gen.stream_spec ~seed) in
+  let config = { Gator.Config.default with shared_intern = false } in
+  let batch =
+    Report.Experiments.run_specs ~config ~jobs specs
+    |> List.map (Report.Experiments.jsonl_row ~timings:false)
+  in
+  let norm rows = List.sort String.compare rows in
+  if norm !rows <> norm batch then begin
+    Fmt.epr "verify: stream (shared tier) rows differ from batch (private) rows@.";
+    exit 1
+  end;
+  Printf.printf
+    "verify: stream = batch on %d generated apps (jobs %d, peak queue %d, %d steals, frozen tier \
+     %d+%d entries untouched)\n"
+    apps jobs stats.Pool.Stream.st_max_queued stats.Pool.Stream.st_steals (fst frozen_after)
+    (snd frozen_after)
+
 (* CI smoke: the interned engine must agree bit-for-bit with the naive
    executable specification on the largest corpus app. *)
 let run_verify () =
@@ -212,6 +259,19 @@ let run_verify () =
     | None -> failwith "corpus app XBMC not found"
   in
   check spec.Corpus.Spec.sp_name (Corpus.Gen.generate spec);
+  (* the frozen shared tier only relabels ids — the solution must not
+     move at all relative to a fully private interner *)
+  let xbmc = Corpus.Gen.generate spec in
+  let shared = Gator.Analysis.analyze ~config:{ Gator.Config.default with shared_intern = true } xbmc in
+  let private_ = Gator.Analysis.analyze ~config:{ Gator.Config.default with shared_intern = false } xbmc in
+  let d = Gator.Diff.compare shared private_ in
+  if not (Gator.Diff.is_empty d) then begin
+    Fmt.epr "verify: shared-tier solution DIFFERS from private-tier on XBMC:@.%a@." Gator.Diff.pp d;
+    exit 1
+  end;
+  Printf.printf "verify: shared interner tier = private tier on XBMC (watermarks %d values / %d rids)\n"
+    (fst (Gator.Intern.shared_counts (Gator.Intern.shared_tier ())))
+    (snd (Gator.Intern.shared_counts (Gator.Intern.shared_tier ())));
   (* the condensation earns its keep on cyclic flow, so check it where
      the direct-edge graph is one big tangle of rings *)
   let cycle_heavy =
@@ -253,6 +313,7 @@ let run_verify () =
         { cls = "CycleHeavy_Activity"; meth = "onCreate"; arity = 0; index = ring_close };
     ];
   verify_daemon ();
+  verify_stream ();
   exit 0
 
 let run_all jobs fail_apps =
@@ -315,8 +376,9 @@ let () =
       simple "scalability" "Analysis cost vs application size." run_scalability;
       simple "verify"
         "CI smoke: SCC-condensed interned engine agrees bit-for-bit with naive on XBMC and on a \
-         cycle-heavy app; incremental warm solves match cold ones; the query daemon answers a \
-         load/query/patch/re-query round-trip."
+         cycle-heavy app; the frozen shared interner tier changes nothing; incremental warm \
+         solves match cold ones; the query daemon answers a load/query/patch/re-query \
+         round-trip; a small stream matches the batch pool without writing the frozen tier."
         run_verify;
       soundness_cmd;
     ]

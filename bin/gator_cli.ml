@@ -189,6 +189,36 @@ let run_query socket payload pretty =
       print_endline (Util.Json.to_string ~pretty response);
       if Option.is_some (Util.Json.member "error" response) then exit 1
 
+(* Streaming mode: generated apps flow through the bounded pipeline
+   and each result leaves as one JSONL line the moment it completes. *)
+
+let run_stream apps seed jobs high low out_path fail_apps timings private_intern quiet =
+  let config = { Gator.Config.default with shared_intern = not private_intern } in
+  let oc, close =
+    match out_path with
+    | None -> (stdout, fun () -> flush stdout)
+    | Some path ->
+        let oc = open_out path in
+        (oc, fun () -> close_out oc)
+  in
+  let emit line =
+    output_string oc line;
+    output_char oc '\n'
+  in
+  let start = Unix.gettimeofday () in
+  let stats =
+    Fun.protect ~finally:close (fun () ->
+        Report.Experiments.run_stream ~config ?jobs ?high ?low ~timings ~fail_apps ~seed ~apps
+          ~emit ())
+  in
+  let seconds = Unix.gettimeofday () -. start in
+  if not quiet then
+    Fmt.epr "stream: %d apps in %.2fs (%.1f apps/s), %d failed, peak queue %d, %d steals@."
+      stats.Pool.Stream.st_consumed seconds
+      (float_of_int stats.Pool.Stream.st_consumed /. Float.max seconds 1e-9)
+      stats.Pool.Stream.st_failed stats.Pool.Stream.st_max_queued stats.Pool.Stream.st_steals;
+  if stats.Pool.Stream.st_failed > 0 then exit 1
+
 open Cmdliner
 
 let socket_arg =
@@ -238,6 +268,77 @@ let query_cmd =
          "Send one framed request to a running daemon and print the response. Exits non-zero on \
           transport failure or an error envelope.")
     Term.(const run_query $ socket_arg $ payload $ pretty)
+
+let stream_cmd =
+  let apps =
+    Arg.(
+      value & opt int 1000
+      & info [ "apps" ] ~docv:"N" ~doc:"Number of generated applications to stream.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Stream seed; app $(i,i) is a pure function of (seed, i).")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains. Defaults to the recommended domain count capped by the configured \
+             maximum; 1 forces the exact sequential loop.")
+  in
+  let high =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "high" ] ~docv:"N"
+          ~doc:
+            "High watermark: production pauses once this many tasks are queued unstarted \
+             (default: 2*jobs).")
+  in
+  let low =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "low" ] ~docv:"N"
+          ~doc:"Low watermark: production resumes when the backlog drains to this (default: high/2).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write JSONL rows here instead of stdout.")
+  in
+  let fail_apps =
+    Arg.(
+      value & opt_all string []
+      & info [ "inject-failure" ] ~docv:"APP"
+          ~doc:"Make the named generated app crash, to exercise fault isolation. Repeatable.")
+  in
+  let no_timings =
+    Arg.(
+      value & flag
+      & info [ "no-timings" ]
+          ~doc:"Omit per-app wall times, making rows deterministic for byte comparisons.")
+  in
+  let private_intern =
+    Arg.(
+      value & flag
+      & info [ "private-intern" ]
+          ~doc:
+            "Give every task a fully private interner instead of the process-wide frozen tier \
+             (results are bit-identical; for measurement).")
+  in
+  let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress the summary line on stderr.") in
+  Cmd.v
+    (Cmd.info "stream"
+       ~doc:
+         "Stream generated applications through the analysis pipeline: bounded backpressure \
+          queue, work-stealing worker domains, one JSONL row per app in completion order, \
+          failures isolated as ok:false rows. Exits non-zero if any app failed.")
+    Term.(
+      const run_stream $ apps $ seed $ jobs $ high $ low $ out $ fail_apps
+      $ Term.app (const not) no_timings $ private_intern $ quiet)
 
 let () =
   let code =
@@ -329,9 +430,9 @@ let () =
      first positionals instead of routing them to a default term, so
      only dispatch into the group when an explicit subcommand is
      named; everything else is the original analyze surface. *)
-  let group = Cmd.group ~default:term info [ analyze_cmd; serve_cmd; query_cmd ] in
+  let group = Cmd.group ~default:term info [ analyze_cmd; serve_cmd; query_cmd; stream_cmd ] in
   let explicit_subcommand =
-    Array.length Sys.argv > 1 && List.mem Sys.argv.(1) [ "analyze"; "serve"; "query" ]
+    Array.length Sys.argv > 1 && List.mem Sys.argv.(1) [ "analyze"; "serve"; "query"; "stream" ]
   in
   if explicit_subcommand then exit (Cmd.eval group)
   else exit (Cmd.eval (Cmd.v info term))

@@ -12,6 +12,7 @@ type t = {
   solver : solver;
   jobs : int;
   incremental : bool;
+  shared_intern : bool;
 }
 
 let default =
@@ -25,6 +26,7 @@ let default =
     solver = Interned;
     jobs = 8;
     incremental = false;
+    shared_intern = true;
   }
 
 let baseline =
@@ -38,4 +40,5 @@ let baseline =
     solver = Interned;
     jobs = 8;
     incremental = false;
+    shared_intern = true;
   }

@@ -53,6 +53,13 @@ type t = {
           {!Solve.solved}.  The flag participates in the warm guard's
           configuration equality, so a warm solution can never leak
           into a non-incremental run's stats. *)
+  shared_intern : bool;
+      (** Build graphs over the process-wide frozen interner tier
+          ({!Intern.shared_tier}), so the framework resource
+          vocabulary is interned once instead of per task.  Results
+          are bit-identical either way (only id labels move); [false]
+          forces fully private interners, for the differential tests
+          and the bench head-to-head. *)
 }
 
 val default : t

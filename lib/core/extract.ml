@@ -201,7 +201,18 @@ let run ?interner config (app : Framework.App.t) =
      counter lives here rather than at module level so extractions
      running concurrently on separate domains cannot interleave. *)
   let clones = ref 0 in
-  let graph = Graph.create ?interner () in
+  let interner =
+    match interner with
+    | Some it -> it
+    | None ->
+        (* Fresh graphs sit on the frozen shared tier when the config
+           allows, so the resource vocabulary resolves by arithmetic
+           instead of being re-interned per task.  Donor interners
+           (incremental warm path) are passed through untouched. *)
+        if config.Config.shared_intern then Intern.create ~shared:(Intern.shared_tier ()) ()
+        else Intern.create ()
+  in
+  let graph = Graph.create ~interner () in
   List.iter
     (fun (cls : Jir.Ast.cls) ->
       List.iter (extract_meth config app graph ~clones ~owner:cls.c_name) cls.c_methods)

@@ -96,6 +96,7 @@ let jconfig (c : Config.t) =
       ("solver", J.String (Config.solver_name c.solver));
       ("jobs", J.Int c.jobs);
       ("incremental", J.Bool c.incremental);
+      ("shared_intern", J.Bool c.shared_intern);
     ]
 
 let jints a = J.List (Array.to_list (Array.map (fun i -> J.Int i) a))
@@ -300,6 +301,15 @@ let dconfig j =
       | s -> bad "unknown solver %s" s);
     jobs = dint (dfield "jobs" j);
     incremental = bool_field "incremental";
+    shared_intern =
+      (* Pre-split snapshots predate the field; default to the shared
+         tier (today's default config) so they stay warm-compatible
+         under it.  Loads replay into a private interner either way —
+         ids are positional — so only the warm guard sees this. *)
+      (match J.member "shared_intern" j with
+      | None -> true
+      | Some (J.Bool b) -> b
+      | Some _ -> bad "bad shared_intern");
   }
 
 let dints j = Array.of_list (List.map dint (dlist j))

@@ -725,3 +725,16 @@ let random_cyclic_app ?(name = "Cyclic") rng =
   let bridges = Util.Prng.int_in rng 0 (2 * chains) in
   let seed = Int64.to_int (Util.Prng.next rng) land 0xFFFFFF in
   cyclic_app ~name ~chains ~chain_len ~two_cycles ~bridges ~seed ()
+
+(* ------------------------------------------------------------------ *)
+(* Streaming spec source.
+
+   [stream_spec ~seed i] is a pure function of (seed, i): each index
+   gets its own PRNG, so a streaming driver and a batch driver handed
+   the same indices build byte-identical apps regardless of pull
+   order, and a stream can be replayed from any offset. *)
+
+let stream_spec ~seed i =
+  if i < 0 then invalid_arg "Gen.stream_spec: negative index";
+  let rng = Util.Prng.create ((seed * 0x9E3779B9) lxor (i * 0x85EBCA6B) lxor 0x5BD1E995) in
+  random_spec ~name:(Printf.sprintf "Stream_%d_%d" seed i) rng

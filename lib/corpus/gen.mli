@@ -46,3 +46,10 @@ val cyclic_app :
 
 val random_cyclic_app : ?name:string -> Util.Prng.t -> Framework.App.t
 (** Random parameters for {!cyclic_app}, for property-based testing. *)
+
+val stream_spec : seed:int -> int -> Spec.t
+(** The [i]-th spec of the infinite generated stream with the given
+    seed — a pure function of [(seed, i)] (each index owns its PRNG),
+    so streaming and batch drivers handed the same indices build
+    byte-identical apps regardless of pull order.
+    @raise Invalid_argument on a negative index. *)

@@ -27,7 +27,14 @@ let run_one config spec =
     cr_table2 = Gator.Metrics.table2 analysis;
   }
 
-let run_corpus ?(config = Gator.Config.default) ?jobs ?(fail_apps = []) () =
+let result_of_outcome spec (outcome : _ Pool.outcome) =
+  {
+    cs_spec = spec;
+    cs_seconds = outcome.Pool.oc_seconds;
+    cs_run = Result.map_error (fun e -> e.Pool.err_exn) outcome.Pool.oc_result;
+  }
+
+let run_specs ?(config = Gator.Config.default) ?jobs ?(fail_apps = []) specs =
   let jobs = effective_jobs ?jobs config in
   let tasks =
     List.map
@@ -35,16 +42,70 @@ let run_corpus ?(config = Gator.Config.default) ?jobs ?(fail_apps = []) () =
         if List.mem spec.Corpus.Spec.sp_name fail_apps then
           failwith ("injected failure in " ^ spec.Corpus.Spec.sp_name);
         run_one config spec)
-      Corpus.Apps.specs
+      specs
   in
-  List.map2
-    (fun spec (outcome : _ Pool.outcome) ->
-      {
-        cs_spec = spec;
-        cs_seconds = outcome.Pool.oc_seconds;
-        cs_run = Result.map_error (fun e -> e.Pool.err_exn) outcome.Pool.oc_result;
-      })
-    Corpus.Apps.specs (Pool.run ~jobs tasks)
+  List.map2 result_of_outcome specs (Pool.run ~jobs tasks)
+
+let run_corpus ?config ?jobs ?fail_apps () = run_specs ?config ?jobs ?fail_apps Corpus.Apps.specs
+
+(* One JSONL row per app: the Table 1 populations and Table 2 averages
+   for a success, [ok:false] plus the captured exception for a
+   failure.  With [~timings:false] the row is a pure function of the
+   analysis solution, so streaming and batch runs of the same spec
+   compare byte-for-byte. *)
+let jsonl_row ?(timings = true) result =
+  let module J = Util.Json in
+  let jopt = function None -> J.Null | Some f -> J.Float f in
+  let fields =
+    match result.cs_run with
+    | Error err ->
+        [
+          ("app", J.String result.cs_spec.Corpus.Spec.sp_name);
+          ("ok", J.Bool false);
+          ("error", J.String ("FAILED: " ^ err));
+        ]
+    | Ok run ->
+        let t1 = run.cr_table1 and t2 = run.cr_table2 in
+        [
+          ("app", J.String t1.Gator.Metrics.t1_app);
+          ("ok", J.Bool true);
+          ("classes", J.Int t1.t1_classes);
+          ("methods", J.Int t1.t1_methods);
+          ("layout_ids", J.Int t1.t1_layout_ids);
+          ("view_ids", J.Int t1.t1_view_ids);
+          ("views_inflated", J.Int t1.t1_views_inflated);
+          ("views_allocated", J.Int t1.t1_views_allocated);
+          ("listeners", J.Int t1.t1_listeners);
+          ("inflate_ops", J.Int t1.t1_inflate_ops);
+          ("findview_ops", J.Int t1.t1_findview_ops);
+          ("addview_ops", J.Int t1.t1_addview_ops);
+          ("setid_ops", J.Int t1.t1_setid_ops);
+          ("setlistener_ops", J.Int t1.t1_setlistener_ops);
+          ("receivers", jopt t2.Gator.Metrics.t2_receivers);
+          ("parameters", jopt t2.t2_parameters);
+          ("results", jopt t2.t2_results);
+          ("listeners_avg", jopt t2.t2_listeners);
+        ]
+  in
+  let fields = if timings then fields @ [ ("seconds", J.Float result.cs_seconds) ] else fields in
+  J.to_string (J.Obj fields)
+
+(* Streaming ingestion: [apps] generated specs pulled on demand,
+   analyzed across [jobs] domains behind {!Pool.Stream}'s watermark
+   gate, each row emitted the moment its task completes.  Nothing is
+   retained per app beyond its JSONL line, so the stream's footprint
+   is bounded by the gate, not the corpus size. *)
+let run_stream ?(config = Gator.Config.default) ?jobs ?high ?low ?(timings = true)
+    ?(fail_apps = []) ?(seed = 42) ~apps ~emit () =
+  let jobs = effective_jobs ?jobs config in
+  Pool.Stream.run ~jobs ?high ?low
+    ~produce:(fun i -> if i < apps then Some (Corpus.Gen.stream_spec ~seed i) else None)
+    ~work:(fun spec ->
+      if List.mem spec.Corpus.Spec.sp_name fail_apps then
+        failwith ("injected failure in " ^ spec.Corpus.Spec.sp_name);
+      run_one config spec)
+    ~consume:(fun _i spec outcome -> emit (jsonl_row ~timings (result_of_outcome spec outcome)))
+    ()
 
 let corpus_runs results =
   List.filter_map (fun r -> Result.to_option r.cs_run) results

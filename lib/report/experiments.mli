@@ -20,14 +20,50 @@ val effective_jobs : ?jobs:int -> Gator.Config.t -> int
 (** [jobs] when given (clamped to >= 1), otherwise
     [Domain.recommended_domain_count] capped by [config.jobs]. *)
 
+val run_specs :
+  ?config:Gator.Config.t ->
+  ?jobs:int ->
+  ?fail_apps:string list ->
+  Corpus.Spec.t list ->
+  corpus_result list
+(** Generate and analyze the given specs as one in-memory batch — on
+    a worker-domain pool when the effective job count exceeds 1, else
+    on the exact sequential path.  Results are in submission order
+    either way, and a crashing app yields an [Error] row instead of
+    aborting the batch.  [fail_apps] injects a deliberate failure
+    into the named apps, for fault-isolation tests and smoke runs. *)
+
 val run_corpus :
   ?config:Gator.Config.t -> ?jobs:int -> ?fail_apps:string list -> unit -> corpus_result list
-(** Generate and analyze all 20 apps — on a worker-domain pool when
-    the effective job count exceeds 1, else on the exact sequential
-    path.  Results are in corpus (submission) order either way, and a
-    crashing app yields an [Error] row instead of aborting the batch.
-    [fail_apps] injects a deliberate failure into the named apps, for
-    fault-isolation tests and smoke runs. *)
+(** {!run_specs} over all 20 corpus apps. *)
+
+val jsonl_row : ?timings:bool -> corpus_result -> string
+(** One JSON object (single line, no newline) per app: Table 1
+    populations + Table 2 averages for a success, [ok:false] and the
+    captured exception for a failure.  [~timings:false] omits the
+    wall-time field, making the row a pure function of the analysis
+    solution — streaming and batch runs then compare byte-for-byte. *)
+
+val run_stream :
+  ?config:Gator.Config.t ->
+  ?jobs:int ->
+  ?high:int ->
+  ?low:int ->
+  ?timings:bool ->
+  ?fail_apps:string list ->
+  ?seed:int ->
+  apps:int ->
+  emit:(string -> unit) ->
+  unit ->
+  Pool.Stream.stats
+(** Streaming ingestion of [apps] generated applications
+    ({!Corpus.Gen.stream_spec} with [seed]): specs are pulled on
+    demand behind {!Pool.Stream}'s high/low watermark gate, analyzed
+    across the worker domains, and each app's {!jsonl_row} is handed
+    to [emit] the moment its task completes (completion order!), so
+    memory stays bounded by the gate rather than the stream length.
+    A failing app emits its [ok:false] row and the stream keeps
+    flowing. *)
 
 val corpus_runs : corpus_result list -> corpus_run list
 (** The successful runs, in corpus order. *)

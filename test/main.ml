@@ -4,7 +4,6 @@ let () =
     [
       ("prng", Test_prng.suite);
       ("worklist", Test_worklist.suite);
-      ("interner", Test_interner.suite);
       ("pretty", Test_pretty.suite);
       ("json", Test_json.suite);
       ("lexer", Test_lexer.suite);
@@ -22,6 +21,7 @@ let () =
       ("solve", Test_solve.suite);
       ("delta", Test_delta.suite);
       ("intern", Test_intern.suite);
+      ("shared-intern", Test_shared_intern.suite);
       ("incremental", Test_incremental.suite);
       ("query", Test_query.suite);
       ("server", Test_server.suite);
@@ -32,6 +32,7 @@ let () =
       ("metrics", Test_metrics.suite);
       ("report", Test_report.suite);
       ("pool", Test_pool.suite);
+      ("stream", Test_stream.suite);
       ("project", Test_project.suite);
       ("misc", Test_misc.suite);
       ("isomorphism", Test_isomorphism.suite);

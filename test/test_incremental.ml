@@ -239,6 +239,57 @@ let test_snapshot_stale_version () =
       Alcotest.check Alcotest.bool "reason names the version" true (contains ~sub:"version" e)
   | Ok _ -> Alcotest.fail "stale version accepted"
 
+(* Pre-split snapshots: files written before the shared interner tier
+   existed carry no [shared_intern] config field.  They must load
+   under the two-tier build — the codec defaults the missing field to
+   the shared tier, whose ids coincide with what the positional pool
+   replay reassigns — and warm-solve bit-identically.  A present but
+   malformed field is still a clean, named refusal. *)
+let test_snapshot_pre_split_compat () =
+  let app = inc_app () in
+  let _, solved = Incremental.analyze_solved app in
+  let strip_shared_intern = function
+    | "config", Util.Json.Obj cfields ->
+        ("config", Util.Json.Obj (List.filter (fun (k, _) -> k <> "shared_intern") cfields))
+    | f -> f
+  in
+  let pre_split =
+    match Snapshot.to_json solved with
+    | Util.Json.Obj fields -> Util.Json.Obj (List.map strip_shared_intern fields)
+    | _ -> Alcotest.fail "snapshot is not an object"
+  in
+  (match Snapshot.of_json pre_split with
+  | Error e -> Alcotest.failf "pre-split snapshot refused: %s" e
+  | Ok loaded ->
+      let app' = apply_patch app (load_patch "add_handler.json") in
+      let warm, _ = Incremental.analyze_incremental ~prev:loaded app' in
+      check_warm ~msg:"pre-split warm" warm;
+      check_same_solution ~msg:"pre-split warm" (Analysis.analyze app') warm);
+  let mangled = function
+    | "config", Util.Json.Obj cfields ->
+        ( "config",
+          Util.Json.Obj
+            (List.map
+               (function
+                 | "shared_intern", _ -> ("shared_intern", Util.Json.Int 42) | f -> f)
+               cfields) )
+    | f -> f
+  in
+  let bad =
+    match Snapshot.to_json solved with
+    | Util.Json.Obj fields -> Util.Json.Obj (List.map mangled fields)
+    | _ -> Alcotest.fail "snapshot is not an object"
+  in
+  match Snapshot.of_json bad with
+  | Error e ->
+      let contains ~sub s =
+        let n = String.length sub in
+        let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+        go 0
+      in
+      Alcotest.check Alcotest.bool "reason names the field" true (contains ~sub:"shared_intern" e)
+  | Ok _ -> Alcotest.fail "malformed shared_intern accepted"
+
 let test_fallback_surfaced () =
   (* the driver path for a bad state file: full solve with the reason
      in stats, not a crash *)
@@ -332,6 +383,7 @@ let suite =
     Alcotest.test_case "snapshot round-trip" `Quick test_snapshot_roundtrip;
     Alcotest.test_case "snapshot corrupt input" `Quick test_snapshot_corrupt;
     Alcotest.test_case "snapshot stale version" `Quick test_snapshot_stale_version;
+    Alcotest.test_case "snapshot pre-split compatibility" `Quick test_snapshot_pre_split_compat;
     Alcotest.test_case "fallback surfaced in stats" `Quick test_fallback_surfaced;
     QCheck_alcotest.to_alcotest qcheck_warm_equals_cold;
     QCheck_alcotest.to_alcotest qcheck_snapshot_roundtrip;

@@ -1,10 +1,13 @@
-(* The interned solver and its substrate.  Three layers of evidence:
+(* The interned solver and its substrate.  Four layers of evidence:
    the bitset domain must agree operation-for-operation with a
-   reference [Set.Make (Int)]; the hash-consing interner must assign
-   dense ids that round-trip; and the interned engine must produce the
-   same solution as both structural engines — on random apps, on the
+   reference [Set.Make (Int)]; the generic string interner
+   ([Util.Interner], the substrate's substrate) must be idempotent and
+   round-trip; the hash-consing [Intern] pools must assign dense ids
+   that round-trip; and the interned engine must produce the same
+   solution as both structural engines — on random apps, on the
    corpus, and under a worker-domain pool — down to byte-identical
-   reports. *)
+   reports.  (The shared frozen tier has its own differential suite in
+   [test_shared_intern.ml].) *)
 open Gator
 
 let with_solver solver config = { config with Config.solver }
@@ -80,6 +83,55 @@ let test_bitset_union_delta () =
       (IS.equal (IS.union !ri !rs) !rs)
       (Util.Bitset.equal into src)
   done
+
+(* ------------------------------------------------------------------ *)
+(* Util.Interner: the generic string interner (symbols for class,
+   method, and id names).  Folded in from the former
+   [test_interner.ml]; distinct from the [Intern] value/node pools
+   tested below. *)
+
+let test_string_interner_idempotent () =
+  let t = Util.Interner.create () in
+  let a = Util.Interner.intern t "hello" in
+  let b = Util.Interner.intern t "hello" in
+  Alcotest.check Alcotest.int "same symbol" 0 (Util.Interner.compare_sym a b)
+
+let test_string_interner_distinct () =
+  let t = Util.Interner.create () in
+  let a = Util.Interner.intern t "a" in
+  let b = Util.Interner.intern t "b" in
+  Alcotest.check Alcotest.bool "distinct" true (Util.Interner.compare_sym a b <> 0)
+
+let test_string_interner_roundtrip () =
+  let t = Util.Interner.create () in
+  let names = List.init 1000 (Printf.sprintf "sym_%d") in
+  let syms = List.map (Util.Interner.intern t) names in
+  List.iter2
+    (fun name sym -> Alcotest.check Alcotest.string "name roundtrip" name (Util.Interner.name t sym))
+    names syms;
+  Alcotest.check Alcotest.int "count" 1000 (Util.Interner.count t)
+
+let test_string_interner_mem () =
+  let t = Util.Interner.create () in
+  ignore (Util.Interner.intern t "x");
+  Alcotest.check Alcotest.bool "mem interned" true (Util.Interner.mem t "x");
+  Alcotest.check Alcotest.bool "mem foreign" false (Util.Interner.mem t "y")
+
+let test_string_interner_foreign_symbol () =
+  let t = Util.Interner.create () in
+  Alcotest.check_raises "foreign" Not_found (fun () ->
+      let other = Util.Interner.create () in
+      let sym = Util.Interner.intern other "z" in
+      ignore (Util.Interner.name t sym))
+
+let qcheck_string_interner_roundtrip =
+  QCheck.Test.make ~name:"string intern/name roundtrip" ~count:500
+    QCheck.(small_list (string_of_size Gen.(1 -- 20)))
+    (fun names ->
+      let t = Util.Interner.create () in
+      List.for_all
+        (fun name -> Util.Interner.name t (Util.Interner.intern t name) = name)
+        names)
 
 (* ------------------------------------------------------------------ *)
 (* Interner: dense ids, stable on re-intern, structural round-trip *)
@@ -289,6 +341,13 @@ let suite =
     Alcotest.test_case "bitset vs reference set" `Quick test_bitset_random;
     Alcotest.test_case "bitset union_delta semantics" `Quick test_bitset_union_delta;
     Alcotest.test_case "bitset physical identity (same)" `Quick test_bitset_same;
+    Alcotest.test_case "string interner idempotent" `Quick test_string_interner_idempotent;
+    Alcotest.test_case "string interner distinct symbols" `Quick test_string_interner_distinct;
+    Alcotest.test_case "string interner roundtrip (growth)" `Quick test_string_interner_roundtrip;
+    Alcotest.test_case "string interner mem" `Quick test_string_interner_mem;
+    Alcotest.test_case "string interner foreign symbol raises" `Quick
+      test_string_interner_foreign_symbol;
+    QCheck_alcotest.to_alcotest qcheck_string_interner_roundtrip;
     Alcotest.test_case "interner round-trip and dense ids" `Quick test_interner_roundtrip;
     Alcotest.test_case "ConnectBot: three engines agree" `Quick test_connectbot_three_engines;
     Alcotest.test_case "interned work counters" `Quick test_interned_work_counters;

@@ -1,0 +1,241 @@
+(* The frozen shared interner tier.  Two layers of evidence: unit
+   tests pin the watermark arithmetic itself — frozen window ids,
+   boundary symbols, decode round-trips, and the no-mint guarantee
+   that nothing ever writes the frozen tier — and differential tests
+   show the tier is invisible to the analysis: shared-tier and
+   private-tier runs produce the same solution (down to byte-identical
+   corpus tables) across engines, random apps, cycle-heavy apps, and
+   worker pools. *)
+open Gator
+
+let shared_config = { Config.default with shared_intern = true }
+let private_config = { Config.default with shared_intern = false }
+let with_solver solver config = { config with Config.solver }
+let engines = [ Config.Naive; Config.Delta; Config.Interned ]
+let lbase = Layouts.Resource.layout_base
+let vbase = Layouts.Resource.view_base
+
+(* ------------------------------------------------------------------ *)
+(* Watermark arithmetic on a small custom tier *)
+
+(* A 4-layout / 6-view frozen window: ids 0..3 are layout ids, 4..9
+   view ids, the watermark is 10, and the first private symbol of any
+   kind mints id 10. *)
+let test_watermark_boundary () =
+  let sh = Intern.make_shared ~layout_ids:4 ~view_ids:6 in
+  Alcotest.(check (pair int int)) "tier counts" (10, 10) (Intern.shared_counts sh);
+  let it = Intern.create ~shared:sh () in
+  Alcotest.(check (pair int int)) "watermarks" (10, 10) (Intern.watermarks it);
+  Alcotest.check Alcotest.int "frozen tier pre-counts values" 10 (Intern.value_count it);
+  Alcotest.check Alcotest.int "frozen tier pre-counts rids" 10 (Intern.rid_count it);
+  (* frozen hits are pure arithmetic: base offset, no pool growth *)
+  Alcotest.check Alcotest.int "first layout id" 0 (Intern.value it (Node.V_layout_id lbase));
+  Alcotest.check Alcotest.int "last layout id" 3 (Intern.value it (Node.V_layout_id (lbase + 3)));
+  Alcotest.check Alcotest.int "first view id" 4 (Intern.value it (Node.V_view_id vbase));
+  (* the last frozen id: the symbol sitting exactly on watermark - 1 *)
+  Alcotest.check Alcotest.int "last frozen id" 9 (Intern.value it (Node.V_view_id (vbase + 5)));
+  Alcotest.check Alcotest.int "no private values minted" 10 (Intern.value_count it);
+  (* one past the window: the first private id is the watermark *)
+  Alcotest.check Alcotest.int "first overflow id" 10 (Intern.value it (Node.V_view_id (vbase + 6)));
+  Alcotest.check Alcotest.int "overflow minted one value" 11 (Intern.value_count it);
+  (* a layout id outside the layout window is private too, even though
+     it is numerically below the view window *)
+  Alcotest.check Alcotest.int "layout id past its window is private" 11
+    (Intern.value it (Node.V_layout_id (lbase + 4)));
+  (* re-intern is stable across the boundary *)
+  Alcotest.check Alcotest.int "frozen re-intern stable" 9
+    (Intern.value it (Node.V_view_id (vbase + 5)));
+  Alcotest.check Alcotest.int "overflow re-intern stable" 10
+    (Intern.value it (Node.V_view_id (vbase + 6)));
+  Alcotest.check Alcotest.int "still two private values" 12 (Intern.value_count it);
+  (* decode round-trips both tiers *)
+  for vid = 0 to Intern.value_count it - 1 do
+    let v = Intern.value_of it vid in
+    Alcotest.check Alcotest.int (Printf.sprintf "value %d round-trips" vid) vid
+      (Intern.value it v)
+  done;
+  (* the rid pool follows the same windows *)
+  Alcotest.check Alcotest.int "frozen rid" 2 (Intern.rid it (lbase + 2));
+  Alcotest.check Alcotest.int "last frozen rid" 9 (Intern.rid it (vbase + 5));
+  Alcotest.check Alcotest.int "no private rids minted" 10 (Intern.rid_count it);
+  Alcotest.check Alcotest.int "overflow rid" 10 (Intern.rid it (vbase + 6));
+  Alcotest.check Alcotest.int "one private rid" 11 (Intern.rid_count it);
+  for rid = 0 to Intern.rid_count it - 1 do
+    Alcotest.check Alcotest.int
+      (Printf.sprintf "rid %d round-trips" rid)
+      rid
+      (Intern.rid it (Intern.rid_of it rid))
+  done
+
+(* Non-minting lookups resolve frozen symbols on a fresh interner
+   without growing anything. *)
+let test_lookups_never_mint () =
+  let sh = Intern.make_shared ~layout_ids:4 ~view_ids:6 in
+  let it = Intern.create ~shared:sh () in
+  Alcotest.(check (option int)) "find_value hits the tier" (Some 7)
+    (Intern.find_value it (Node.V_view_id (vbase + 3)));
+  Alcotest.(check (option int)) "rid_opt hits the tier" (Some 1) (Intern.rid_opt it (lbase + 1));
+  Alcotest.(check (option int)) "find_value misses past the window" None
+    (Intern.find_value it (Node.V_view_id (vbase + 6)));
+  Alcotest.(check (option int)) "rid_opt misses past the window" None
+    (Intern.rid_opt it (vbase + 6));
+  Alcotest.check Alcotest.int "no values minted" 10 (Intern.value_count it);
+  Alcotest.check Alcotest.int "no rids minted" 10 (Intern.rid_count it)
+
+(* The id-stability argument: frozen ids are a pure function of the
+   symbol, so every interner over the global tier — across graphs,
+   across domains — agrees without coordination. *)
+let test_global_tier_stable_ids () =
+  let sh = Intern.shared_tier () in
+  let values, rids = Intern.shared_counts sh in
+  Alcotest.check Alcotest.bool "global tier is non-empty" true (values > 0 && rids > 0);
+  let a = Intern.create ~shared:sh () and b = Intern.create ~shared:sh () in
+  Alcotest.(check (pair int int)) "watermarks match tier" (values, rids) (Intern.watermarks a);
+  for i = 0 to 19 do
+    let lv = Node.V_layout_id (lbase + i) and vv = Node.V_view_id (vbase + i) in
+    Alcotest.check Alcotest.int "layout ids agree across interners" (Intern.value a lv)
+      (Intern.value b lv);
+    Alcotest.check Alcotest.int "view ids agree across interners" (Intern.value a vv)
+      (Intern.value b vv);
+    Alcotest.check Alcotest.bool "frozen ids sit below the watermark" true
+      (Intern.value a lv < values && Intern.value a vv < values)
+  done;
+  Alcotest.check Alcotest.int "nothing minted in a" values (Intern.value_count a);
+  Alcotest.check Alcotest.int "nothing minted in b" values (Intern.value_count b)
+
+(* Extraction, solving, and querying a whole app never write the
+   frozen tier: the global counts are bitwise before = after, and the
+   query engine (which only uses non-minting lookups) leaves the
+   graph's own pools untouched too. *)
+let test_no_mint_through_analysis_and_queries () =
+  let before = Intern.shared_counts (Intern.shared_tier ()) in
+  let app = Corpus.Apps.generate (Option.get (Corpus.Apps.by_name "XBMC")) in
+  let r, solved = Incremental.analyze_solved ~config:shared_config app in
+  let it = Solve.solved_interner solved in
+  let wm_values, wm_rids = Intern.watermarks it in
+  Alcotest.(check (pair int int)) "graph interner sits on the global tier" before
+    (wm_values, wm_rids);
+  let counts () = (Intern.value_count it, Intern.rid_count it, Intern.node_count it) in
+  let minted = counts () in
+  let q = Query.create ~hierarchy:app.Framework.App.hierarchy solved in
+  List.iter (fun node -> ignore (Query.points_to q node)) (Graph.locations r.Analysis.graph);
+  Alcotest.(check (triple int int int)) "queries mint nothing" minted (counts ());
+  Alcotest.(check (pair int int))
+    "frozen tier untouched by analysis + queries" before
+    (Intern.shared_counts (Intern.shared_tier ()))
+
+(* ------------------------------------------------------------------ *)
+(* Differential: shared tier vs private tier, bit-identical *)
+
+let check_shared_private name app =
+  List.iter
+    (fun solver ->
+      let shared = Analysis.analyze ~config:(with_solver solver shared_config) app in
+      let private_ = Analysis.analyze ~config:(with_solver solver private_config) app in
+      Test_delta.check_same_solution
+        (Printf.sprintf "%s[%s: shared vs private]" name (Config.solver_name solver))
+        shared private_)
+    engines
+
+let test_corpus_apps_shared_private () =
+  List.iter
+    (fun name ->
+      let app = Corpus.Apps.generate (Option.get (Corpus.Apps.by_name name)) in
+      check_shared_private name app)
+    (* ConnectBot fits inside the frozen view window; Astrid's 230 view
+       ids overflow it, so its analysis exercises both tiers at once *)
+    [ "ConnectBot"; "Astrid" ]
+
+(* An app whose view-id pool ends exactly at the frozen window edge
+   (its last symbol takes the last frozen id), and its sibling one id
+   wider (its last symbol is the first private id). *)
+let test_watermark_boundary_app () =
+  let values, _ = Intern.shared_counts (Intern.shared_tier ()) in
+  let base = Option.get (Corpus.Apps.by_name "ConnectBot") in
+  let window = values - Intern.default_layout_window in
+  List.iter
+    (fun view_ids ->
+      (* enough layout nodes (each drawing a fresh id, no sharing) to
+         exhaust the id pool, so the pool's last id is really used *)
+      let spec =
+        {
+          base with
+          Corpus.Spec.sp_name = Printf.sprintf "Boundary%d" view_ids;
+          sp_view_ids = view_ids;
+          sp_inflated_nodes = 2 * window;
+          sp_id_sharing = 0.0;
+        }
+      in
+      (match Corpus.Spec.validate spec with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "boundary spec invalid: %s" msg);
+      let app = Corpus.Apps.generate spec in
+      (* rids are minted by the interned solve (one per view-id fact),
+         so inspect the interner behind an interned-engine analysis *)
+      let r = Analysis.analyze ~config:(with_solver Config.Interned shared_config) app in
+      let it = Graph.interner r.Analysis.graph in
+      (* the last id of the frozen view window is reachable either way *)
+      Alcotest.(check (option int)) "last frozen view id"
+        (Some (values - 1))
+        (Intern.rid_opt it (vbase + window - 1));
+      let crossed = view_ids > window in
+      Alcotest.check Alcotest.bool
+        (Printf.sprintf "view_ids=%d %s the watermark" view_ids
+           (if crossed then "crosses" else "stays below"))
+        crossed
+        (Intern.rid_count it > values);
+      if crossed then
+        (* the first symbol past the window got the first private id *)
+        Alcotest.(check (option int)) "first overflow view id" (Some values)
+          (Intern.rid_opt it (vbase + window));
+      check_shared_private spec.Corpus.Spec.sp_name app)
+    [ window; window + 1 ]
+
+let test_cycle_heavy_shared_private () =
+  let app =
+    Corpus.Gen.cyclic_app ~name:"CycShared" ~chains:3 ~chain_len:9 ~two_cycles:2 ~bridges:4
+      ~seed:41 ()
+  in
+  check_shared_private "CycShared" app
+
+let test_qcheck_shared_private =
+  QCheck.Test.make ~count:10 ~name:"random app: shared tier = private tier"
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Util.Prng.create seed in
+      let spec = Corpus.Gen.random_spec ~name:(Printf.sprintf "QShared_%d" seed) rng in
+      check_shared_private spec.Corpus.Spec.sp_name (Corpus.Gen.generate spec);
+      true)
+
+(* Whole corpus, both tiers, jobs 1 and 4: the rendered tables must be
+   byte-identical — interning strategy may never leak into results. *)
+let test_corpus_reports_shared_private () =
+  let reference = Report.Experiments.run_corpus ~config:private_config ~jobs:1 () in
+  List.iter
+    (fun jobs ->
+      let candidate = Report.Experiments.run_corpus ~config:shared_config ~jobs () in
+      let label = Printf.sprintf "shared/jobs=%d" jobs in
+      Alcotest.check Alcotest.string (label ^ ": table1 bytes")
+        (Report.Experiments.table1 reference)
+        (Report.Experiments.table1 candidate);
+      Alcotest.check Alcotest.string (label ^ ": table2 bytes")
+        (Report.Experiments.table2 ~timings:false reference)
+        (Report.Experiments.table2 ~timings:false candidate))
+    [ 1; 4 ]
+
+let suite =
+  [
+    Alcotest.test_case "watermark boundary ids and round-trips" `Quick test_watermark_boundary;
+    Alcotest.test_case "non-minting lookups on the frozen tier" `Quick test_lookups_never_mint;
+    Alcotest.test_case "global tier: stable ids across interners" `Quick
+      test_global_tier_stable_ids;
+    Alcotest.test_case "analysis and queries never write the tier" `Quick
+      test_no_mint_through_analysis_and_queries;
+    Alcotest.test_case "corpus apps: shared = private (three engines)" `Quick
+      test_corpus_apps_shared_private;
+    Alcotest.test_case "app at the watermark edge" `Quick test_watermark_boundary_app;
+    Alcotest.test_case "cycle-heavy app: shared = private" `Quick test_cycle_heavy_shared_private;
+    QCheck_alcotest.to_alcotest test_qcheck_shared_private;
+    Alcotest.test_case "corpus tables byte-identical (jobs 1/4)" `Slow
+      test_corpus_reports_shared_private;
+  ]
