@@ -52,6 +52,8 @@ let print_reproduction () =
   print_newline ();
   print_endline (Report.Experiments.ablations ());
   print_newline ();
+  print_endline (Report.Experiments.context_precision ());
+  print_newline ();
   print_endline (Report.Experiments.scalability ());
   print_newline ();
   (* figures: print the fact checklist, not the full dot graph *)
@@ -135,6 +137,25 @@ let tests () =
          (let graph = Gator.Extract.run Gator.Config.default xbmc in
           let config = { Gator.Config.default with solver = Gator.Config.Interned } in
           fun () -> Gator.Solve.run config xbmc graph));
+    (* Context sensitivity head to head, solve-only like the engine
+       rows above: both graphs denote the same solution, but only the
+       keyed extraction certifies which ids are context clones, so
+       only its solve can run clone-chain substitution before
+       condensing.  Read against analysis/interned(XBMC) for the
+       solve-time cost of depth 2; the full extract+solve cost is
+       tracked by ablation/context-sensitive-2 below. *)
+    Test.make ~name:"analysis/cs2-interned(XBMC)"
+      (Staged.stage
+         (let config = { Gator.Config.default with inline_depth = 2 } in
+          let graph = Gator.Extract.run config xbmc in
+          fun () -> Gator.Solve.run config xbmc graph));
+    Test.make ~name:"analysis/cs2-inlined(XBMC)"
+      (Staged.stage
+         (let config =
+            { Gator.Config.default with inline_depth = 2; ctx_keyed = false }
+          in
+          let graph = Gator.Extract.run config xbmc in
+          fun () -> Gator.Solve.run config xbmc graph));
     (* Incremental re-analysis: cold solve-and-capture vs warm re-solve
        of a one-statement patch over the same interner.  The patch adds
        a single allocation (flow/seed-only — no relation-writing op),
@@ -189,8 +210,11 @@ let tests () =
       { Gator.Config.default with findone_refinement = false }
       xbmc;
     config_bench "ablation/baseline(XBMC)" Gator.Config.baseline xbmc;
+    (* pinned to the extraction-time inlining path so the row keeps
+       measuring the same work across commits; the context-keyed
+       default is tracked by analysis/cs2-interned above *)
     config_bench "ablation/context-sensitive-2(XBMC)"
-      { Gator.Config.default with inline_depth = 2 }
+      { Gator.Config.default with inline_depth = 2; ctx_keyed = false }
       xbmc;
   ]
 
@@ -497,6 +521,8 @@ let write_json_results rows corpus_batch engines cyclic incremental queries stre
             ("union_calls", Util.Json.Int row.sv_union_calls);
             ("scc_count", Util.Json.Int row.sv_scc_count);
             ("largest_scc", Util.Json.Int row.sv_largest_scc);
+            ("ctx_count", Util.Json.Int row.sv_ctx_count);
+            ("ctx_keys", Util.Json.Int row.sv_ctx_keys);
           ])
       [ Gator.Config.Naive; Gator.Config.Delta; Gator.Config.Interned ]
   in

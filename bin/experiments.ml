@@ -41,6 +41,8 @@ let run_soundness apps seed = print_endline (Report.Experiments.soundness_sweep 
 
 let run_scalability () = print_endline (Report.Experiments.scalability ())
 
+let run_precision () = print_endline (Report.Experiments.context_precision ())
+
 (* CI smoke, part 2: a warm (incremental) re-solve of a patched app
    must be bit-identical to a from-scratch solve of the same app —
    checked through a snapshot round-trip, on a seed-level patch of the
@@ -279,6 +281,31 @@ let run_verify () =
       ~seed:2014 ()
   in
   check "CycleHeavy" cycle_heavy;
+  (* context-keyed context sensitivity: the id-space clone expansion
+     must agree bit-for-bit with extraction-time inlining *)
+  let check_cs name app =
+    List.iter
+      (fun depth ->
+        let cs ctx_keyed =
+          { Gator.Config.default with Gator.Config.inline_depth = depth; ctx_keyed }
+        in
+        let keyed = Gator.Analysis.analyze ~config:(cs true) app in
+        let inlined = Gator.Analysis.analyze ~config:(cs false) app in
+        let d = Gator.Diff.compare keyed inlined in
+        if not (Gator.Diff.is_empty d) then begin
+          Fmt.epr "verify: context-keyed solution DIFFERS from inlined on %s (depth %d):@.%a@."
+            name depth Gator.Diff.pp d;
+          exit 1
+        end;
+        let s = Gator.Metrics.solver_stats keyed in
+        Printf.printf
+          "verify: context-keyed = inlined on %s at depth %d (%d contexts, %d ctx keys)\n" name
+          depth s.Gator.Metrics.sv_ctx_count s.Gator.Metrics.sv_ctx_keys)
+      [ 1; 2 ]
+  in
+  check_cs spec.Corpus.Spec.sp_name (Corpus.Gen.generate spec);
+  check_cs "AliasHeavy"
+    (Corpus.Gen.alias_heavy_app ~name:"AliasHeavy" ~groups:4 ~sites_per_group:5 ~seed:11 ());
   verify_incremental spec.Corpus.Spec.sp_name (Corpus.Gen.generate spec)
     [
       Corpus.Patch.Add_stmt
@@ -328,6 +355,8 @@ let run_all jobs fail_apps =
   print_newline ();
   print_endline (Report.Experiments.ablations ());
   print_newline ();
+  print_endline (Report.Experiments.context_precision ());
+  print_newline ();
   print_endline (Report.Experiments.soundness_sweep ());
   exit (exit_code fail_apps results)
 
@@ -374,11 +403,14 @@ let () =
       simple "figures" "Figures 1/3/4: ConnectBot facts and constraint graph." run_figures;
       simple "ablations" "Precision impact of disabling each refinement." run_ablations;
       simple "scalability" "Analysis cost vs application size." run_scalability;
+      simple "precision" "Context-sensitivity precision delta on alias-heavy apps." run_precision;
       simple "verify"
         "CI smoke: SCC-condensed interned engine agrees bit-for-bit with naive on XBMC and on a \
-         cycle-heavy app; the frozen shared interner tier changes nothing; incremental warm \
-         solves match cold ones; the query daemon answers a load/query/patch/re-query \
-         round-trip; a small stream matches the batch pool without writing the frozen tier."
+         cycle-heavy app; the frozen shared interner tier changes nothing; the context-keyed \
+         engine agrees with extraction-time inlining on XBMC and an alias-heavy app; \
+         incremental warm solves match cold ones; the query daemon answers a \
+         load/query/patch/re-query round-trip; a small stream matches the batch pool without \
+         writing the frozen tier."
         run_verify;
       soundness_cmd;
     ]

@@ -39,6 +39,21 @@ type t = {
           context-insensitive analysis; the paper's Section 5 notes
           context sensitivity as the cure for the XBMC receivers
           outlier — see the ablation benches. *)
+  inline_body_limit : int;
+      (** Bound on the body size (statement count) of callees eligible
+          for context-sensitive separation; larger callees share their
+          locals context-insensitively. *)
+  ctx_keyed : bool;
+      (** Run context sensitivity natively on the interned engine:
+          clone bodies are walked in id space (each ⟨variable, clone⟩
+          pair interned once, edges emitted id-level only) instead of
+          re-extracted as [$n]-suffixed program text.  Bit-identical to
+          the inlining path at every depth — the differential batteries
+          pin it — but skips the per-occurrence string mangling and
+          structural table writes.  Only the [Interned] solver honours
+          it; structural engines always take the inlining path.  [false]
+          forces inlining everywhere, for the equivalence oracle and the
+          bench head-to-head. *)
   max_iterations : int;  (** fixed-point safety valve *)
   solver : solver;  (** fixed-point engine; results are identical *)
   jobs : int;

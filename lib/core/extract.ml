@@ -10,9 +10,13 @@ let value_of_int resources n =
     Some (Node.V_view_id n)
   else None
 
-(* Bound on the body size of callees cloned by inlining-based context
-   sensitivity (Config.inline_depth > 0). *)
-let inline_body_limit = 24
+(* Clone suffixes ("$1", "$2", ...) are minted once per clone but the
+   strings themselves recur across every context-sensitive extraction;
+   the table covers all realistic clone counts so the hot path is an
+   array read instead of a [Printf] format interpretation. *)
+let suffix_table = Array.init 1024 (fun i -> "$" ^ string_of_int i)
+
+let clone_suffix n = if n < 1024 then suffix_table.(n) else "$" ^ string_of_int n
 
 type ctx = {
   depth : int;  (** current inlining depth *)
@@ -32,9 +36,301 @@ let top_ctx ~clones mid =
    collide with real ones. *)
 let fresh_clone_suffix ctx =
   incr ctx.clones;
-  Printf.sprintf "$%d" !(ctx.clones)
+  clone_suffix !(ctx.clones)
 
-let rec extract_stmt config (app : Framework.App.t) graph ~ctx mid env ~index stmt =
+(* CHA facts at a call site, shared verbatim by the structural and
+   context-keyed walks (the inlining guard MUST be the same predicate
+   in both, or the clone numbering diverges and the bit-identity
+   oracle breaks).
+
+   The hierarchy-dependent half — dispatch targets and platform
+   reachability — is a pure function of (receiver type, name, arity)
+   for a fixed app, so it is memoised per extraction run ([cha]).
+   Every consumer hits the same sites repeatedly: the structural
+   inliner re-walks callee bodies once per clone, and template builds
+   re-resolve the sites the top-level walk already saw.  Only the
+   depth/stack-dependent guard tail stays live. *)
+type cha_cache = (string option * string * int, (string * Jir.Ast.meth) list * bool) Hashtbl.t
+
+(* Per-run caches shared by the structural walk, the inliner and the
+   template compiler: CHA facts per call signature, and typing
+   environments per method (the inliner re-derives the callee env once
+   per clone; templates would re-derive it once per build). *)
+type ex_memo = {
+  cha : cha_cache;
+  envs : (Node.mid, Jir.Typing.env) Hashtbl.t;
+}
+
+let fresh_memo () = { cha = Hashtbl.create 256; envs = Hashtbl.create 256 }
+
+let typing_env_memo app memo ~owner (m : Jir.Ast.meth) =
+  let mid = Node.mid_of_meth owner m in
+  match Hashtbl.find_opt memo.envs mid with
+  | Some env -> env
+  | None ->
+      let env = Framework.App.typing_env app ~owner m in
+      Hashtbl.add memo.envs mid env;
+      env
+
+let call_info config hierarchy ~memo env ~depth ~stack recv name arity =
+  let recv_ty = Jir.Typing.class_of env recv in
+  let app_targets, may_reach_platform =
+    let ck = (recv_ty, name, arity) in
+    match Hashtbl.find_opt memo.cha ck with
+    | Some facts -> facts
+    | None ->
+        let key = { Jir.Ast.mk_name = name; mk_arity = arity } in
+        let app_targets = Jir.Hierarchy.cha_targets hierarchy ~recv_ty key in
+        (* A call can reach the platform when the receiver's type is
+           unknown, or when some concrete class compatible with it has
+           no application definition of the method (dispatch then
+           falls through to platform code). *)
+        let may_reach_platform =
+          match recv_ty with
+          | None -> true
+          | Some ty ->
+              (not (Jir.Hierarchy.mem hierarchy ty))
+              || List.exists
+                   (fun sub ->
+                     Jir.Hierarchy.kind hierarchy sub = Some `Class
+                     && Jir.Hierarchy.resolve hierarchy sub key = None)
+                   (Jir.Hierarchy.subtypes hierarchy ty)
+        in
+        Hashtbl.add memo.cha ck (app_targets, may_reach_platform);
+        (app_targets, may_reach_platform)
+  in
+  let inlinable =
+    config.Config.inline_depth > 0
+    && depth < config.Config.inline_depth
+    && (not may_reach_platform)
+    &&
+    match app_targets with
+    | [ (owner, target) ] ->
+        List.length target.m_body <= config.Config.inline_body_limit
+        && not (List.mem (Node.mid_of_meth owner target) stack)
+    | _ -> false
+  in
+  (app_targets, may_reach_platform, inlinable)
+
+(* Context-keyed clone expansion (Config.ctx_keyed, interned engine):
+   clone bodies are expanded in id space.  Each inlinable method is
+   compiled ONCE per extraction into an id-level template — statements
+   resolved to base node ids, CHA facts and the depth-independent part
+   of the inlining guard precomputed — and every context then replays
+   the template through {!Intern.ctx_node}, which mints exactly the
+   [$n]-renamed node the inlining path would build structurally.  A
+   replay costs packed-int cache probes instead of structural
+   interning, string concatenation, or hierarchy scans.  Statement
+   order, clone numbering, and the inlining guard are identical to the
+   structural walk below; the two paths must stay in lockstep. *)
+type kctx = {
+  k_depth : int;  (** current inlining depth (>= 1 inside a clone) *)
+  k_clone : int;  (** this clone's number; suffix is ["$" ^ k_clone] *)
+  k_ret : int Lazy.t;
+      (** id the clone's [return x] flows to; lazy so a result-discarded
+          call whose body never returns a value interns no [$ret] node —
+          matching the inlining path, which only builds that node when an
+          edge touches it *)
+  k_stack : Node.mid list;
+  k_clones : int ref;
+}
+
+(* Template operands are base ids tagged with whether the context
+   rename applies: [2*id + 1] for locals of the template's method
+   (renamed per clone), [2*id] for fixed structural nodes (fields,
+   boundary variables of non-inlined callees). *)
+let t_mapped id = (id lsl 1) lor 1
+let t_fixed id = id lsl 1
+
+type tinstr =
+  | T_alloc of { out : int; cls : string; site : Node.site; is_view : bool }
+  | T_edge of { src : int; dst : int; kind : Graph.edge_kind }
+  | T_layout_id of { out : int; name : string }
+      (** resolved per expansion: the resource tables assign numbers on
+          first touch, so resolving at build time would permute the
+          numbering relative to the inlining walk *)
+  | T_view_id of { out : int; name : string }
+  | T_const of { out : int; n : int }
+      (** [value_of_int] reads the resource tables, so it too must
+          evaluate at the point the inlining walk would *)
+  | T_ret of { src : int }  (** edge into the expansion's [k_ret] *)
+  | T_call of tcall
+
+and tcall = {
+  tc_recv : int;
+  tc_args : int list;
+  tc_out : int option;
+  tc_inline : tinline option;
+      (** [Some] when the depth-independent guard passes (single CHA
+          target, small body, platform-unreachable); the depth bound
+          and recursion stack are checked per expansion *)
+  tc_fallback : (int * int list * int) list;
+      (** per CHA target: structural this / params / [N_ret] ids *)
+  tc_op : Framework.Api.kind option;
+  tc_site : Node.site;
+}
+
+and tinline = {
+  ti_tmid : Node.mid;
+  ti_owner : string;
+  ti_target : Jir.Ast.meth;
+  ti_this : int;
+  ti_params : int list;
+  ti_ret : int Lazy.t;  (** lazy: result-discarded never-returning calls intern no [$ret] *)
+}
+
+type tcache = (Node.mid, tinstr array) Hashtbl.t
+
+let build_template config (app : Framework.App.t) graph ~memo ~owner (target : Jir.Ast.meth) =
+  let mid = Node.mid_of_meth owner target in
+  let hierarchy = app.Framework.App.hierarchy in
+  let env = typing_env_memo app memo ~owner target in
+  let mapped name = t_mapped (Graph.node_id graph (var mid name)) in
+  let instr index stmt =
+    let site () = { Node.s_in = mid; s_stmt = index } in
+    match stmt with
+    | Jir.Ast.New (x, cls) ->
+        [ T_alloc
+            { out = mapped x; cls; site = site ();
+              is_view = Framework.Views.is_view_class hierarchy cls } ]
+    | Jir.Ast.Copy (x, y) -> [ T_edge { src = mapped y; dst = mapped x; kind = Graph.E_direct } ]
+    | Jir.Ast.Read_field (x, _, f) ->
+        [ T_edge
+            { src = t_fixed (Graph.node_id graph (Node.N_field f)); dst = mapped x;
+              kind = Graph.E_direct } ]
+    | Jir.Ast.Write_field (_, f, y) ->
+        [ T_edge
+            { src = mapped y; dst = t_fixed (Graph.node_id graph (Node.N_field f));
+              kind = Graph.E_direct } ]
+    | Jir.Ast.Read_layout_id (x, name) -> [ T_layout_id { out = mapped x; name } ]
+    | Jir.Ast.Read_view_id (x, name) -> [ T_view_id { out = mapped x; name } ]
+    | Jir.Ast.Const_int (x, n) -> [ T_const { out = mapped x; n } ]
+    | Jir.Ast.Const_null _ -> []
+    | Jir.Ast.Cast (x, cls, y) ->
+        let kind = if config.Config.cast_filtering then Graph.E_cast cls else Graph.E_direct in
+        [ T_edge { src = mapped y; dst = mapped x; kind } ]
+    | Jir.Ast.Return (Some x) -> [ T_ret { src = mapped x } ]
+    | Jir.Ast.Return None -> []
+    | Jir.Ast.Invoke (lhs, recv, name, args) ->
+        let arity = List.length args in
+        (* depth 0 / empty stack: only the depth-independent part of
+           the guard is baked in; the per-expansion parts are checked
+           when the template replays *)
+        let app_targets, may_reach_platform, deep =
+          call_info config hierarchy ~memo env ~depth:0 ~stack:[] recv name arity
+        in
+        let tc_inline =
+          match (deep, app_targets) with
+          | true, [ (owner', t') ] ->
+              let tmid = Node.mid_of_meth owner' t' in
+              Some
+                {
+                  ti_tmid = tmid;
+                  ti_owner = owner';
+                  ti_target = t';
+                  ti_this = Graph.node_id graph (var tmid Jir.Ast.this_var);
+                  ti_params =
+                    List.map (fun (p, _) -> Graph.node_id graph (var tmid p)) t'.m_params;
+                  ti_ret = lazy (Graph.node_id graph (var tmid "$ret"));
+                }
+          | _ -> None
+        in
+        let tc_fallback =
+          List.map
+            (fun (owner', (t' : Jir.Ast.meth)) ->
+              let tmid = Node.mid_of_meth owner' t' in
+              ( Graph.node_id graph (var tmid Jir.Ast.this_var),
+                List.map (fun (p, _) -> Graph.node_id graph (var tmid p)) t'.m_params,
+                Graph.node_id graph (Node.N_ret tmid) ))
+            app_targets
+        in
+        let tc_op = if may_reach_platform then Framework.Api.classify ~name ~arity else None in
+        [ T_call
+            { tc_recv = mapped recv; tc_args = List.map mapped args;
+              tc_out = Option.map mapped lhs; tc_inline; tc_fallback; tc_op; tc_site = site () } ]
+  in
+  Array.of_list (List.concat (List.mapi instr target.m_body))
+
+let rec expand_template config app graph (tcache : tcache) ~memo ~kctx ~owner
+    (target : Jir.Ast.meth) =
+  let mid = Node.mid_of_meth owner target in
+  let instrs =
+    match Hashtbl.find_opt tcache mid with
+    | Some t -> t
+    | None ->
+        let t = build_template config app graph ~memo ~owner target in
+        Hashtbl.add tcache mid t;
+        t
+  in
+  let it = Graph.interner graph in
+  let resources = Layouts.Package.resources app.Framework.App.package in
+  let rs enc =
+    if enc land 1 = 1 then Intern.ctx_node it ~base:(enc lsr 1) ~ctx:kctx.k_clone else enc lsr 1
+  in
+  Array.iter
+    (function
+      | T_alloc { out; cls; site; is_view } ->
+          let alloc = Graph.fresh_alloc graph ~cls ~site in
+          let value = if is_view then Node.V_view (Node.V_alloc alloc) else Node.V_obj alloc in
+          Graph.seed_id graph (rs out) value
+      | T_edge { src; dst; kind } -> Graph.add_edge_ids graph ~kind (rs src) (rs dst)
+      | T_layout_id { out; name } ->
+          Graph.seed_id graph (rs out)
+            (Node.V_layout_id (Layouts.Resource.layout_id resources name))
+      | T_view_id { out; name } ->
+          Graph.seed_id graph (rs out) (Node.V_view_id (Layouts.Resource.view_id resources name))
+      | T_const { out; n } -> (
+          match value_of_int resources n with
+          | Some value -> Graph.seed_id graph (rs out) value
+          | None -> ())
+      | T_ret { src } -> Graph.add_edge_ids graph (rs src) (Lazy.force kctx.k_ret)
+      | T_call c -> (
+          match c.tc_inline with
+          | Some ti
+            when kctx.k_depth < config.Config.inline_depth
+                 && not (List.mem ti.ti_tmid kctx.k_stack) ->
+              incr kctx.k_clones;
+              let clone = !(kctx.k_clones) in
+              Graph.add_edge_ids graph (rs c.tc_recv)
+                (Intern.ctx_node it ~base:ti.ti_this ~ctx:clone);
+              List.iter2
+                (fun arg param ->
+                  Graph.add_edge_ids graph (rs arg) (Intern.ctx_node it ~base:param ~ctx:clone))
+                c.tc_args ti.ti_params;
+              let k_ret =
+                match c.tc_out with
+                | Some z ->
+                    let ret = Intern.ctx_node it ~base:(Lazy.force ti.ti_ret) ~ctx:clone in
+                    Graph.add_edge_ids graph ret (rs z);
+                    Lazy.from_val ret
+                | None -> lazy (Intern.ctx_node it ~base:(Lazy.force ti.ti_ret) ~ctx:clone)
+              in
+              expand_template config app graph tcache ~memo
+                ~kctx:
+                  { k_depth = kctx.k_depth + 1; k_clone = clone; k_ret;
+                    k_stack = ti.ti_tmid :: kctx.k_stack; k_clones = kctx.k_clones }
+                ~owner:ti.ti_owner ti.ti_target
+          | _ ->
+              List.iter
+                (fun (this_id, param_ids, ret_id) ->
+                  Graph.add_edge_ids graph (rs c.tc_recv) this_id;
+                  List.iter2
+                    (fun arg param -> Graph.add_edge_ids graph (rs arg) param)
+                    c.tc_args param_ids;
+                  Option.iter (fun z -> Graph.add_edge_ids graph ret_id (rs z)) c.tc_out)
+                c.tc_fallback;
+              (match c.tc_op with
+              | Some kind ->
+                  ignore
+                    (Graph.fresh_op_ids graph ~kind ~site:c.tc_site ~recv:(rs c.tc_recv)
+                       ~args:(List.map rs c.tc_args)
+                       ~out:(Option.map rs c.tc_out))
+              | None -> ())))
+    instrs
+
+(* [keyed = Some tcache] routes inlinable clone bodies through the
+   context-keyed template expansion above; [None] clones program text. *)
+let rec extract_stmt config (app : Framework.App.t) graph ~keyed ~memo ~ctx mid env ~index stmt =
   let hierarchy = app.Framework.App.hierarchy in
   let resources = Layouts.Package.resources app.package in
   let is_view cls = Framework.Views.is_view_class hierarchy cls in
@@ -64,42 +360,48 @@ let rec extract_stmt config (app : Framework.App.t) graph ~ctx mid env ~index st
   | Jir.Ast.Return None -> ()
   | Jir.Ast.Invoke (lhs, recv, name, args) -> (
       let arity = List.length args in
-      let key = { Jir.Ast.mk_name = name; mk_arity = arity } in
-      let recv_ty = Jir.Typing.class_of env recv in
-      let app_targets = Jir.Hierarchy.cha_targets hierarchy ~recv_ty key in
-      (* A call can reach the platform when the receiver's type is
-         unknown, or when some concrete class compatible with it has no
-         application definition of the method (dispatch then falls
-         through to platform code). *)
-      let may_reach_platform =
-        match recv_ty with
-        | None -> true
-        | Some ty ->
-            (not (Jir.Hierarchy.mem hierarchy ty))
-            || List.exists
-                 (fun sub ->
-                   Jir.Hierarchy.kind hierarchy sub = Some `Class
-                   && Jir.Hierarchy.resolve hierarchy sub key = None)
-                 (Jir.Hierarchy.subtypes hierarchy ty)
-      in
       (* Inlining-based context sensitivity: clone a small, uniquely
          resolved callee instead of sharing its locals across all call
          sites.  Abstraction names (allocation/op/inflation sites) stay
          structural, so clones of the same site denote the same
          objects; only the local value flow is separated. *)
-      let inlinable =
-        config.Config.inline_depth > 0
-        && ctx.depth < config.Config.inline_depth
-        && (not may_reach_platform)
-        &&
-        match app_targets with
-        | [ (owner, target) ] ->
-            List.length target.m_body <= inline_body_limit
-            && not (List.mem (Node.mid_of_meth owner target) ctx.stack)
-        | _ -> false
+      let app_targets, may_reach_platform, inlinable =
+        call_info config hierarchy ~memo env ~depth:ctx.depth ~stack:ctx.stack recv name arity
       in
-      match (inlinable, app_targets) with
-      | true, [ (owner, target) ] ->
+      match (inlinable, app_targets, keyed) with
+      | true, [ (owner, target) ], Some tcache ->
+          (* Context-keyed boundary: the top-level statement walk stays
+             structural, but the clone body is expanded entirely in id
+             space.  Clone numbering is shared with the inlining path
+             (same counter, same pre-order mint), so the ⟨node, ctx⟩
+             keys decode to exactly the [$n] names inlining would
+             emit. *)
+          let tmid = Node.mid_of_meth owner target in
+          incr ctx.clones;
+          let clone = !(ctx.clones) in
+          let it = Graph.interner graph in
+          let cnode name =
+            Intern.ctx_node it ~base:(Graph.node_id graph (var tmid name)) ~ctx:clone
+          in
+          let vid name = Graph.node_id graph (v name) in
+          Graph.add_edge_ids graph (vid recv) (cnode Jir.Ast.this_var);
+          List.iter2
+            (fun arg (param, _) -> Graph.add_edge_ids graph (vid arg) (cnode param))
+            args target.m_params;
+          let k_ret =
+            match lhs with
+            | Some z ->
+                let ret = cnode "$ret" in
+                Graph.add_edge_ids graph ret (vid z);
+                Lazy.from_val ret
+            | None -> lazy (cnode "$ret")
+          in
+          let kctx =
+            { k_depth = ctx.depth + 1; k_clone = clone; k_ret; k_stack = tmid :: ctx.stack;
+              k_clones = ctx.clones }
+          in
+          expand_template config app graph tcache ~memo ~kctx ~owner target
+      | true, [ (owner, target) ], None ->
           let tmid = Node.mid_of_meth owner target in
           let suffix = fresh_clone_suffix ctx in
           let rename' name = name ^ suffix in
@@ -118,9 +420,10 @@ let rec extract_stmt config (app : Framework.App.t) graph ~ctx mid env ~index st
           let ctx' =
             { ctx with depth = ctx.depth + 1; rename = rename'; ret_target; stack = tmid :: ctx.stack }
           in
-          let env' = Framework.App.typing_env app ~owner target in
+          let env' = typing_env_memo app memo ~owner target in
           List.iteri
-            (fun index stmt -> extract_stmt config app graph ~ctx:ctx' tmid env' ~index stmt)
+            (fun index stmt ->
+              extract_stmt config app graph ~keyed ~memo ~ctx:ctx' tmid env' ~index stmt)
             target.m_body
       | _ ->
           List.iter
@@ -141,11 +444,13 @@ let rec extract_stmt config (app : Framework.App.t) graph ~ctx mid env ~index st
                      ~out:(Option.map v lhs))
             | None -> ()))
 
-let extract_meth config app graph ~clones ~owner (m : Jir.Ast.meth) =
+let extract_meth config app graph ~keyed ~memo ~clones ~owner (m : Jir.Ast.meth) =
   let mid = Node.mid_of_meth owner m in
-  let env = Framework.App.typing_env app ~owner m in
+  let env = typing_env_memo app memo ~owner m in
   let ctx = top_ctx ~clones mid in
-  List.iteri (fun index stmt -> extract_stmt config app graph ~ctx mid env ~index stmt) m.m_body
+  List.iteri
+    (fun index stmt -> extract_stmt config app graph ~keyed ~memo ~ctx mid env ~index stmt)
+    m.m_body
 
 (* Seed the implicit activity instance into [this] of every lifecycle
    callback the class (or an application superclass) defines: the
@@ -213,9 +518,22 @@ let run ?interner config (app : Framework.App.t) =
         else Intern.create ()
   in
   let graph = Graph.create ~interner () in
+  (* Context-keyed clone expansion only pays off on the interned engine
+     (the structural engines never read the id-level stores), so
+     structural solvers always take the inlining path regardless of the
+     flag.  The template cache is per-extraction: it captures base ids
+     of this graph's interner. *)
+  let keyed =
+    if
+      config.Config.ctx_keyed && config.Config.inline_depth > 0
+      && config.Config.solver = Config.Interned
+    then Some (Hashtbl.create 64 : tcache)
+    else None
+  in
+  let memo = fresh_memo () in
   List.iter
     (fun (cls : Jir.Ast.cls) ->
-      List.iter (extract_meth config app graph ~clones ~owner:cls.c_name) cls.c_methods)
+      List.iter (extract_meth config app graph ~keyed ~memo ~clones ~owner:cls.c_name) cls.c_methods)
     app.program.p_classes;
   List.iter (seed_activity_callbacks app graph) (Framework.App.activity_classes app);
   if config.Config.model_dialogs then seed_dialog_callbacks app graph;

@@ -248,6 +248,48 @@ let seed t node value =
   let existing = Option.value (Hashtbl.find_opt t.seed_tbl node) ~default:VS.empty in
   Hashtbl.replace t.seed_tbl node (VS.add value existing)
 
+(* Id-level emission (context-keyed extraction).  Clone-body
+   constraints write only the id-level mirrors — the edge dedup table,
+   [isuccs], and the edge counter — never the structural [edges]
+   table.  The frozen CSR is laid out from [isuccs], so the interned
+   solver sees the context-expanded flow graph, while structural
+   consumers ([succs], [locations], [pp_dot]) keep the
+   context-insensitive skeleton; materialisation installs the clone
+   rows structurally after the solve. *)
+let add_edge_ids t ?(kind = E_direct) sid did =
+  let ksym = match kind with E_direct -> -1 | E_cast cls -> cast_sym t cls in
+  let key = (sid, ksym, did) in
+  if not (Edge_seen.mem t.edge_seen key) then begin
+    Edge_seen.add t.edge_seen key ();
+    t.edge_total <- t.edge_total + 1;
+    isuccs_ensure t sid;
+    t.isuccs.(sid) <- (ksym, did) :: t.isuccs.(sid)
+  end
+
+(* Seed statements are rare (allocations, id constants); decoding the
+   id back keeps the seed table structural and identical between the
+   keyed and inlining paths. *)
+let seed_id t nid value = seed t (Intern.node_of t.g_it nid) value
+
+(* The op record still carries structural nodes (decoded from the ids,
+   so clone receivers surface with their [$n]-suffixed names exactly as
+   the inlining path records them); the id triple goes straight onto
+   [iop_ids] without re-interning. *)
+let fresh_op_ids t ~kind ~site ~recv ~args ~out =
+  let node_of id = Intern.node_of t.g_it id in
+  let op =
+    {
+      site = { Node.o_site = site; o_kind = kind };
+      op_recv = node_of recv;
+      op_args = List.map node_of args;
+      op_out = Option.map node_of out;
+    }
+  in
+  t.iop_ids <- (recv, Array.of_list args, Option.value out ~default:(-1)) :: t.iop_ids;
+  t.op_list <- op :: t.op_list;
+  t.dep_index <- None;
+  op
+
 (* Iterative Tarjan over the direct-edge subgraph ([ekind < 0]).  Cast
    edges are excluded: they filter, and collapsing a cast into a shared
    component set would let unfiltered values lap the filter.  Returns
@@ -371,6 +413,80 @@ let build_condensed n row edst ekind rep =
 (* CSR snapshot of the flow edges over the interned ids: [isuccs] keeps
    each adjacency newest-first, so laying entries out backward from the
    row boundary restores insertion order. *)
+(* Copy-chain substitution over context clones (offline variable
+   substitution, restricted to ids {!Intern.ctx_clone_ids} certifies
+   as flow-only).  A clone variable with exactly one incoming direct
+   edge, no incoming cast edge, no seed and no op writing it provably
+   saturates to its predecessor's set, so it needs no bitset of its
+   own: its rep is patched to the chain root's and the defining edge
+   disappears from the condensed CSR.  Context expansion mass-produces
+   exactly this shape (recv → this$n, arg → param$n, ret$n → out), so
+   the solve over the expanded graph collapses back towards the
+   context-insensitive size.  Materialisation still installs every
+   clone node (from the shared root set), keeping the result
+   bit-identical to the inlining path; non-keyed graphs have no clone
+   ids and skip this entirely. *)
+let clone_subst t n row edst ekind =
+  match Intern.ctx_clone_ids t.g_it with
+  | [] -> None
+  | clone_ids ->
+      let direct_in = Array.make n 0 in
+      let cast_in = Array.make n false in
+      let pred = Array.make n (-1) in
+      for i = 0 to n - 1 do
+        for e = row.(i) to row.(i + 1) - 1 do
+          let d = edst.(e) in
+          if ekind.(e) < 0 then begin
+            direct_in.(d) <- direct_in.(d) + 1;
+            pred.(d) <- i
+          end
+          else cast_in.(d) <- true
+        done
+      done;
+      let blocked = Array.make n false in
+      List.iter (fun (_, _, oid) -> if oid >= 0 && oid < n then blocked.(oid) <- true) t.iop_ids;
+      Hashtbl.iter
+        (fun node _ ->
+          match Intern.find_node t.g_it node with
+          | Some id when id < n -> blocked.(id) <- true
+          | _ -> ())
+        t.seed_tbl;
+      let cand = Array.make n false in
+      List.iter
+        (fun id ->
+          if
+            id < n && direct_in.(id) = 1 && (not cast_in.(id)) && (not blocked.(id))
+            && pred.(id) <> id
+          then cand.(id) <- true)
+        clone_ids;
+      (* Chase chains to their first non-substituted node; a defining
+         cycle (pure copy loop with no outside edge) demotes the link
+         where it closes, which the solver then treats normally. *)
+      let sub = Array.init n Fun.id in
+      let state = Array.make n 0 in
+      let rec resolve i =
+        if not cand.(i) then i
+        else if state.(i) = 2 then sub.(i)
+        else if state.(i) = 1 then begin
+          cand.(i) <- false;
+          i
+        end
+        else begin
+          state.(i) <- 1;
+          let r = resolve pred.(i) in
+          state.(i) <- 2;
+          if cand.(i) then begin
+            sub.(i) <- r;
+            r
+          end
+          else i
+        end
+      in
+      List.iter (fun id -> if id < n then ignore (resolve id)) clone_ids;
+      let count = ref 0 in
+      Array.iteri (fun i r -> if r <> i then incr count) sub;
+      if !count = 0 then None else Some (sub, !count)
+
 let build_frozen_flow t =
   let n = Intern.node_count t.g_it in
   let m = Array.length t.isuccs in
@@ -392,8 +508,55 @@ let build_frozen_flow t =
         ekind.(!e) <- ksym)
       t.isuccs.(i)
   done;
-  let rep, scc_count, largest = condense_direct n row edst ekind in
-  let crow, cdst, ckind = build_condensed n row edst ekind rep in
+  (* [row]/[edst]/[ekind] stay the true edges — the incremental shape
+     diff and solved capture read them; substitution only rewrites the
+     condensation input and patches the rep table. *)
+  let rep, scc_count, largest, crow, cdst, ckind =
+    match clone_subst t n row edst ekind with
+    | None ->
+        let rep, scc_count, largest = condense_direct n row edst ekind in
+        let crow, cdst, ckind = build_condensed n row edst ekind rep in
+        (rep, scc_count, largest, crow, cdst, ckind)
+    | Some (sub, subst_count) ->
+        (* Rewritten edges: sources resolve through [sub]; edges into a
+           substituted node (each one a chain's defining edge) and
+           direct self-loops (no-op unions closed by the rewrite) are
+           dropped. *)
+        let row2 = Array.make (n + 1) 0 in
+        for i = 0 to n - 1 do
+          for e = row.(i) to row.(i + 1) - 1 do
+            let d = edst.(e) in
+            if sub.(d) = d && not (ekind.(e) < 0 && sub.(i) = d) then
+              row2.(sub.(i) + 1) <- row2.(sub.(i) + 1) + 1
+          done
+        done;
+        for i = 0 to n - 1 do
+          row2.(i + 1) <- row2.(i) + row2.(i + 1)
+        done;
+        let edst2 = Array.make (max 1 row2.(n)) 0 in
+        let ekind2 = Array.make (max 1 row2.(n)) (-1) in
+        let cursor = Array.make n 0 in
+        for i = 0 to n - 1 do
+          for e = row.(i) to row.(i + 1) - 1 do
+            let d = edst.(e) in
+            if sub.(d) = d && not (ekind.(e) < 0 && sub.(i) = d) then begin
+              let s = sub.(i) in
+              let slot = row2.(s) + cursor.(s) in
+              cursor.(s) <- cursor.(s) + 1;
+              edst2.(slot) <- d;
+              ekind2.(slot) <- ekind.(e)
+            end
+          done
+        done;
+        let rep, scc_count, largest = condense_direct n row2 edst2 ekind2 in
+        let crow, cdst, ckind = build_condensed n row2 edst2 ekind2 rep in
+        (* Substituted nodes alias their root's component: reads, op
+           scheduling and materialisation all go through [fc_rep], so
+           the aliasing is invisible outside the solver core.  They are
+           not real components — keep the count honest. *)
+        Array.iteri (fun i r -> if r <> i then rep.(i) <- rep.(r)) sub;
+        (rep, scc_count - subst_count, largest, crow, cdst, ckind)
+  in
   {
     fc_nodes = n;
     fc_row = row;

@@ -65,6 +65,32 @@ val seed : t -> Node.t -> Node.value -> unit
 (** Record an initial value for a location (allocation results, id
     constants, implicit activity instances). *)
 
+(** {2 Id-level construction (context-keyed extraction)}
+
+    The context-keyed extraction path walks clone bodies entirely in id
+    space: endpoints are already interned (via {!Intern.ctx_node}), so
+    these variants skip the structural mirrors.  [add_edge_ids] writes
+    only the id-level stores the frozen CSR is built from; the
+    structural [edges] table keeps the context-insensitive skeleton.
+    [seed_id] and [fresh_op_ids] decode back to structural nodes (seeds
+    and op records are rare and must match the inlining path
+    byte-for-byte). *)
+
+val add_edge_ids : t -> ?kind:edge_kind -> int -> int -> unit
+(** [add_edge_ids t src_id dst_id] — idempotent, same dedup key as
+    {!add_edge}. *)
+
+val seed_id : t -> int -> Node.value -> unit
+
+val fresh_op_ids :
+  t ->
+  kind:Framework.Api.kind ->
+  site:Node.site ->
+  recv:int ->
+  args:int list ->
+  out:int option ->
+  op
+
 (** {1 Points-to sets} *)
 
 val add_value : t -> Node.t -> Node.value -> bool

@@ -52,6 +52,10 @@ type solver_row = {
   sv_union_calls : int;  (** word-level unions on direct flow edges *)
   sv_scc_count : int;  (** direct-edge flow SCCs at freeze; [0] for structural engines *)
   sv_largest_scc : int;  (** largest direct-edge SCC; [0] for structural engines *)
+  sv_ctx_count : int;
+      (** call-string contexts minted by the context-keyed extraction;
+          [0] for structural engines or without [ctx_keyed] *)
+  sv_ctx_keys : int;  (** distinct ⟨node, ctx⟩ keys interned; [0] likewise *)
   sv_warm : bool;  (** solved by the incremental (warm) path *)
   sv_dirty_comps : int;  (** components re-solved by a warm solve; [0] when cold *)
   sv_reused_comps : int;  (** components restored by aliasing; [0] when cold *)

@@ -92,6 +92,8 @@ let jconfig (c : Config.t) =
       ("listener_callbacks", J.Bool c.listener_callbacks);
       ("model_dialogs", J.Bool c.model_dialogs);
       ("inline_depth", J.Int c.inline_depth);
+      ("inline_body_limit", J.Int c.inline_body_limit);
+      ("ctx_keyed", J.Bool c.ctx_keyed);
       ("max_iterations", J.Int c.max_iterations);
       ("solver", J.String (Config.solver_name c.solver));
       ("jobs", J.Int c.jobs);
@@ -292,6 +294,17 @@ let dconfig j =
     listener_callbacks = bool_field "listener_callbacks";
     model_dialogs = bool_field "model_dialogs";
     inline_depth = dint (dfield "inline_depth" j);
+    inline_body_limit =
+      (* Fields below default like [shared_intern]: snapshots written
+         before they existed decode to today's defaults. *)
+      (match J.member "inline_body_limit" j with
+      | None -> 24
+      | Some v -> dint v);
+    ctx_keyed =
+      (match J.member "ctx_keyed" j with
+      | None -> true
+      | Some (J.Bool b) -> b
+      | Some _ -> bad "bad ctx_keyed");
     max_iterations = dint (dfield "max_iterations" j);
     solver =
       (match dstr (dfield "solver" j) with

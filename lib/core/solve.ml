@@ -11,6 +11,11 @@ type stats = {
   union_calls : int;  (** word-level bitset union calls on direct edges (interned solver, else 0) *)
   scc_count : int;  (** direct-edge flow SCCs at freeze time (interned solver, else 0) *)
   largest_scc : int;  (** members in the largest direct-edge SCC (interned solver, else 0) *)
+  ctx_count : int;
+      (** distinct call-string contexts (clone numbers) minted by the
+          context-keyed extraction (interned solver with [ctx_keyed],
+          else 0) *)
+  ctx_keys : int;  (** distinct ⟨node, ctx⟩ keys interned (ditto) *)
   warm_solve : bool;  (** solved incrementally from a previous solution *)
   dirty_comps : int;  (** condensation components invalidated by the edit script (warm solves) *)
   reused_comps : int;  (** components whose solution sets were restored by aliasing (warm solves) *)
@@ -1820,6 +1825,8 @@ let istats st ~iterations ~warm_solve ~dirty_comps ~reused_comps ~fallback =
     union_calls = st.iunion_calls;
     scc_count = st.iscc_count;
     largest_scc = st.ilargest_scc;
+    ctx_count = Intern.ctx_count st.it;
+    ctx_keys = Intern.ctx_key_count st.it;
     warm_solve;
     dirty_comps;
     reused_comps;
@@ -2186,6 +2193,17 @@ let warm_guard prev config (app : Framework.App.t) graph =
   if not (Graph.interner graph == prev.sd_it) then
     Some "graph was not extracted over the previous solve's interner"
   else if config <> prev.sd_config then Some "configuration changed"
+  else if
+    config.Config.ctx_keyed && config.Config.inline_depth > 0
+    && config.Config.solver = Config.Interned
+  then
+    (* Context-keyed graphs carry their clone constraints only in the
+       id-level stores, so the structural shape diff cannot see them —
+       and clone numbers are minted per extraction, so a patched app
+       renumbers ⟨node, ctx⟩ keys wholesale.  A cs snapshot therefore
+       always re-solves from scratch; test_incremental pins that this
+       fallback stays bit-identical. *)
+    Some "context-keyed solve: clone constraints are invisible to the shape diff"
   else if class_fp app <> prev.sd_class_fp then Some "class hierarchy changed"
   else if
     (not (app.Framework.App.package == prev.sd_package)) && layout_fp app <> prev.sd_layout_fp
@@ -2676,6 +2694,8 @@ let run config (app : Framework.App.t) graph =
         union_calls = 0;
         scc_count = 0;
         largest_scc = 0;
+        ctx_count = 0;
+        ctx_keys = 0;
         warm_solve = false;
         dirty_comps = 0;
         reused_comps = 0;

@@ -34,6 +34,14 @@ type stats = {
       (** member count of the largest direct-edge SCC — every cycle
           this size collapses to one shared bitset; [0] under the
           structural engines *)
+  ctx_count : int;
+      (** distinct call-string contexts (clone numbers) minted by the
+          context-keyed extraction; [0] under the structural engines or
+          without [ctx_keyed] context sensitivity *)
+  ctx_keys : int;
+      (** distinct ⟨node, ctx⟩ keys interned by the context-keyed
+          extraction (the id-space footprint context sensitivity added);
+          [0] likewise *)
   warm_solve : bool;
       (** the solution was reached by the incremental (warm) path:
           previous component solutions restored, only dirty components

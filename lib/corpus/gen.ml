@@ -727,6 +727,101 @@ let random_cyclic_app ?(name = "Cyclic") rng =
   cyclic_app ~name ~chains ~chain_len ~two_cycles ~bridges ~seed ()
 
 (* ------------------------------------------------------------------ *)
+(* Alias-heavy generator (context-sensitivity precision stress).
+
+   Many call sites dispatch DISTINCT views through a handful of shared
+   small helper methods.  Context-insensitively each helper's parameter
+   merges every caller's view, so the result flowing back to each call
+   site carries the whole group's views; with inlining-based or
+   context-keyed separation (Config.inline_depth > 0) each site keeps
+   exactly its own.  The per-site results feed [setId] operations, so
+   the merge shows up directly in Table 2's average receiver set size.
+   Groups alternate between single-hop helpers (separated already at
+   depth 1) and two-hop helpers whose inner call only separates at
+   depth 2, grading the precision delta by depth. *)
+
+let alias_heavy_app ?(name = "Alias") ~groups ~sites_per_group ~seed () =
+  if groups < 1 || sites_per_group < 1 then
+    invalid_arg "Gen.alias_heavy_app: groups >= 1 and sites_per_group >= 1 required";
+  let rng = Util.Prng.create seed in
+  let layout_name = name ^ "_main" in
+  let root_id = "vid_root" in
+  let child_ids = List.init 4 (Printf.sprintf "vid_%d") in
+  let layout =
+    Layouts.Layout.def ~name:layout_name
+      (Layouts.Layout.node ~id:root_id
+         ~children:(List.map (fun id -> Layouts.Layout.node ~id ~children:[] "Button") child_ids)
+         "LinearLayout")
+  in
+  let rev_stmts = ref [] in
+  let emit ss = rev_stmts := List.rev_append ss !rev_stmts in
+  emit
+    [
+      B.layout_id "lid" layout_name;
+      B.call Jir.Ast.this_var "setContentView" [ "lid" ];
+      B.new_ "d0" "Deco";
+      B.write Jir.Ast.this_var "f_deco" "d0";
+    ];
+  let fields = ref [ ("f_deco", B.tclass "Deco") ] in
+  for k = 0 to groups - 1 do
+    for s = 0 to sites_per_group - 1 do
+      let w = Printf.sprintf "w%d_%d" k s in
+      let d = Printf.sprintf "d%d_%d" k s in
+      let r = Printf.sprintf "r%d_%d" k s in
+      let x = Printf.sprintf "x%d_%d" k s in
+      let field = Printf.sprintf "%s_f%d_%d" name k s in
+      fields := (field, B.tclass "View") :: !fields;
+      emit
+        [
+          (* distinct allocation site per call site: the helper's
+             parameter is where the aliasing happens *)
+          B.new_ w (Util.Prng.choose rng leaf_classes);
+          B.read d Jir.Ast.this_var "f_deco";
+          B.call ~into:r d (Printf.sprintf "deco_%d" k) [ w ];
+          B.write Jir.Ast.this_var field r;
+          B.view_id x (nth_cycle child_ids (k + s));
+          B.call r "setId" [ x ];
+        ]
+    done
+  done;
+  let deco_meths =
+    List.concat
+      (List.init groups (fun k ->
+           let mname = Printf.sprintf "deco_%d" k in
+           let params = [ ("v", B.tclass "View") ] in
+           let ret = B.tclass "View" in
+           if k mod 2 = 0 then
+             [ B.meth ~params ~ret mname [ B.copy "w" "v"; B.ret ~value:"w" () ] ]
+           else
+             [
+               B.meth ~params ~ret mname
+                 [
+                   B.call ~into:"u" Jir.Ast.this_var (Printf.sprintf "inner_%d" k) [ "v" ];
+                   B.ret ~value:"u" ();
+                 ];
+               B.meth ~params ~ret
+                 (Printf.sprintf "inner_%d" k)
+                 [ B.copy "w" "v"; B.ret ~value:"w" () ];
+             ]))
+  in
+  let deco_cls = B.cls ~methods:deco_meths "Deco" in
+  let activity =
+    B.cls ~extends:"Activity" ~fields:(List.rev !fields)
+      ~methods:[ B.meth "onCreate" (List.rev !rev_stmts) ]
+      (name ^ "_Activity")
+  in
+  let program = B.program [ activity; deco_cls ] in
+  let package = Layouts.Package.create () in
+  Layouts.Package.add package layout;
+  Framework.App.make ~name program package
+
+let random_alias_heavy_app ?(name = "Alias") rng =
+  let groups = Util.Prng.int_in rng 1 4 in
+  let sites_per_group = Util.Prng.int_in rng 2 6 in
+  let seed = Int64.to_int (Util.Prng.next rng) land 0xFFFFFF in
+  alias_heavy_app ~name ~groups ~sites_per_group ~seed ()
+
+(* ------------------------------------------------------------------ *)
 (* Streaming spec source.
 
    [stream_spec ~seed i] is a pure function of (seed, i): each index

@@ -47,6 +47,24 @@ val cyclic_app :
 val random_cyclic_app : ?name:string -> Util.Prng.t -> Framework.App.t
 (** Random parameters for {!cyclic_app}, for property-based testing. *)
 
+val alias_heavy_app :
+  ?name:string -> groups:int -> sites_per_group:int -> seed:int -> unit -> Framework.App.t
+(** Alias-heavy app for making context sensitivity's precision delta
+    visible: [groups] shared helper methods, each called from
+    [sites_per_group] sites with a distinct view allocation.  Without
+    inlining every helper parameter merges its whole group, so each
+    site's [setId] receiver carries [sites_per_group] views; with
+    [Config.inline_depth > 0] each site keeps one.  Even-numbered
+    groups use single-hop helpers (separated at depth 1); odd groups
+    route through an inner helper call that only separates at depth 2.
+
+    @raise Invalid_argument unless [groups >= 1] and
+    [sites_per_group >= 1]. *)
+
+val random_alias_heavy_app : ?name:string -> Util.Prng.t -> Framework.App.t
+(** Random parameters for {!alias_heavy_app}, for property-based
+    testing. *)
+
 val stream_spec : seed:int -> int -> Spec.t
 (** The [i]-th spec of the infinite generated stream with the given
     seed — a pure function of [(seed, i)] (each index owns its PRNG),

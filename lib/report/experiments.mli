@@ -96,6 +96,13 @@ val ablations : unit -> string
     refinement (cast filtering, FINDVIEW3 children refinement,
     listener-callback modeling, dialog modeling). *)
 
+val context_precision : unit -> string
+(** Beyond-paper: precision delta of inlining-based context
+    sensitivity — average receiver/result solution-set sizes at
+    inline depths 0/1/2 on the alias-heavy family (built so shared
+    helpers merge whole call groups without inlining) and on XBMC,
+    with the context-keyed engine's minted context counts. *)
+
 val scalability : ?factors:int list -> unit -> string
 (** Beyond-paper: analysis wall-clock as the application grows — a
     mid-size corpus spec scaled by each factor.  Demonstrates the

@@ -22,6 +22,7 @@ let () =
       ("delta", Test_delta.suite);
       ("intern", Test_intern.suite);
       ("shared-intern", Test_shared_intern.suite);
+      ("ctx-keyed", Test_ctx_keyed.suite);
       ("incremental", Test_incremental.suite);
       ("query", Test_query.suite);
       ("server", Test_server.suite);

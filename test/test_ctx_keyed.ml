@@ -1,0 +1,186 @@
+(* Context-keyed interned solving: the three-way differential.
+
+   The context-keyed extraction (Config.ctx_keyed, interned engine)
+   walks clone bodies in id space instead of re-extracting them as
+   [$n]-suffixed program text.  Its correctness oracle is exact
+   equivalence with the inlining path: for every app and every depth,
+     structural-inlined (Delta)  =  interned-inlined (ctx_keyed=false)
+                                 =  context-keyed   (ctx_keyed=true)
+   over points-to sets, view relations, holder roots, transitions, and
+   the op-level Diff.  The batteries cover the fixed corpus, random
+   spec-driven apps, cycle-heavy apps, and the alias-heavy family
+   built specifically to make context sensitivity change answers. *)
+open Gator
+
+let inlined_structural depth =
+  { Config.default with Config.solver = Config.Delta; inline_depth = depth }
+
+let inlined_interned depth =
+  { Config.default with Config.solver = Config.Interned; inline_depth = depth; ctx_keyed = false }
+
+let keyed depth =
+  { Config.default with Config.solver = Config.Interned; inline_depth = depth; ctx_keyed = true }
+
+(* Every abstract view mentioned by either solution (same collection as
+   test_delta's comparator). *)
+let all_views (r : Analysis.t) =
+  let g = r.graph in
+  let add acc view = Graph.View_set.add view acc in
+  let acc = List.fold_left add Graph.View_set.empty (Graph.inflated_views g) in
+  let acc =
+    List.fold_left
+      (fun acc node -> List.fold_left add acc (Graph.views_of g node))
+      acc (Graph.locations g)
+  in
+  let acc = List.fold_left add acc (Graph.views_with_listeners g) in
+  List.fold_left
+    (fun acc holder -> Graph.View_set.union acc (Graph.roots_of_holder g holder))
+    acc (Graph.holders g)
+
+let check_same_solution name (a : Analysis.t) (b : Analysis.t) =
+  let fail fmt = Alcotest.failf ("%s: " ^^ fmt) name in
+  (* Points-to sets over the union of both graphs' locations.  The
+     keyed graph's [locations] miss clone nodes with empty solutions
+     (clone edges never enter the structural tables), but the inlined
+     side lists them all, so the union still covers every clone row. *)
+  let locations =
+    List.sort_uniq Node.compare (Graph.locations a.graph @ Graph.locations b.graph)
+  in
+  List.iter
+    (fun node ->
+      let va = Graph.set_of a.graph node and vb = Graph.set_of b.graph node in
+      if not (Graph.VS.equal va vb) then
+        fail "points-to sets differ at %a (%d vs %d values)" Node.pp node (Graph.VS.cardinal va)
+          (Graph.VS.cardinal vb))
+    locations;
+  let views = Graph.View_set.union (all_views a) (all_views b) in
+  Graph.View_set.iter
+    (fun view ->
+      if not (Graph.View_set.equal (Graph.children_of a.graph view) (Graph.children_of b.graph view))
+      then fail "children differ at %a" Node.pp_view view;
+      if not (Graph.Int_set.equal (Graph.ids_of_view a.graph view) (Graph.ids_of_view b.graph view))
+      then fail "ids differ at %a" Node.pp_view view;
+      if
+        not
+          (Graph.Listener_set.equal
+             (Graph.listeners_of_view a.graph view)
+             (Graph.listeners_of_view b.graph view))
+      then fail "listeners differ at %a" Node.pp_view view)
+    views;
+  let holders r = List.sort Node.compare_holder (Graph.holders r.Analysis.graph) in
+  let ha = holders a and hb = holders b in
+  if not (List.equal (fun x y -> Node.compare_holder x y = 0) ha hb) then
+    fail "holder populations differ (%d vs %d)" (List.length ha) (List.length hb);
+  List.iter
+    (fun holder ->
+      if
+        not
+          (Graph.View_set.equal (Graph.roots_of_holder a.graph holder)
+             (Graph.roots_of_holder b.graph holder))
+      then fail "roots differ at %a" Node.pp_holder holder)
+    ha;
+  let ta = List.sort compare (Graph.transitions a.graph) in
+  let tb = List.sort compare (Graph.transitions b.graph) in
+  if ta <> tb then fail "transitions differ (%d vs %d)" (List.length ta) (List.length tb);
+  let d = Diff.compare a b in
+  if not (Diff.is_empty d) then fail "op-level diff non-empty:@.%a" Diff.pp d
+
+(* The differential proper: all three engines at the given depth, all
+   three pairs compared. *)
+let three_way ?(depths = [ 1; 2 ]) name app =
+  List.iter
+    (fun depth ->
+      let tag = Printf.sprintf "%s@cs%d" name depth in
+      let rs = Analysis.analyze ~config:(inlined_structural depth) app in
+      let ri = Analysis.analyze ~config:(inlined_interned depth) app in
+      let rk = Analysis.analyze ~config:(keyed depth) app in
+      check_same_solution (tag ^ " interned-inlined vs structural") ri rs;
+      check_same_solution (tag ^ " keyed vs structural") rk rs;
+      check_same_solution (tag ^ " keyed vs interned-inlined") rk ri;
+      (* counter plumbing: only the keyed run mints contexts, and it
+         mints exactly as many as the inlining path mints clones *)
+      Alcotest.check Alcotest.int (tag ^ " inlined run has no ctx keys") 0
+        ri.stats.Solve.ctx_keys;
+      if rk.stats.Solve.ctx_count > 0 then
+        Alcotest.check Alcotest.bool (tag ^ " ctx_keys >= ctx_count") true
+          (rk.stats.Solve.ctx_keys >= rk.stats.Solve.ctx_count))
+    depths
+
+let test_connectbot () = three_way "ConnectBot" (Corpus.Connectbot.app ())
+
+let test_corpus () =
+  List.iter
+    (fun spec -> three_way spec.Corpus.Spec.sp_name (Corpus.Gen.generate spec))
+    Corpus.Apps.specs
+
+let test_random_apps () =
+  let rng = Util.Prng.create 4102 in
+  for i = 1 to 5 do
+    let spec = Corpus.Gen.random_spec ~name:(Printf.sprintf "CtxRandom_%d" i) rng in
+    three_way spec.Corpus.Spec.sp_name (Corpus.Gen.generate spec)
+  done
+
+let test_cycle_heavy () =
+  let rng = Util.Prng.create 977 in
+  for i = 1 to 4 do
+    three_way (Printf.sprintf "CtxCyclic_%d" i)
+      (Corpus.Gen.random_cyclic_app ~name:(Printf.sprintf "CtxCyclic_%d" i) rng)
+  done
+
+let test_alias_heavy () =
+  three_way "AliasFixed" (Corpus.Gen.alias_heavy_app ~groups:4 ~sites_per_group:5 ~seed:11 ());
+  let rng = Util.Prng.create 5311 in
+  for i = 1 to 4 do
+    three_way (Printf.sprintf "CtxAlias_%d" i)
+      (Corpus.Gen.random_alias_heavy_app ~name:(Printf.sprintf "CtxAlias_%d" i) rng)
+  done
+
+let qcheck_random_differential =
+  QCheck.Test.make ~count:20 ~name:"qcheck: three-way differential on random apps"
+    QCheck.(make Gen.(int_range 0 1_000_000))
+    (fun seed ->
+      let rng = Util.Prng.create seed in
+      let app =
+        if seed mod 3 = 0 then Corpus.Gen.random_cyclic_app rng
+        else if seed mod 3 = 1 then Corpus.Gen.random_alias_heavy_app rng
+        else Corpus.Gen.generate (Corpus.Gen.random_spec rng)
+      in
+      three_way "qcheck" app;
+      true)
+
+(* The precision story the family exists for: context sensitivity
+   shrinks the alias-heavy setId receiver sets from the whole group to
+   one view per site — and the keyed engine reports the same shrink. *)
+let test_alias_precision () =
+  let sites = 5 in
+  let app = Corpus.Gen.alias_heavy_app ~groups:4 ~sites_per_group:sites ~seed:3 () in
+  let avg_recv (r : Analysis.t) =
+    let ops = Analysis.ops_of_kind r (fun k -> k = Framework.Api.Set_id) in
+    let sized =
+      List.filter_map
+        (fun op ->
+          match List.length (Analysis.op_receiver_views r op) with 0 -> None | n -> Some n)
+        ops
+    in
+    float_of_int (List.fold_left ( + ) 0 sized) /. float_of_int (max 1 (List.length sized))
+  in
+  let base = avg_recv (Analysis.analyze ~config:Config.default app) in
+  let cs2 = avg_recv (Analysis.analyze ~config:(keyed 2) app) in
+  let cs2_inlined = avg_recv (Analysis.analyze ~config:(inlined_interned 2) app) in
+  Alcotest.check (Alcotest.float 1e-9) "keyed and inlined report the same averages" cs2_inlined cs2;
+  Alcotest.check Alcotest.bool
+    (Printf.sprintf "baseline merges the group (%.2f >= %d)" base sites)
+    true
+    (base >= float_of_int sites);
+  Alcotest.check (Alcotest.float 1e-9) "cs-2 separates every site" 1.0 cs2
+
+let suite =
+  [
+    Alcotest.test_case "ConnectBot three-way" `Quick test_connectbot;
+    Alcotest.test_case "random apps three-way" `Quick test_random_apps;
+    Alcotest.test_case "cycle-heavy three-way" `Quick test_cycle_heavy;
+    Alcotest.test_case "alias-heavy three-way" `Quick test_alias_heavy;
+    Alcotest.test_case "alias-heavy precision delta" `Quick test_alias_precision;
+    Alcotest.test_case "full corpus three-way" `Slow test_corpus;
+    QCheck_alcotest.to_alcotest qcheck_random_differential;
+  ]

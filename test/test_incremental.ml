@@ -290,6 +290,51 @@ let test_snapshot_pre_split_compat () =
       Alcotest.check Alcotest.bool "reason names the field" true (contains ~sub:"shared_intern" e)
   | Ok _ -> Alcotest.fail "malformed shared_intern accepted"
 
+(* Context-keyed context sensitivity and warm starts: clone
+   constraints live only in the id-level stores, so the structural
+   shape diff cannot see them and the warm guard must refuse — the
+   documented fallback-to-full-solve path for cs snapshots.  The
+   fallback, including across a snapshot round-trip of the keyed
+   solved state, stays bit-identical to a cold cs solve. *)
+let test_ctx_keyed_falls_back () =
+  let config = { Config.default with inline_depth = 2 } in
+  (* identity warm request on an app that actually mints contexts
+     (the cyclic app has no inlinable app-level calls): refused but
+     identical *)
+  let alias = Corpus.Gen.alias_heavy_app ~groups:3 ~sites_per_group:3 ~seed:7 () in
+  let _, solved_alias = Incremental.analyze_solved ~config alias in
+  let warm, _ = Incremental.analyze_incremental ~config ~prev:solved_alias alias in
+  Alcotest.check Alcotest.bool "fell back" true (warm.stats.Solve.fallback <> None);
+  Alcotest.check Alcotest.bool "not warm" false warm.stats.Solve.warm_solve;
+  Alcotest.check Alcotest.bool "contexts reported" true (warm.stats.Solve.ctx_count > 0);
+  check_same_solution ~msg:"cs identity fallback" (Analysis.analyze ~config alias) warm;
+  let app = inc_app () in
+  let _, solved = Incremental.analyze_solved ~config app in
+  (* keyed solved state round-trips (clone nodes are ordinary pool
+     entries), and a warm request against the loaded state is again a
+     clean full solve of the patched app *)
+  let path = Filename.temp_file "gator_snap_cs" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Snapshot.save solved path;
+      match Snapshot.load path with
+      | Error e -> Alcotest.failf "cs snapshot load failed: %s" e
+      | Ok loaded ->
+          let app' = apply_patch app (load_patch "add_handler.json") in
+          let warm', _ = Incremental.analyze_incremental ~config ~prev:loaded app' in
+          Alcotest.check Alcotest.bool "snapshot fell back" true
+            (warm'.stats.Solve.fallback <> None);
+          check_same_solution ~msg:"cs snapshot fallback" (Analysis.analyze ~config app') warm');
+  (* the inlining twin (ctx_keyed = false) has structural clone edges,
+     so its warm path still works end to end *)
+  let config_inl = { config with ctx_keyed = false } in
+  let _, solved_inl = Incremental.analyze_solved ~config:config_inl app in
+  let app' = apply_patch app (load_patch "rename_id.json") in
+  let warm_inl, _ = Incremental.analyze_incremental ~config:config_inl ~prev:solved_inl app' in
+  check_warm ~msg:"inlined cs warm" warm_inl;
+  check_same_solution ~msg:"inlined cs warm" (Analysis.analyze ~config:config_inl app') warm_inl
+
 let test_fallback_surfaced () =
   (* the driver path for a bad state file: full solve with the reason
      in stats, not a crash *)
@@ -385,6 +430,7 @@ let suite =
     Alcotest.test_case "snapshot stale version" `Quick test_snapshot_stale_version;
     Alcotest.test_case "snapshot pre-split compatibility" `Quick test_snapshot_pre_split_compat;
     Alcotest.test_case "fallback surfaced in stats" `Quick test_fallback_surfaced;
+    Alcotest.test_case "context-keyed cs falls back" `Quick test_ctx_keyed_falls_back;
     QCheck_alcotest.to_alcotest qcheck_warm_equals_cold;
     QCheck_alcotest.to_alcotest qcheck_snapshot_roundtrip;
   ]

@@ -115,17 +115,47 @@ let check_batches_identical label reference candidate =
     (runs_exn reference) (runs_exn candidate)
 
 let test_corpus_matrix () =
-  List.iter
-    (fun solver ->
-      let config = with_solver solver Config.default in
-      let reference = Report.Experiments.run_corpus ~config ~jobs:1 () in
-      List.iter
-        (fun jobs ->
-          let label = Printf.sprintf "%s/jobs=%d" (Config.solver_name solver) jobs in
-          let candidate = Report.Experiments.run_corpus ~config ~jobs () in
-          check_batches_identical label reference candidate)
-        [ 2; 4 ])
-    [ Config.Naive; Config.Delta; Config.Interned ]
+  let configs =
+    List.map
+      (fun solver -> (Config.solver_name solver, with_solver solver Config.default))
+      [ Config.Naive; Config.Delta; Config.Interned ]
+    (* context-keyed cs-2 (interned default) and its inlining twin:
+       both must be deterministic across schedules, and byte-identical
+       to each other at any jobs level *)
+    @ [
+        ("keyed-cs2", { Config.default with inline_depth = 2 });
+        ("inlined-cs2", { Config.default with inline_depth = 2; ctx_keyed = false });
+      ]
+  in
+  let batches =
+    List.map
+      (fun (tag, config) ->
+        let reference = Report.Experiments.run_corpus ~config ~jobs:1 () in
+        List.iter
+          (fun jobs ->
+            let label = Printf.sprintf "%s/jobs=%d" tag jobs in
+            let candidate = Report.Experiments.run_corpus ~config ~jobs () in
+            check_batches_identical label reference candidate)
+          [ 2; 4 ];
+        (tag, reference))
+      configs
+  in
+  (* cross-engine: the keyed cs-2 corpus run solves exactly what the
+     inlining cs-2 run solves (solver-stats columns differ — the keyed
+     run reports its contexts — so compare the solutions and tables) *)
+  let keyed = List.assoc "keyed-cs2" batches and inlined = List.assoc "inlined-cs2" batches in
+  Alcotest.check Alcotest.string "keyed-cs2 = inlined-cs2: table1 bytes"
+    (Report.Experiments.table1 inlined) (Report.Experiments.table1 keyed);
+  Alcotest.check Alcotest.string "keyed-cs2 = inlined-cs2: table2 bytes"
+    (Report.Experiments.table2 ~timings:false inlined)
+    (Report.Experiments.table2 ~timings:false keyed);
+  List.iter2
+    (fun (ref_run : Report.Experiments.corpus_run) (par_run : Report.Experiments.corpus_run) ->
+      let d = Diff.compare ref_run.cr_analysis par_run.cr_analysis in
+      if not (Diff.is_empty d) then
+        Alcotest.failf "keyed-cs2 vs inlined-cs2: %s solution differs: %a"
+          ref_run.cr_spec.Corpus.Spec.sp_name Diff.pp d)
+    (runs_exn inlined) (runs_exn keyed)
 
 (* Random apps through the same matrix: each task generates its own
    app from the (immutable) spec, so nothing mutable crosses domains. *)
@@ -146,6 +176,29 @@ let test_random_matrix () =
             Test_delta.check_same_solution
               (Printf.sprintf "%s/jobs=%d" spec.Corpus.Spec.sp_name jobs)
               reference candidate)
+          outcomes)
+      [ 2; 4 ];
+    (* the cs-2 pair through the same schedules: pooled context-keyed
+       and pooled inlining runs against a sequential structural cs-2 *)
+    let cs2 ctx_keyed () =
+      Analysis.analyze
+        ~config:
+          { (with_solver Config.Interned Config.default) with inline_depth = 2; ctx_keyed }
+        (Corpus.Gen.generate spec)
+    in
+    let reference_cs2 =
+      Analysis.analyze
+        ~config:{ (with_solver Config.Delta Config.default) with inline_depth = 2 }
+        (Corpus.Gen.generate spec)
+    in
+    List.iter
+      (fun jobs ->
+        let outcomes = Pool.run ~jobs [ cs2 true; cs2 false ] in
+        List.iter
+          (fun outcome ->
+            Test_delta.check_same_solution
+              (Printf.sprintf "%s-cs2/jobs=%d" spec.Corpus.Spec.sp_name jobs)
+              reference_cs2 (Pool.value_exn outcome))
           outcomes)
       [ 2; 4 ]
   done
@@ -224,7 +277,14 @@ let test_batch_determinism () =
       Alcotest.check Alcotest.string "solverstats byte-identical"
         (Report.Experiments.solver_stats first)
         (Report.Experiments.solver_stats second))
-    [ Config.default; { Config.default with inline_depth = 1 } ]
+    [
+      Config.default;
+      { Config.default with inline_depth = 1 };
+      (* context-keyed cs-2 and its inlining twin: clone numbering and
+         ⟨node, ctx⟩ minting must not depend on the schedule either *)
+      { Config.default with inline_depth = 2 };
+      { Config.default with inline_depth = 2; ctx_keyed = false };
+    ]
 
 let test_qcheck_pool_equivalence =
   QCheck.Test.make ~count:8 ~name:"random app: pooled naive/delta = sequential delta"
