@@ -137,6 +137,18 @@ let tests () =
          (let graph = Gator.Extract.run Gator.Config.default xbmc in
           let config = { Gator.Config.default with solver = Gator.Config.Interned } in
           fun () -> Gator.Solve.run config xbmc graph));
+    (* Sound mode: unknown-id markers and the taint post-pass.  XBMC
+       is ⊤-free — its share of the row prices the [has_top] guard on
+       the unchanged path — while the reflection-heavy app makes every
+       marker rule and the taint lift actually fire. *)
+    Test.make ~name:"analysis/reflection(XBMC+ReflHeavy)"
+      (Staged.stage
+         (let refl = Corpus.Gen.reflective_app ~name:"ReflHeavy" ~layouts:3 ~seed:2014 () in
+          let xbmc_graph = Gator.Extract.run Gator.Config.default xbmc in
+          let refl_graph = Gator.Extract.run Gator.Config.default refl in
+          fun () ->
+            ignore (Gator.Solve.run Gator.Config.default xbmc xbmc_graph);
+            Gator.Solve.run Gator.Config.default refl refl_graph));
     (* Context sensitivity head to head, solve-only like the engine
        rows above: both graphs denote the same solution, but only the
        keyed extraction certifies which ids are context clones, so

@@ -41,7 +41,10 @@ let run_soundness apps seed = print_endline (Report.Experiments.soundness_sweep 
 
 let run_scalability () = print_endline (Report.Experiments.scalability ())
 
-let run_precision () = print_endline (Report.Experiments.context_precision ())
+let run_precision () =
+  print_endline (Report.Experiments.context_precision ());
+  print_newline ();
+  print_endline (Report.Experiments.top_pollution ())
 
 (* CI smoke, part 2: a warm (incremental) re-solve of a patched app
    must be bit-identical to a from-scratch solve of the same app —
@@ -233,6 +236,113 @@ let verify_stream () =
     apps jobs stats.Pool.Stream.st_max_queued stats.Pool.Stream.st_steals (fst frozen_after)
     (snd frozen_after)
 
+(* CI smoke, part 5: sound mode on the reflection-heavy family.  The
+   ⊤ markers make the static solution an over-approximation of every
+   possible concrete resolution, so the check sweeps the dynamic
+   oracle over all candidate layouts and view ids (plus the
+   no-resolution run) and requires full coverage each time.  The
+   engines and interner tiers must also agree bit-for-bit — solution
+   sets AND imprecision taint tables — and the batch pool must solve
+   the family identically at jobs 1 and 4. *)
+let verify_reflection () =
+  let layouts = 3 in
+  let app = Corpus.Gen.reflective_app ~name:"ReflHeavy" ~layouts ~seed:2014 () in
+  let analyze config = Gator.Analysis.analyze ~config app in
+  let naive = analyze { Gator.Config.default with solver = Gator.Config.Naive } in
+  if not (Gator.Graph.has_top naive.Gator.Analysis.graph) then begin
+    Fmt.epr "verify: ReflHeavy minted no unknown-id markers@.";
+    exit 1
+  end;
+  let taint_table (r : Gator.Analysis.t) =
+    List.sort compare
+      (List.map
+         (fun (node, vs) ->
+           ( Fmt.str "%a" Gator.Node.pp node,
+             List.sort compare
+               (List.map (Fmt.str "%a" Gator.Node.pp_value) (Gator.Graph.VS.elements vs)) ))
+         (Gator.Graph.tainted_nodes r.Gator.Analysis.graph))
+  in
+  let check_same label candidate =
+    let d = Gator.Diff.compare naive candidate in
+    if not (Gator.Diff.is_empty d) then begin
+      Fmt.epr "verify: %s solution DIFFERS from naive on ReflHeavy:@.%a@." label Gator.Diff.pp d;
+      exit 1
+    end;
+    if taint_table naive <> taint_table candidate then begin
+      Fmt.epr "verify: %s taint table DIFFERS from naive on ReflHeavy@." label;
+      exit 1
+    end
+  in
+  check_same "delta" (analyze { Gator.Config.default with solver = Gator.Config.Delta });
+  check_same "interned" (analyze { Gator.Config.default with solver = Gator.Config.Interned });
+  check_same "private-tier" (analyze { Gator.Config.default with shared_intern = false });
+  (* the soundness anchor: every concrete resolution of the reflective
+     lookups must be covered by the one static solution *)
+  let layout_cands =
+    None :: List.init layouts (fun i -> Some (Printf.sprintf "ReflHeavy_lyt%d" i))
+  in
+  let view_cands =
+    None
+    :: List.concat
+         (List.init layouts (fun i ->
+              [ Some (Printf.sprintf "vid_root%d" i); Some (Printf.sprintf "vid_btn%d" i) ]))
+  in
+  let resolutions = ref 0 in
+  List.iter
+    (fun top_layout ->
+      List.iter
+        (fun top_view ->
+          incr resolutions;
+          let options = { Dynamic.Interp.default_options with top_layout; top_view } in
+          let c = Dynamic.Oracle.check naive (Dynamic.Interp.run ~options app) in
+          if not (Dynamic.Oracle.is_sound c) then begin
+            Fmt.epr "verify: sound mode UNSOUND on ReflHeavy at layout=%s view=%s:@.%a@."
+              (Option.value ~default:"-" top_layout)
+              (Option.value ~default:"-" top_view)
+              Dynamic.Oracle.pp_coverage c;
+            exit 1
+          end)
+        view_cands)
+    layout_cands;
+  (* the pool must not perturb ⊤ solving: a small reflective family
+     fingerprints identically on the sequential path and on 4 domains
+     (tasks generate their own apps — App.t caches are unsynchronized) *)
+  let fingerprint (r : Gator.Analysis.t) =
+    let graph = r.Gator.Analysis.graph in
+    (List.sort compare
+       (List.map
+          (fun node ->
+            Fmt.str "%a = %a" Gator.Node.pp node
+              Fmt.(Dump.list Gator.Node.pp_value)
+              (List.sort Gator.Node.compare_value
+                 (Gator.Graph.VS.elements (Gator.Graph.set_of graph node))))
+          (Gator.Graph.locations graph)),
+      taint_table r,
+      Gator.Analysis.pollution r )
+  in
+  let family = [ 1; 2; 3; 4 ] in
+  let run_family jobs =
+    Pool.map ~jobs
+      (fun layouts ->
+        let app =
+          Corpus.Gen.reflective_app
+            ~name:(Printf.sprintf "ReflJobs%d" layouts)
+            ~layouts ~seed:(100 + layouts) ()
+        in
+        fingerprint (Gator.Analysis.analyze app))
+      family
+    |> List.map Pool.value_exn
+  in
+  if run_family 1 <> run_family 4 then begin
+    Fmt.epr "verify: reflective family solved differently at jobs 1 vs jobs 4@.";
+    exit 1
+  end;
+  let polluted, nonempty = Gator.Analysis.pollution naive in
+  Printf.printf
+    "verify: sound mode covers all %d oracle resolutions on ReflHeavy (engines + tiers \
+     bit-identical with taints, %d/%d sets top-polluted, jobs 1 = jobs 4 on %d reflective apps)\n"
+    !resolutions polluted nonempty (List.length family)
+
 (* CI smoke: the interned engine must agree bit-for-bit with the naive
    executable specification on the largest corpus app. *)
 let run_verify () =
@@ -339,6 +449,7 @@ let run_verify () =
       Corpus.Patch.Remove_stmt
         { cls = "CycleHeavy_Activity"; meth = "onCreate"; arity = 0; index = ring_close };
     ];
+  verify_reflection ();
   verify_daemon ();
   verify_stream ();
   exit 0
@@ -403,14 +514,18 @@ let () =
       simple "figures" "Figures 1/3/4: ConnectBot facts and constraint graph." run_figures;
       simple "ablations" "Precision impact of disabling each refinement." run_ablations;
       simple "scalability" "Analysis cost vs application size." run_scalability;
-      simple "precision" "Context-sensitivity precision delta on alias-heavy apps." run_precision;
+      simple "precision"
+        "Context-sensitivity precision delta on alias-heavy apps, plus the unknown-id pollution \
+         table sound mode adds next to Table 2."
+        run_precision;
       simple "verify"
         "CI smoke: SCC-condensed interned engine agrees bit-for-bit with naive on XBMC and on a \
          cycle-heavy app; the frozen shared interner tier changes nothing; the context-keyed \
          engine agrees with extraction-time inlining on XBMC and an alias-heavy app; \
-         incremental warm solves match cold ones; the query daemon answers a \
-         load/query/patch/re-query round-trip; a small stream matches the batch pool without \
-         writing the frozen tier."
+         incremental warm solves match cold ones; sound mode stays a superset of every \
+         dynamic-oracle resolution on the reflection-heavy family (engines and tiers \
+         bit-identical, jobs 1 = jobs 4); the query daemon answers a load/query/patch/re-query \
+         round-trip; a small stream matches the batch pool without writing the frozen tier."
         run_verify;
       soundness_cmd;
     ]

@@ -75,6 +75,9 @@ let analyze_one ~config ~dump_dot ~show_interactions ~show_diagnostics ~run_dyna
           | None -> Gator.Analysis.analyze ~config app
           | Some state ->
               let r = analyze_with_state ~config ~state app in
+              (* a refused warm start is invisible in the answers;
+                 surface it on stderr even under --json / --quiet *)
+              Option.iter (Fmt.epr "warning: %s@.") (Gator.Incremental.refusal_warning r);
               if not json then pp_incremental_stats ppf r;
               r
         in

@@ -78,7 +78,24 @@ let views_with_id t name =
   match Layouts.Resource.find_view_id (Layouts.Package.resources t.app.package) name with
   | None -> []
   | Some id ->
-      List.filter (fun v -> Graph.Int_set.mem id (Graph.ids_of_view t.graph v)) (all_views t)
+      (* a view whose id came from [SetId (v, ⊤)] carries the sentinel
+         and may be any id, so it matches every concrete name *)
+      List.filter
+        (fun v ->
+          let ids = Graph.ids_of_view t.graph v in
+          Graph.Int_set.mem id ids || Graph.Int_set.mem Node.top_view_id_raw ids)
+        (all_views t)
+
+let pollution t =
+  let polluted = ref 0 and nonempty = ref 0 in
+  List.iter
+    (fun node ->
+      if not (Graph.VS.is_empty (Graph.set_of t.graph node)) then begin
+        incr nonempty;
+        if not (Graph.VS.is_empty (Graph.taints_of t.graph node)) then incr polluted
+      end)
+    (Graph.locations t.graph);
+  (!polluted, !nonempty)
 
 let roots_of_activity t activity =
   Graph.View_set.elements (Graph.roots_of_holder t.graph (Node.H_act activity))

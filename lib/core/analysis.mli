@@ -60,7 +60,16 @@ val op_listeners : t -> Graph.op -> Node.listener_abs list
 (** {1 Structural queries} *)
 
 val views_with_id : t -> string -> Node.view_abs list
-(** All abstract views associated with the named view id. *)
+(** All abstract views associated with the named view id, including
+    views whose id came from [SetId (v, ⊤)] (their concrete id is
+    unknown, so they match every name). *)
+
+val pollution : t -> int * int
+(** [(polluted, nonempty)]: of the location nodes with a non-empty
+    solution set, how many carry at least one value matched via an
+    unknown-information marker (the [imprecise] taint of sound mode).
+    [(0, n)] whenever the app has no ⊤ markers — the precision column
+    of [experiments precision] divides the pair. *)
 
 val roots_of_activity : t -> string -> Node.view_abs list
 

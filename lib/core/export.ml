@@ -26,6 +26,8 @@ let value = function
       J.Obj [ ("object", J.Obj [ ("class", J.String a.a_cls); ("site", site a.a_site) ]) ]
   | Node.V_layout_id id -> J.Obj [ ("layout_id", J.Int id) ]
   | Node.V_view_id id -> J.Obj [ ("view_id", J.Int id) ]
+  | Node.V_layout_top -> J.Obj [ ("layout_top", J.Bool true) ]
+  | Node.V_view_id_top -> J.Obj [ ("view_id_top", J.Bool true) ]
 
 let listener = function
   | Node.L_alloc a ->

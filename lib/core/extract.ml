@@ -150,6 +150,8 @@ type tinstr =
           first touch, so resolving at build time would permute the
           numbering relative to the inlining walk *)
   | T_view_id of { out : int; name : string }
+  | T_layout_top of { out : int }  (** [R.layout.?] — seeds the ⊤ layout marker *)
+  | T_view_top of { out : int }  (** [R.id.?] — seeds the ⊤ view-id marker *)
   | T_const of { out : int; n : int }
       (** [value_of_int] reads the resource tables, so it too must
           evaluate at the point the inlining walk would *)
@@ -204,6 +206,8 @@ let build_template config (app : Framework.App.t) graph ~memo ~owner (target : J
               kind = Graph.E_direct } ]
     | Jir.Ast.Read_layout_id (x, name) -> [ T_layout_id { out = mapped x; name } ]
     | Jir.Ast.Read_view_id (x, name) -> [ T_view_id { out = mapped x; name } ]
+    | Jir.Ast.Read_layout_top x -> [ T_layout_top { out = mapped x } ]
+    | Jir.Ast.Read_view_top x -> [ T_view_top { out = mapped x } ]
     | Jir.Ast.Const_int (x, n) -> [ T_const { out = mapped x; n } ]
     | Jir.Ast.Const_null _ -> []
     | Jir.Ast.Cast (x, cls, y) ->
@@ -279,6 +283,8 @@ let rec expand_template config app graph (tcache : tcache) ~memo ~kctx ~owner
             (Node.V_layout_id (Layouts.Resource.layout_id resources name))
       | T_view_id { out; name } ->
           Graph.seed_id graph (rs out) (Node.V_view_id (Layouts.Resource.view_id resources name))
+      | T_layout_top { out } -> Graph.seed_id graph (rs out) Node.V_layout_top
+      | T_view_top { out } -> Graph.seed_id graph (rs out) Node.V_view_id_top
       | T_const { out; n } -> (
           match value_of_int resources n with
           | Some value -> Graph.seed_id graph (rs out) value
@@ -348,6 +354,8 @@ let rec extract_stmt config (app : Framework.App.t) graph ~keyed ~memo ~ctx mid 
       Graph.seed graph (v x) (Node.V_layout_id (Layouts.Resource.layout_id resources name))
   | Jir.Ast.Read_view_id (x, name) ->
       Graph.seed graph (v x) (Node.V_view_id (Layouts.Resource.view_id resources name))
+  | Jir.Ast.Read_layout_top x -> Graph.seed graph (v x) Node.V_layout_top
+  | Jir.Ast.Read_view_top x -> Graph.seed graph (v x) Node.V_view_id_top
   | Jir.Ast.Const_int (x, n) -> (
       match value_of_int resources n with
       | Some value -> Graph.seed graph (v x) value

@@ -139,6 +139,14 @@ type t = {
   mutable rc_roots : bool;
   mutable rc_onclick : bool;
   mutable rc_fragments : bool;
+  mutable g_has_top : bool;
+      (** some seed introduced an unknown-id marker ([V_layout_top] /
+          [V_view_id_top]); the warm guard refuses incremental starts
+          over such graphs *)
+  mutable taint_tbl : (Node.t, VS.t) Hashtbl.t;
+      (** per-node subset of [sets] reached only through an unknown-id
+          marker (the [imprecise] plane); diagnostic — solving never
+          branches on it *)
 }
 
 (* [?interner] lets an incremental re-extraction mint ids in a
@@ -185,6 +193,8 @@ let create ?interner () =
     rc_roots = false;
     rc_onclick = false;
     rc_fragments = false;
+    g_has_top = false;
+    taint_tbl = Hashtbl.create 16;
   }
 
 (* Idempotent per site: inlined clones of a statement denote the same
@@ -245,8 +255,13 @@ let add_edge t ?(kind = E_direct) src dst =
 
 let seed t node value =
   ignore (node_id t node);
+  (match value with
+  | Node.V_layout_top | Node.V_view_id_top -> t.g_has_top <- true
+  | _ -> ());
   let existing = Option.value (Hashtbl.find_opt t.seed_tbl node) ~default:VS.empty in
   Hashtbl.replace t.seed_tbl node (VS.add value existing)
+
+let has_top t = t.g_has_top
 
 (* Id-level emission (context-keyed extraction).  Clone-body
    constraints write only the id-level mirrors — the edge dedup table,
@@ -614,6 +629,29 @@ let add_value t node value =
     true
   end
 
+(* Taint plane: the subset of [sets t node] whose membership was
+   justified (transitively) by an unknown-id marker.  Maintained by the
+   solvers alongside the value sets; [add_taint] does not require the
+   value to be present yet — structural engines may taint before the
+   value lands, and the invariant taint ⊆ set holds at fixpoint. *)
+let add_taint t node value =
+  let existing = Option.value (Hashtbl.find_opt t.taint_tbl node) ~default:VS.empty in
+  let updated = VS.add value existing in
+  if updated == existing then false
+  else begin
+    Hashtbl.replace t.taint_tbl node updated;
+    true
+  end
+
+let taints_of t node = Option.value (Hashtbl.find_opt t.taint_tbl node) ~default:VS.empty
+
+let is_tainted t node value = VS.mem value (taints_of t node)
+
+let install_taints t node vs =
+  if VS.is_empty vs then Hashtbl.remove t.taint_tbl node else Hashtbl.replace t.taint_tbl node vs
+
+let tainted_nodes t = Hashtbl.fold (fun node vs acc -> (node, vs) :: acc) t.taint_tbl []
+
 let set_track_deltas t flag = t.track_deltas <- flag
 
 let delta_of t node = Option.value (Hashtbl.find_opt t.delta_tbl node) ~default:[]
@@ -640,6 +678,7 @@ let reset_sets t =
   Hashtbl.reset t.sets;
   t.sets_base <- None;
   Hashtbl.reset t.sets_dead;
+  Hashtbl.reset t.taint_tbl;
   Hashtbl.reset t.delta_tbl;
   t.track_deltas <- false;
   Hashtbl.reset t.children_tbl;
@@ -859,6 +898,7 @@ let reset_solution_tables t =
   Hashtbl.reset t.sets;
   t.sets_base <- None;
   Hashtbl.reset t.sets_dead;
+  Hashtbl.reset t.taint_tbl;
   Hashtbl.reset t.children_tbl;
   Hashtbl.reset t.parents_tbl;
   Hashtbl.reset t.ids_tbl;

@@ -63,7 +63,12 @@ val add_edge : t -> ?kind:edge_kind -> Node.t -> Node.t -> unit
 
 val seed : t -> Node.t -> Node.value -> unit
 (** Record an initial value for a location (allocation results, id
-    constants, implicit activity instances). *)
+    constants, implicit activity instances).  Seeding
+    {!Node.V_layout_top} or {!Node.V_view_id_top} flips {!has_top}. *)
+
+val has_top : t -> bool
+(** Did any seed introduce an unknown-id marker?  Such graphs solve
+    cold only — the warm guard refuses them. *)
 
 (** {2 Id-level construction (context-keyed extraction)}
 
@@ -113,6 +118,29 @@ val take_delta : t -> Node.t -> Node.value list
     {!set_track_deltas}. *)
 
 val views_of : t -> Node.t -> Node.view_abs list
+
+(** {2 Imprecision taint}
+
+    The subset of each location's points-to set whose membership was
+    justified (transitively) by an unknown-id marker.  Purely
+    diagnostic: solving never branches on taint, and all three engines
+    compute the identical plane.  Invariant at fixpoint:
+    [taints_of t n ⊆ set_of t n]. *)
+
+val add_taint : t -> Node.t -> Node.value -> bool
+(** [true] iff the taint set grew.  The value need not be in the
+    points-to set yet (engines may taint ahead of the value landing). *)
+
+val taints_of : t -> Node.t -> VS.t
+
+val is_tainted : t -> Node.t -> Node.value -> bool
+
+val install_taints : t -> Node.t -> VS.t -> unit
+(** Wholesale row install (interned decode, snapshot restore).  An
+    empty set clears the row. *)
+
+val tainted_nodes : t -> (Node.t * VS.t) list
+(** Every location with a non-empty taint set, in unspecified order. *)
 
 val succs : t -> Node.t -> (edge_kind * Node.t) list
 

@@ -18,3 +18,14 @@ let analyze_incremental ?(config = Config.default) ~prev app =
   let stats, solved = Solve.run_incremental ~prev ~edits ~new_shape config app graph in
   let solve_seconds = Unix.gettimeofday () -. start in
   (Analysis.make ~app ~config ~graph ~stats ~solve_seconds, solved)
+
+(* The CLI's --incremental mode must never fall back to a full solve
+   silently: a warm-start refusal is invisible in the output tables
+   (answers are identical either way), so the only honest channel is a
+   warning on stderr.  Rendering lives here so tests can pin the exact
+   message without driving the binary. *)
+let refusal_warning (r : Analysis.t) =
+  match r.Analysis.stats.Solve.fallback with
+  | None -> None
+  | Some reason ->
+      Some (Printf.sprintf "incremental: warm start refused (%s); ran a full solve" reason)

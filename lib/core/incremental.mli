@@ -28,3 +28,10 @@ val analyze_incremental :
     diff the two graph shapes, re-solve only the dirty components.
     Falls back to a full solve (with [stats.fallback] set) when [prev]
     is unusable for the given app and configuration. *)
+
+val refusal_warning : Analysis.t -> string option
+(** The stderr warning for a warm start that fell back to a full solve
+    ([stats.fallback] set), or [None] for a clean warm/cold run.  The
+    CLI's [--incremental] prints this unconditionally (even under
+    [--json]) so a refusal is never silent; tests pin the message
+    here. *)

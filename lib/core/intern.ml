@@ -159,10 +159,19 @@ type shared = {
   sh_lcount : int;
   sh_vbase : int;  (** first view id covered *)
   sh_vcount : int;
-  sh_values : Node.value array;  (** value decode table, ids [0 .. lcount+vcount-1] *)
-  sh_rids : int array;  (** rid decode table, same id layout *)
+  sh_values : Node.value array;
+      (** value decode table: ids [0 .. lcount+vcount-1] are the two
+          windows, then the two ⊤ markers *)
+  sh_rids : int array;  (** rid decode table: the windows, then the ⊤ sentinel raw id *)
 }
 
+(* The two ⊤ markers are part of the framework vocabulary too: every
+   application that parses [R.layout.?] / [R.id.?] interns the same
+   singleton values, so they sit in the frozen tier right after the
+   two windows (and the [-1] sentinel raw id joins the rid table at
+   the same offset).  Window arithmetic is untouched — the markers
+   live at fixed indices past both windows, so they can never collide
+   with a window entry no matter the window sizes. *)
 let make_shared ~layout_ids ~view_ids =
   if layout_ids < 0 || view_ids < 0 then invalid_arg "Intern.make_shared: negative window";
   let lbase = Layouts.Resource.layout_base and vbase = Layouts.Resource.view_base in
@@ -174,9 +183,12 @@ let make_shared ~layout_ids ~view_ids =
     sh_vbase = vbase;
     sh_vcount = view_ids;
     sh_values =
-      Array.init total (fun i ->
-          if i < layout_ids then Node.V_layout_id (raw i) else Node.V_view_id (raw i));
-    sh_rids = Array.init total raw;
+      Array.init (total + 2) (fun i ->
+          if i < layout_ids then Node.V_layout_id (raw i)
+          else if i < total then Node.V_view_id (raw i)
+          else if i = total then Node.V_layout_top
+          else Node.V_view_id_top);
+    sh_rids = Array.init (total + 1) (fun i -> if i < total then raw i else Node.top_view_id_raw);
   }
 
 (* Sized to cover the resource tables of typical applications while
@@ -203,12 +215,15 @@ let shared_value_id sh (v : Node.value) =
   | Node.V_layout_id n when n >= sh.sh_lbase && n - sh.sh_lbase < sh.sh_lcount -> n - sh.sh_lbase
   | Node.V_view_id n when n >= sh.sh_vbase && n - sh.sh_vbase < sh.sh_vcount ->
       sh.sh_lcount + (n - sh.sh_vbase)
+  | Node.V_layout_top -> sh.sh_lcount + sh.sh_vcount
+  | Node.V_view_id_top -> sh.sh_lcount + sh.sh_vcount + 1
   | _ -> -1
 
 let shared_rid_sym sh raw =
   if raw >= sh.sh_lbase && raw - sh.sh_lbase < sh.sh_lcount then raw - sh.sh_lbase
   else if raw >= sh.sh_vbase && raw - sh.sh_vbase < sh.sh_vcount then
     sh.sh_lcount + (raw - sh.sh_vbase)
+  else if raw = Node.top_view_id_raw then sh.sh_lcount + sh.sh_vcount
   else -1
 
 type t = {

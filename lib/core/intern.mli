@@ -35,9 +35,12 @@ type t
 type shared
 (** A frozen vocabulary tier: the contiguous layout-id and view-id
     windows starting at {!Layouts.Resource.layout_base} /
-    [view_base], exposed both as value ids and as rid symbols.
-    Immutable after construction — there is no code path that writes
-    it — hence safe to share across domains without locks. *)
+    [view_base], exposed both as value ids and as rid symbols, plus
+    the two ⊤ markers ([V_layout_top], [V_view_id_top]) and the
+    [Node.top_view_id_raw] rid sentinel at fixed indices past the
+    windows.  Immutable after construction — there is no code path
+    that writes it — hence safe to share across domains without
+    locks. *)
 
 val shared_tier : unit -> shared
 (** The process-wide tier, built once at module initialization (on

@@ -31,6 +31,13 @@ type value =
   | V_obj of alloc_site
   | V_layout_id of int
   | V_view_id of int
+  | V_layout_top
+  | V_view_id_top
+
+(* The raw resource id standing for "some id the analysis cannot
+   resolve" in id rows (SetId(v, ⊤)).  Real resource ids are
+   non-negative, so -1 can never collide with a window entry. *)
+let top_view_id_raw = -1
 
 type listener_abs = L_alloc of alloc_site | L_act of string
 
@@ -142,6 +149,8 @@ let compare_value a b =
   | V_obj x, V_obj y -> compare_alloc x y
   | V_layout_id x, V_layout_id y -> Int.compare x y
   | V_view_id x, V_view_id y -> Int.compare x y
+  | V_layout_top, V_layout_top -> 0
+  | V_view_id_top, V_view_id_top -> 0
   | a, b ->
       let tag = function
         | V_view _ -> 0
@@ -149,6 +158,8 @@ let compare_value a b =
         | V_obj _ -> 2
         | V_layout_id _ -> 3
         | V_view_id _ -> 4
+        | V_layout_top -> 5
+        | V_view_id_top -> 6
       in
       Int.compare (tag a) (tag b)
 
@@ -225,6 +236,8 @@ let hash_value = function
   | V_obj a -> mix 13 (hash_alloc a)
   | V_layout_id id -> mix 17 id
   | V_view_id id -> mix 19 id
+  | V_layout_top -> mix 53 1
+  | V_view_id_top -> mix 59 1
 
 let hash_listener = function
   | L_alloc a -> mix 23 (hash_alloc a)
@@ -260,6 +273,8 @@ let pp_value ppf = function
   | V_obj a -> pp_alloc ppf a
   | V_layout_id id -> Fmt.pf ppf "layout:0x%x" id
   | V_view_id id -> Fmt.pf ppf "id:0x%x" id
+  | V_layout_top -> Fmt.pf ppf "layout:top"
+  | V_view_id_top -> Fmt.pf ppf "id:top"
 
 let pp_listener ppf = function
   | L_alloc a -> pp_alloc ppf a

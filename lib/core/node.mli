@@ -57,6 +57,16 @@ type value =
   | V_obj of alloc_site  (** non-view allocation (listeners, dialogs, helpers) *)
   | V_layout_id of int
   | V_view_id of int
+  | V_layout_top
+      (** a layout id the analysis cannot resolve ([R.layout.?]):
+          matches every layout in the package *)
+  | V_view_id_top
+      (** a view id the analysis cannot resolve ([R.id.?]): matches
+          every candidate id in scope *)
+
+val top_view_id_raw : int
+(** Sentinel raw resource id ([-1]) standing for an unknown id in view
+    id rows ([SetId(v, ⊤)]); never collides with a real resource id. *)
 
 (** Abstract listeners: allocated listener objects, or activities
     acting as their own listeners (the "general case" the paper's

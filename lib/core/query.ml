@@ -278,18 +278,31 @@ let displayable_bits t hid =
 
 let activities_of_id t name =
   let it = t.sd.Solve.sd_it in
-  let with_id =
+  let row_of raw =
+    match Intern.rid_opt it raw with
+    | None -> None
+    | Some sym -> (
+        match row t.sd.Solve.sd_by_id sym with
+        | Some b when not (Util.Bitset.is_empty b) -> Some b
+        | _ -> None)
+  in
+  let concrete =
     match
       Layouts.Resource.find_view_id (Layouts.Package.resources t.sd.Solve.sd_package) name
     with
     | None -> None
-    | Some raw -> (
-        match Intern.rid_opt it raw with
-        | None -> None
-        | Some sym -> (
-            match row t.sd.Solve.sd_by_id sym with
-            | Some b when not (Util.Bitset.is_empty b) -> Some b
-            | _ -> None))
+    | Some raw -> row_of raw
+  in
+  (* A view whose id came from [SetId (v, ⊤)] carries the sentinel row:
+     its concrete id is unknown, so it matches every queried name. *)
+  let with_id =
+    match (concrete, row_of Node.top_view_id_raw) with
+    | None, None -> None
+    | (Some _ as b), None | None, (Some _ as b) -> b
+    | Some a, Some b ->
+        let u = Util.Bitset.copy a in
+        Util.Bitset.union_delta ~into:u b ~on_new:(fun _ -> ());
+        Some u
   in
   match with_id with
   | None -> []

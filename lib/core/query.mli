@@ -69,4 +69,5 @@ val activities_of_id : t -> string -> string list
 (** Activity classes whose displayable view hierarchy (roots plus
     descendants) contains a view carrying the named id, sorted;
     unknown id names resolve to the empty list, matching the forward
-    projection. *)
+    projection.  Views whose id came from [SetId (v, ⊤)] carry the
+    unknown-id sentinel and match every queried name, known or not. *)

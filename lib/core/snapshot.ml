@@ -12,7 +12,14 @@ module J = Util.Json
 
 let magic = "GATOR-SNAP"
 
-let version = 1
+(* Version 2 adds the unknown-resource-id markers ([lidtop]/[vidtop]
+   value tags) and the optional [taints] rows.  Version-1 snapshots —
+   written before the markers existed — decode unchanged: they cannot
+   contain the new tags, and a missing [taints] field means no node is
+   tainted. *)
+let version = 2
+
+let min_version = 1
 
 exception Bad of string
 
@@ -47,6 +54,8 @@ let jvalue = function
   | Node.V_obj a -> J.List [ J.String "obj"; jalloc a ]
   | Node.V_layout_id n -> J.List [ J.String "lid"; J.Int n ]
   | Node.V_view_id n -> J.List [ J.String "vid"; J.Int n ]
+  | Node.V_layout_top -> J.List [ J.String "lidtop" ]
+  | Node.V_view_id_top -> J.List [ J.String "vidtop" ]
 
 let jnode = function
   | Node.N_var (m, v) -> J.List [ J.String "var"; jmid m; J.String v ]
@@ -191,6 +200,12 @@ let to_json (sd : Solve.solved) =
           (List.map
              (fun (view, lids) -> J.List [ jview view; J.List (List.map (fun l -> J.Int l) lids) ])
              (Graph.root_layout_entries sd.sd_graph)) );
+      ( "taints",
+        J.List
+          (List.map
+             (fun (node, vs) ->
+               J.List [ jnode node; J.List (List.map jvalue (Graph.VS.elements vs)) ])
+             (Graph.tainted_nodes sd.sd_graph)) );
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -238,6 +253,8 @@ let dvalue = function
   | J.List [ J.String "obj"; a ] -> Node.V_obj (dalloc a)
   | J.List [ J.String "lid"; n ] -> Node.V_layout_id (dint n)
   | J.List [ J.String "vid"; n ] -> Node.V_view_id (dint n)
+  | J.List [ J.String "lidtop" ] -> Node.V_layout_top
+  | J.List [ J.String "vidtop" ] -> Node.V_view_id_top
   | _ -> bad "bad value"
 
 let dnode = function
@@ -351,8 +368,8 @@ let of_json j =
     | J.String m when m = magic -> ()
     | _ -> bad "not a snapshot (bad magic)");
     (match dint (dfield "version" j) with
-    | v when v = version -> ()
-    | v -> bad "unsupported snapshot version %d (expected %d)" v version);
+    | v when v >= min_version && v <= version -> ()
+    | v -> bad "unsupported snapshot version %d (expected %d..%d)" v min_version version);
     let config = dconfig (dfield "config" j) in
     let it = Intern.create () in
     (* Pool replay: ids are assigned densely in replay order, so each
@@ -451,6 +468,26 @@ let of_json j =
             List.iter (fun l -> ignore (Graph.add_root_layout graph view (dint l))) (dlist lids)
         | _ -> bad "bad root-layout entry")
       (dlist (dfield "root_layouts" j));
+    (* Optional: absent in version-1 snapshots (nothing was tainted). *)
+    (match J.member "taints" j with
+    | None -> ()
+    | Some rows ->
+        List.iter
+          (function
+            | J.List [ n; vs ] ->
+                Graph.install_taints graph (dnode n)
+                  (List.fold_left
+                     (fun acc v -> Graph.VS.add (dvalue v) acc)
+                     Graph.VS.empty (dlist vs))
+            | _ -> bad "bad taint entry")
+          (dlist rows));
+    (* Replay the seed pairs into the donor graph: the captured graph
+       carried them, and [Graph.has_top] — which the warm guard and the
+       taint pass key on — is reconstituted as a side effect. *)
+    let seeds = dpairs (dfield "seeds" j) in
+    Array.iter
+      (fun (nid, vid) -> Graph.seed graph (Intern.node_of it nid) (Intern.value_of it vid))
+      seeds;
     ignore (Graph.take_rel_changes graph);
     Ok
       {
@@ -472,7 +509,7 @@ let of_json j =
         sd_edst = dints (dfield "edst" j);
         sd_ekind = dints (dfield "ekind" j);
         sd_cast_names = dstrings (dfield "cast_names" j);
-        sd_seeds = dpairs (dfield "seeds" j);
+        sd_seeds = seeds;
         sd_ops =
           Array.of_list
             (List.map

@@ -35,6 +35,7 @@ let passes_cast hierarchy cls value =
     | Node.V_obj a -> compatible a.a_cls
     | Node.V_act a -> compatible a
     | Node.V_layout_id _ | Node.V_view_id _ -> false
+    | Node.V_layout_top | Node.V_view_id_top -> false
 
 type state = {
   config : Config.t;
@@ -121,6 +122,21 @@ let layout_ids_at state node =
     (Graph.set_of state.graph node) []
 
 let views_at state node = Graph.views_of state.graph node
+
+(* Unknown-id markers at an op input ([Inflate(⊤)] / [FindView(v, ⊤)]
+   / [SetId(v, ⊤)]). *)
+let top_layout_at state node = Graph.VS.mem Node.V_layout_top (Graph.set_of state.graph node)
+
+let top_view_id_at state node = Graph.VS.mem Node.V_view_id_top (Graph.set_of state.graph node)
+
+(* Every [R.layout] id of the package: a ⊤ layout argument may name any
+   of them (reflection, computed resource names). *)
+let all_layout_ids state =
+  let package = state.app.Framework.App.package in
+  let resources = Layouts.Package.resources package in
+  List.filter_map
+    (fun (def : Layouts.Layout.def) -> Layouts.Resource.find_layout_id resources def.name)
+    (Layouts.Package.layouts package)
 
 (* Content holders among the values at a location: activities, plus
    dialog objects when the extension is enabled. *)
@@ -213,13 +229,26 @@ let inject_handler_flows state view listener iface =
    paths compute the same set; the indexed one starts from the few
    views carrying [id] rather than the whole closure. *)
 let find_in_hierarchy state root id =
-  if state.indexed_find then
-    Graph.View_set.inter (Graph.views_by_id state.graph id)
-      (state.descend ~include_self:true root)
-  else
-    Graph.View_set.filter
-      (fun w -> Graph.Int_set.mem id (Graph.ids_of_view state.graph w))
-      (state.descend ~include_self:true root)
+  let scope = state.descend ~include_self:true root in
+  let base =
+    if state.indexed_find then Graph.View_set.inter (Graph.views_by_id state.graph id) scope
+    else
+      Graph.View_set.filter (fun w -> Graph.Int_set.mem id (Graph.ids_of_view state.graph w)) scope
+  in
+  (* A view whose id row carries the ⊤ sentinel (SetId(v, ⊤)) matches
+     any queried id.  The sentinel only enters rows on ⊤ graphs, so
+     non-⊤ apps take the unchanged fast path. *)
+  if Graph.has_top state.graph then
+    Graph.View_set.union base
+      (Graph.View_set.inter (Graph.views_by_id state.graph Node.top_view_id_raw) scope)
+  else base
+
+(* FindView(v, ⊤): the query may name any id, so it resolves to every
+   view in scope carrying at least one id. *)
+let find_any_id state root =
+  Graph.View_set.filter
+    (fun w -> not (Graph.Int_set.is_empty (Graph.ids_of_view state.graph w)))
+    (state.descend ~include_self:true root)
 
 (* [note_ret] lets the delta solver register the dynamically-resolved
    [N_ret] locations an op reads (fragment/adapter callbacks), which a
@@ -233,6 +262,9 @@ let apply_op state ?(note_ret = fun (_ : Node.t) -> ()) (op : Graph.op) =
       let arg0 = List.nth_opt op.op_args 0 in
       Option.iter
         (fun arg ->
+          let lids = layout_ids_at state arg in
+          (* Inflate(⊤): the unresolved id may name any layout. *)
+          let lids = if top_layout_at state arg then all_layout_ids state @ lids else lids in
           List.iter
             (fun lid ->
               match inflate_at state ~site:op.site.o_site lid with
@@ -248,13 +280,15 @@ let apply_op state ?(note_ret = fun (_ : Node.t) -> ()) (op : Graph.op) =
                         (views_at state parent_arg)
                   | None -> ())
               | None -> ())
-            (layout_ids_at state arg))
+            lids)
         arg0
   | Framework.Api.Set_content ->
       let holders = holders_at state op.op_recv in
       Option.iter
         (fun arg ->
           (* setContentView(int): rule INFLATE2 *)
+          let lids = layout_ids_at state arg in
+          let lids = if top_layout_at state arg then all_layout_ids state @ lids else lids in
           List.iter
             (fun lid ->
               match inflate_at state ~site:op.site.o_site lid with
@@ -262,7 +296,7 @@ let apply_op state ?(note_ret = fun (_ : Node.t) -> ()) (op : Graph.op) =
                   mark state (Graph.add_root_layout g root lid);
                   List.iter (fun h -> mark state (Graph.add_holder_root g h root)) holders
               | None -> ())
-            (layout_ids_at state arg);
+            lids;
           (* setContentView(View): rule ADDVIEW1 *)
           List.iter
             (fun view -> List.iter (fun h -> mark state (Graph.add_holder_root g h view)) holders)
@@ -281,9 +315,12 @@ let apply_op state ?(note_ret = fun (_ : Node.t) -> ()) (op : Graph.op) =
   | Framework.Api.Set_id ->
       Option.iter
         (fun arg ->
+          let ids = view_ids_at state arg in
+          (* SetId(v, ⊤): record the sentinel; such a row matches any
+             later query (see [find_in_hierarchy]). *)
+          let ids = if top_view_id_at state arg then Node.top_view_id_raw :: ids else ids in
           List.iter
-            (fun view ->
-              List.iter (fun id -> mark state (Graph.add_view_id g view id)) (view_ids_at state arg))
+            (fun view -> List.iter (fun id -> mark state (Graph.add_view_id g view id)) ids)
             (views_at state op.op_recv))
         (List.nth_opt op.op_args 0)
   | Framework.Api.Set_listener iface ->
@@ -303,21 +340,23 @@ let apply_op state ?(note_ret = fun (_ : Node.t) -> ()) (op : Graph.op) =
   | Framework.Api.Find_view ->
       Option.iter
         (fun arg ->
+          (* FINDVIEW1 starts from receiver views; FINDVIEW2 from the
+             roots of receiver activities/dialogs. *)
+          let over_scope find =
+            List.iter
+              (fun v -> Graph.View_set.iter out_view (find v))
+              (views_at state op.op_recv);
+            List.iter
+              (fun h ->
+                Graph.View_set.iter
+                  (fun root -> Graph.View_set.iter out_view (find root))
+                  (Graph.roots_of_holder g h))
+              (holders_at state op.op_recv)
+          in
           List.iter
-            (fun id ->
-              (* FINDVIEW1: receiver is a view *)
-              List.iter
-                (fun v ->
-                  Graph.View_set.iter out_view (find_in_hierarchy state v id))
-                (views_at state op.op_recv);
-              (* FINDVIEW2: receiver is an activity/dialog; search its roots *)
-              List.iter
-                (fun h ->
-                  Graph.View_set.iter
-                    (fun root -> Graph.View_set.iter out_view (find_in_hierarchy state root id))
-                    (Graph.roots_of_holder g h))
-                (holders_at state op.op_recv))
-            (view_ids_at state arg))
+            (fun id -> over_scope (fun root -> find_in_hierarchy state root id))
+            (view_ids_at state arg);
+          if top_view_id_at state arg then over_scope (fun root -> find_any_id state root))
         (List.nth_opt op.op_args 0)
   | Framework.Api.Find_one scope ->
       List.iter
@@ -359,11 +398,18 @@ let apply_op state ?(note_ret = fun (_ : Node.t) -> ()) (op : Graph.op) =
       let container_ids =
         match op.op_args with id_arg :: _ -> view_ids_at state id_arg | [] -> []
       in
+      let top_container =
+        match op.op_args with id_arg :: _ -> top_view_id_at state id_arg | [] -> false
+      in
       let containers =
         List.concat_map
           (fun h ->
             Graph.View_set.fold
               (fun root acc ->
+                let acc =
+                  if top_container then Graph.View_set.elements (find_any_id state root) @ acc
+                  else acc
+                in
                 List.fold_left
                   (fun acc id -> Graph.View_set.elements (find_in_hierarchy state root id) @ acc)
                   acc container_ids)
@@ -403,9 +449,11 @@ let apply_op state ?(note_ret = fun (_ : Node.t) -> ()) (op : Graph.op) =
             (* add(group, itemId, order, title): the item id *)
             (match op.op_args with
             | _ :: id_arg :: _ ->
-                List.iter
-                  (fun id -> mark state (Graph.add_view_id g item id))
-                  (view_ids_at state id_arg)
+                let ids = view_ids_at state id_arg in
+                let ids =
+                  if top_view_id_at state id_arg then Node.top_view_id_raw :: ids else ids
+                in
+                List.iter (fun id -> mark state (Graph.add_view_id g item id)) ids
             | _ -> ());
             match menu with
             | Node.V_alloc site -> (
@@ -1078,6 +1126,25 @@ let iadd_view_listener st wid entry =
 let iter_ivalues st nid f =
   match Slots.find st.sols (irep st nid) with None -> () | Some b -> Util.Bitset.iter f b
 
+(* Membership of a single abstract value (the ⊤ markers) at an op
+   input, without walking the set: on a ⊤ graph the marker was interned
+   at seeding time (or sits at its fixed shared-tier index), so a
+   [None] lookup means the value cannot be anywhere. *)
+let ihas_value st nid v =
+  match Intern.find_value st.it v with
+  | None -> false
+  | Some vid -> (
+      match Slots.find st.sols (irep st nid) with
+      | Some b -> Util.Bitset.mem b vid
+      | None -> false)
+
+let iall_layout_ids st =
+  let package = st.iapp.Framework.App.package in
+  let resources = Layouts.Package.resources package in
+  List.filter_map
+    (fun (def : Layouts.Layout.def) -> Layouts.Resource.find_layout_id resources def.name)
+    (Layouts.Package.layouts package)
+
 let irids_at st nid =
   let acc = ref [] in
   iter_ivalues st nid (fun vid ->
@@ -1190,13 +1257,34 @@ let iinject_handler_flows st wid listener iface =
     iface.Framework.Listeners.i_handlers
 
 (* find(view, id) on ids: walk the (few) carriers of the id, keeping
-   those inside the receiver's reflexive descendant closure. *)
+   those inside the receiver's reflexive descendant closure.  [sym] is
+   [None] when the queried raw id was never interned (no carrier) —
+   the query can still resolve through ⊤-sentinel rows below. *)
 let ifind st root sym f =
-  match Slots.find st.iby_id sym with
-  | None -> ()
-  | Some carriers ->
-      let strict = idesc_cached st root in
-      Util.Bitset.iter (fun w -> if w = root || Util.Bitset.mem strict w then f w) carriers
+  let strict = idesc_cached st root in
+  let walk s =
+    match Slots.find st.iby_id s with
+    | None -> ()
+    | Some carriers ->
+        Util.Bitset.iter (fun w -> if w = root || Util.Bitset.mem strict w then f w) carriers
+  in
+  (match sym with Some s -> walk s | None -> ());
+  (* a view whose id row carries the ⊤ sentinel matches any query *)
+  if Graph.has_top st.igraph then
+    match Intern.rid_opt st.it Node.top_view_id_raw with
+    | Some top_sym when sym <> Some top_sym -> walk top_sym
+    | _ -> ()
+
+(* find(view, ⊤): every view in scope carrying at least one id. *)
+let ifind_any_id st root f =
+  let strict = idesc_cached st root in
+  let visit w =
+    match Slots.find st.iids w with
+    | Some ids when not (Util.Bitset.is_empty ids) -> f w
+    | _ -> ()
+  in
+  visit root;
+  Util.Bitset.iter (fun w -> if w <> root then visit w) strict
 
 let iapply_op st ~note_ret oi =
   let op = st.iops.(oi) in
@@ -1212,6 +1300,8 @@ let iapply_op st ~note_ret oi =
   | Framework.Api.Inflate ->
       Option.iter
         (fun a ->
+          let lids = ilayouts_at st a in
+          let lids = if ihas_value st a Node.V_layout_top then iall_layout_ids st @ lids else lids in
           List.iter
             (fun lid ->
               match iinflate_at st ~site:op.Graph.site.o_site lid with
@@ -1226,12 +1316,14 @@ let iapply_op st ~note_ret oi =
                         (iviews_at st parent_arg)
                   | None -> ())
               | None -> ())
-            (ilayouts_at st a))
+            lids)
         (arg 0)
   | Framework.Api.Set_content ->
       let holders = iholders_at st recv in
       Option.iter
         (fun a ->
+          let lids = ilayouts_at st a in
+          let lids = if ihas_value st a Node.V_layout_top then iall_layout_ids st @ lids else lids in
           List.iter
             (fun lid ->
               match iinflate_at st ~site:op.Graph.site.o_site lid with
@@ -1240,7 +1332,7 @@ let iapply_op st ~note_ret oi =
                   ignore (Graph.add_root_layout g root_view lid);
                   List.iter (fun h -> iadd_holder_root st h root) holders
               | None -> ())
-            (ilayouts_at st a);
+            lids;
           List.iter
             (fun view -> List.iter (fun h -> iadd_holder_root st h view) holders)
             (iviews_at st a))
@@ -1256,8 +1348,12 @@ let iapply_op st ~note_ret oi =
   | Framework.Api.Set_id ->
       Option.iter
         (fun a ->
+          let ids = irids_at st a in
+          let ids =
+            if ihas_value st a Node.V_view_id_top then Node.top_view_id_raw :: ids else ids
+          in
           List.iter
-            (fun wid -> List.iter (fun raw -> iadd_view_id st wid raw) (irids_at st a))
+            (fun wid -> List.iter (fun raw -> iadd_view_id st wid raw) ids)
             (iviews_at st recv))
         (arg 0)
   | Framework.Api.Set_listener iface ->
@@ -1277,20 +1373,21 @@ let iapply_op st ~note_ret oi =
   | Framework.Api.Find_view ->
       Option.iter
         (fun a ->
+          let over_scope find =
+            List.iter (fun v -> find v) (iviews_at st recv);
+            List.iter
+              (fun h ->
+                match Slots.find st.iroots h with
+                | None -> ()
+                | Some roots -> Util.Bitset.iter (fun root -> find root) roots)
+              (iholders_at st recv)
+          in
           List.iter
             (fun raw ->
-              match Intern.rid_opt st.it raw with
-              | None -> ()
-              | Some sym ->
-                  List.iter (fun v -> ifind st v sym out_view) (iviews_at st recv);
-                  List.iter
-                    (fun h ->
-                      match Slots.find st.iroots h with
-                      | None -> ()
-                      | Some roots ->
-                          Util.Bitset.iter (fun root -> ifind st root sym out_view) roots)
-                    (iholders_at st recv))
-            (irids_at st a))
+              over_scope (fun root -> ifind st root (Intern.rid_opt st.it raw) out_view))
+            (irids_at st a);
+          if ihas_value st a Node.V_view_id_top then
+            over_scope (fun root -> ifind_any_id st root out_view))
         (arg 0)
   | Framework.Api.Find_one scope ->
       List.iter
@@ -1326,6 +1423,11 @@ let iapply_op st ~note_ret oi =
         | None -> []
       in
       let container_ids = match arg 0 with Some id_arg -> irids_at st id_arg | None -> [] in
+      let top_container =
+        match arg 0 with
+        | Some id_arg -> ihas_value st id_arg Node.V_view_id_top
+        | None -> false
+      in
       let containers =
         List.concat_map
           (fun h ->
@@ -1334,14 +1436,19 @@ let iapply_op st ~note_ret oi =
             | Some roots ->
                 Util.Bitset.fold
                   (fun root acc ->
+                    let acc =
+                      if top_container then begin
+                        let elems = ref acc in
+                        ifind_any_id st root (fun w -> elems := w :: !elems);
+                        !elems
+                      end
+                      else acc
+                    in
                     List.fold_left
                       (fun acc raw ->
-                        match Intern.rid_opt st.it raw with
-                        | None -> acc
-                        | Some sym ->
-                            let elems = ref acc in
-                            ifind st root sym (fun w -> elems := w :: !elems);
-                            !elems)
+                        let elems = ref acc in
+                        ifind st root (Intern.rid_opt st.it raw) (fun w -> elems := w :: !elems);
+                        !elems)
                       acc container_ids)
                   roots [])
           (iholders_at st recv)
@@ -1375,7 +1482,13 @@ let iapply_op st ~note_ret oi =
             iadd_child st ~parent:menu_wid ~child:item;
             out_view item;
             (match arg 1 with
-            | Some id_arg -> List.iter (fun raw -> iadd_view_id st item raw) (irids_at st id_arg)
+            | Some id_arg ->
+                let ids = irids_at st id_arg in
+                let ids =
+                  if ihas_value st id_arg Node.V_view_id_top then Node.top_view_id_raw :: ids
+                  else ids
+                in
+                List.iter (fun raw -> iadd_view_id st item raw) ids
             | None -> ());
             match menu with
             | Node.V_alloc site -> (
@@ -2177,6 +2290,193 @@ let icapture st ?carry_map ?fps ?seeds ?reuse_ops ~config ~(app : Framework.App.
     sd_targets;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Imprecision taint.
+
+   A second plane over the solution: value [v] at node [n] is tainted
+   when its presence may depend on how an unknown-id marker resolves.
+   Solving never branches on taint, so it is derivable from the solved
+   tables — one shared post-pass run identically after all three
+   engines, which makes cross-engine bit-identity of the plane trivial,
+   keeps the warm-solve machinery entirely taint-free (⊤ graphs refuse
+   warm starts; see [warm_guard]), and costs nothing on ⊤-free apps
+   (the [has_top] guard).
+
+   The pass propagates over the FULL frozen flow CSR
+   ([fc_row]/[fc_edst]), not the structural edge list: context-keyed
+   clone constraints exist only at the id level.  Taint is an invariant
+   subset of the solution ([taint n ⊆ set n]), maintained by the
+   membership guard in [add].
+
+   Rules (iterated to a fixpoint):
+   - a marker value taints itself wherever it occurs;
+   - a flow edge copies taint value-per-value, cast-filtered;
+   - Inflate/Set_content with ⊤ (or a tainted concrete id) at the
+     layout argument taints the whole subtree it inflated at that
+     site — tracked in the tainted-view set [w] and lifted back into
+     every solution set containing such a view;
+   - FindView(_, ⊤), or a FindView/FindOne/GetParent whose receiver
+     holds a tainted view or holder value, taints the views it
+     outputs; a FindView output carrying the ⊤ id-row sentinel
+     (SetId(v, ⊤)) is tainted too, since any query matches it;
+   - PassThrough copies the receiver's taints;
+   - relations (children, ids, roots, listeners) and handler-parameter
+     injections carry no taint. *)
+let compute_taints (app : Framework.App.t) graph =
+  if Graph.has_top graph then begin
+    let it = Graph.interner graph in
+    let fc = Graph.frozen_flow graph in
+    let hierarchy = app.Framework.App.hierarchy in
+    let package = app.Framework.App.package in
+    let n = Intern.node_count it in
+    (* The structural engines solve some nodes without ever interning
+       them (handler params injected by value, not by edge); the lift
+       rule must still see their sets, so append them after the
+       CSR-addressable prefix.  They have no flow edges and no op
+       references — only markers/lift/install touch them. *)
+    let extras =
+      Array.of_list
+        (List.filter (fun node -> Intern.find_node it node = None) (Graph.locations graph))
+    in
+    let structural =
+      Array.append (Array.init n (fun nid -> Intern.node_of it nid)) extras
+    in
+    let total = Array.length structural in
+    let set_at = Array.init total (fun i -> Graph.set_of graph structural.(i)) in
+    let taint = Array.make total Graph.VS.empty in
+    let w = ref Graph.View_set.empty in
+    let changed = ref true in
+    let add nid v =
+      if
+        nid >= 0
+        && Graph.VS.mem v set_at.(nid)
+        && not (Graph.VS.mem v taint.(nid))
+      then begin
+        taint.(nid) <- Graph.VS.add v taint.(nid);
+        changed := true
+      end
+    in
+    let grow_w view =
+      if not (Graph.View_set.mem view !w) then begin
+        w := Graph.View_set.add view !w;
+        changed := true
+      end
+    in
+    (* Markers taint themselves. *)
+    for nid = 0 to total - 1 do
+      if Graph.VS.mem Node.V_layout_top set_at.(nid) then add nid Node.V_layout_top;
+      if Graph.VS.mem Node.V_view_id_top set_at.(nid) then add nid Node.V_view_id_top
+    done;
+    let edges () =
+      for src = 0 to fc.Graph.fc_nodes - 1 do
+        if not (Graph.VS.is_empty taint.(src)) then
+          for e = fc.Graph.fc_row.(src) to fc.Graph.fc_row.(src + 1) - 1 do
+            let dst = fc.Graph.fc_edst.(e) in
+            let k = fc.Graph.fc_ekind.(e) in
+            Graph.VS.iter
+              (fun v ->
+                if k < 0 || passes_cast hierarchy fc.Graph.fc_cast_names.(k) v then add dst v)
+              taint.(src)
+          done
+      done
+    in
+    let ops = Array.of_list (Graph.ops graph) in
+    let ids = Graph.ops_node_ids graph in
+    let taint_out_views out =
+      Graph.VS.iter
+        (fun v -> match v with Node.V_view _ -> add out v | _ -> ())
+        (if out >= 0 then set_at.(out) else Graph.VS.empty)
+    in
+    let tainted_scope recv =
+      Graph.VS.exists
+        (fun v ->
+          match v with Node.V_view _ | Node.V_act _ | Node.V_obj _ -> true | _ -> false)
+        taint.(recv)
+    in
+    let op_rules () =
+      Array.iteri
+        (fun i (op : Graph.op) ->
+          let recv, args, out = ids.(i) in
+          let arg k = if k < Array.length args then Some args.(k) else None in
+          match op.Graph.site.Node.o_kind with
+          | Framework.Api.Inflate | Framework.Api.Set_content -> (
+              match arg 0 with
+              | None -> ()
+              | Some a ->
+                  let site = op.Graph.site.Node.o_site in
+                  let mark_layout name =
+                    match Graph.find_inflation graph ~site ~layout:name with
+                    | Some views -> List.iter grow_w views
+                    | None -> ()
+                  in
+                  if Graph.VS.mem Node.V_layout_top set_at.(a) then
+                    List.iter
+                      (fun (def : Layouts.Layout.def) -> mark_layout def.name)
+                      (Layouts.Package.layouts package);
+                  Graph.VS.iter
+                    (fun v ->
+                      match v with
+                      | Node.V_layout_id lid -> (
+                          match Layouts.Package.find_by_layout_id package lid with
+                          | Some def -> mark_layout def.Layouts.Layout.name
+                          | None -> ())
+                      | _ -> ())
+                    taint.(a))
+          | Framework.Api.Find_view -> (
+              match arg 0 with
+              | None -> ()
+              | Some a ->
+                  let top_query = Graph.VS.mem Node.V_view_id_top set_at.(a) in
+                  let tainted_id =
+                    Graph.VS.exists
+                      (fun v -> match v with Node.V_view_id _ -> true | _ -> false)
+                      taint.(a)
+                  in
+                  if top_query || tainted_id || tainted_scope recv then taint_out_views out
+                  else if out >= 0 then
+                    (* concrete query, but a result carrying the
+                       ⊤ sentinel may have matched through it *)
+                    Graph.VS.iter
+                      (fun v ->
+                        match v with
+                        | Node.V_view view
+                          when Graph.Int_set.mem Node.top_view_id_raw
+                                 (Graph.ids_of_view graph view) ->
+                            add out v
+                        | _ -> ())
+                      set_at.(out))
+          | Framework.Api.Find_one _ | Framework.Api.Get_parent ->
+              if tainted_scope recv then taint_out_views out
+          | Framework.Api.Pass_through ->
+              Graph.VS.iter (fun v -> add out v) taint.(recv)
+          | Framework.Api.Add_view | Framework.Api.Set_id | Framework.Api.Set_listener _
+          | Framework.Api.Start_activity | Framework.Api.Fragment_add | Framework.Api.Menu_add
+          | Framework.Api.Set_adapter ->
+              ())
+        ops
+    in
+    let lift () =
+      for nid = 0 to total - 1 do
+        Graph.VS.iter
+          (fun v ->
+            match v with
+            | Node.V_view view when Graph.View_set.mem view !w -> add nid v
+            | _ -> ())
+          set_at.(nid)
+      done
+    in
+    while !changed do
+      changed := false;
+      edges ();
+      op_rules ();
+      lift ()
+    done;
+    for nid = 0 to total - 1 do
+      if not (Graph.VS.is_empty taint.(nid)) then
+        Graph.install_taints graph structural.(nid) taint.(nid)
+    done
+  end
+
 (* Full solve that also captures the solution for later warm restarts.
    Always runs the interned engine (the captured state is id-level);
    bit-identical to [run] under the interned solver. *)
@@ -2185,6 +2485,7 @@ let run_solved ?fallback config (app : Framework.App.t) graph =
   let st = ifreeze config app graph in
   let iterations, ret_deps = iloop st ~record:true ~init:(icold_init st) config in
   imaterialize st;
+  compute_taints app graph;
   let stats = istats st ~iterations ~warm_solve:false ~dirty_comps:0 ~reused_comps:0 ~fallback in
   (stats, icapture st ~config ~app ~ret_deps (fun _ -> None))
 
@@ -2193,6 +2494,12 @@ let warm_guard prev config (app : Framework.App.t) graph =
   if not (Graph.interner graph == prev.sd_it) then
     Some "graph was not extracted over the previous solve's interner"
   else if config <> prev.sd_config then Some "configuration changed"
+  else if Graph.has_top graph || Graph.has_top prev.sd_graph then
+    (* A ⊤ marker makes op effects depend on the whole layout table
+       and the whole id index, which the shape diff does not model —
+       and the taint plane would have to be re-derived anyway.  Sound
+       mode always re-solves from scratch. *)
+    Some "unknown-id markers present: sound mode is not warm-startable"
   else if
     config.Config.ctx_keyed && config.Config.inline_depth > 0
     && config.Config.solver = Config.Interned
@@ -2656,7 +2963,10 @@ let run_incremental ~prev ~edits ?new_shape config (app : Framework.App.t) graph
 let run config (app : Framework.App.t) graph =
   Graph.reset_sets graph;
   match config.Config.solver with
-  | Config.Interned -> run_interned config app graph
+  | Config.Interned ->
+      let stats = run_interned config app graph in
+      compute_taints app graph;
+      stats
   | (Config.Naive | Config.Delta) as solver ->
       let descend =
         match solver with
@@ -2680,6 +2990,7 @@ let run config (app : Framework.App.t) graph =
       let iterations =
         match solver with Config.Naive -> run_naive state | _ -> run_delta state
       in
+      compute_taints app graph;
       let desc_cache_hits, desc_cache_misses = Graph.desc_cache_counters graph in
       {
         iterations;

@@ -822,6 +822,97 @@ let random_alias_heavy_app ?(name = "Alias") rng =
   alias_heavy_app ~name ~groups ~sites_per_group ~seed ()
 
 (* ------------------------------------------------------------------ *)
+(* Reflection-heavy generator (sound-mode stress).
+
+   Resource ids arrive through reflection-style lookups the analysis
+   cannot resolve ([R.layout.?] / [R.id.?]), so the sound engines must
+   treat them as ⊤: [setContentView ⊤] inflates every layout of the
+   package, [findViewById ⊤] matches every id in scope, and
+   [setId (v, ⊤)] makes [v] answer every id query.  The dynamic oracle
+   replays the app once per candidate resolution
+   ([Interp.options.top_layout] / [top_view]); a sound static solution
+   must cover all of those runs.  One activity stays fully concrete so
+   the ⊤ taint is a strict subset of the solution — the precision
+   table's pollution fraction depends on that. *)
+
+let reflective_app ?(name = "Refl") ~layouts ~seed () =
+  if layouts < 1 then invalid_arg "Gen.reflective_app: layouts >= 1 required";
+  let rng = Util.Prng.create seed in
+  let layout_name i = Printf.sprintf "%s_lyt%d" name i in
+  let root_id i = Printf.sprintf "vid_root%d" i in
+  let btn_id i = Printf.sprintf "vid_btn%d" i in
+  let defs =
+    List.init layouts (fun i ->
+        Layouts.Layout.def ~name:(layout_name i)
+          (Layouts.Layout.node ~id:(root_id i)
+             ~children:[ Layouts.Layout.node ~id:(btn_id i) ~children:[] "Button" ]
+             "LinearLayout"))
+  in
+  let iface = Option.get (Framework.Listeners.by_name "OnClickListener") in
+  let listener_name = name ^ "_Listener" in
+  let listener_cls =
+    let handlers =
+      List.map
+        (fun (h : Framework.Listeners.handler) ->
+          let params =
+            List.init h.h_arity (fun i ->
+                let ty = if h.h_view_param = Some i then B.tclass "View" else Jir.Ast.Tint in
+                (Printf.sprintf "p%d" i, ty))
+          in
+          B.meth ~params h.h_name [])
+        iface.Framework.Listeners.i_handlers
+    in
+    B.cls ~implements:[ iface.Framework.Listeners.i_name ] ~methods:handlers listener_name
+  in
+  (* the reflective activity: an unresolvable content layout, an
+     unresolvable find, and an unresolvable setId *)
+  let refl_body =
+    [
+      B.layout_top "lid";
+      B.call Jir.Ast.this_var "setContentView" [ "lid" ];
+      B.view_id_top "q";
+      B.call ~into:"v" Jir.Ast.this_var "findViewById" [ "q" ];
+      (* cast filtering still applies to ⊤-matched values *)
+      B.cast "b" "Button" "v";
+      B.new_ "w" (Util.Prng.choose rng leaf_classes);
+      B.view_id_top "sid";
+      B.call "w" "setId" [ "sid" ];
+      B.call "v" "addView" [ "w" ];
+      (* a concrete query in ⊤ scope: must still see the sentinel
+         carrier [w] and every candidate the ⊤ inflation brought in *)
+      B.view_id "a0" (btn_id 0);
+      B.call ~into:"f" Jir.Ast.this_var "findViewById" [ "a0" ];
+      B.new_ "l0" listener_name;
+      B.call "f" iface.Framework.Listeners.i_setter [ "l0" ];
+    ]
+  in
+  let refl_activity =
+    B.cls ~extends:"Activity" ~methods:[ B.meth "onCreate" refl_body ] (name ^ "_Activity")
+  in
+  (* a fully concrete activity over layout 0: its solution sets must
+     come out untainted *)
+  let concrete_body =
+    [
+      B.layout_id "clid" (layout_name 0);
+      B.call Jir.Ast.this_var "setContentView" [ "clid" ];
+      B.view_id "ca0" (btn_id 0);
+      B.call ~into:"x" Jir.Ast.this_var "findViewById" [ "ca0" ];
+    ]
+  in
+  let concrete_activity =
+    B.cls ~extends:"Activity" ~methods:[ B.meth "onCreate" concrete_body ] (name ^ "_Concrete")
+  in
+  let program = B.program [ refl_activity; concrete_activity; listener_cls ] in
+  let package = Layouts.Package.create () in
+  List.iter (Layouts.Package.add package) defs;
+  Framework.App.make ~name program package
+
+let random_reflective_app ?(name = "Refl") rng =
+  let layouts = Util.Prng.int_in rng 1 4 in
+  let seed = Int64.to_int (Util.Prng.next rng) land 0xFFFFFF in
+  reflective_app ~name ~layouts ~seed ()
+
+(* ------------------------------------------------------------------ *)
 (* Streaming spec source.
 
    [stream_spec ~seed i] is a pure function of (seed, i): each index

@@ -65,6 +65,21 @@ val random_alias_heavy_app : ?name:string -> Util.Prng.t -> Framework.App.t
 (** Random parameters for {!alias_heavy_app}, for property-based
     testing. *)
 
+val reflective_app : ?name:string -> layouts:int -> seed:int -> unit -> Framework.App.t
+(** Reflection-heavy app for the sound-mode (⊤ marker) battery: the
+    content layout, a find-view id and a set-id id all arrive through
+    unresolvable [R.layout.?] / [R.id.?] lookups, over [layouts]
+    package layouts, plus one fully concrete activity whose solution
+    sets must stay untainted.  The dynamic oracle replays it once per
+    candidate resolution ({!Dynamic.Interp.options} [top_layout] /
+    [top_view]); sound mode must cover every run.
+
+    @raise Invalid_argument unless [layouts >= 1]. *)
+
+val random_reflective_app : ?name:string -> Util.Prng.t -> Framework.App.t
+(** Random parameters for {!reflective_app}, for property-based
+    testing. *)
+
 val stream_spec : seed:int -> int -> Spec.t
 (** The [i]-th spec of the infinite generated stream with the given
     seed — a pure function of [(seed, i)] (each index owns its PRNG),

@@ -45,6 +45,7 @@ let rec map_m f = function
 
 (* Mini statement encoding: {"new": ["x", "C"]}, {"copy": ["x", "y"]},
    {"read_view_id": ["x", "name"]}, {"read_layout_id": ["x", "name"]},
+   {"read_view_top": "x"}, {"read_layout_top": "x"},
    {"const_int": ["x", 7]}, {"const_null": "x"},
    {"read_field": ["x", "y", "f"]}, {"write_field": ["x", "f", "y"]},
    {"cast": ["x", "C", "y"]},
@@ -75,6 +76,12 @@ let stmt_of_json j =
       | "copy" -> two (fun x y -> Jir.Ast.Copy (x, y))
       | "read_view_id" -> two (fun x n -> Jir.Ast.Read_view_id (x, n))
       | "read_layout_id" -> two (fun x n -> Jir.Ast.Read_layout_id (x, n))
+      | "read_view_top" ->
+          let* x = str payload in
+          Ok (Jir.Ast.Read_view_top x)
+      | "read_layout_top" ->
+          let* x = str payload in
+          Ok (Jir.Ast.Read_layout_top x)
       | "read_field" -> three (fun x y f -> Jir.Ast.Read_field (x, y, f))
       | "write_field" -> three (fun x f y -> Jir.Ast.Write_field (x, f, y))
       | "cast" -> three (fun x c y -> Jir.Ast.Cast (x, c, y))

@@ -18,9 +18,19 @@ type outcome = {
   truncated : bool;
 }
 
-type options = { event_rounds : int; max_depth : int; max_steps : int }
+type options = {
+  event_rounds : int;
+  max_depth : int;
+  max_steps : int;
+  top_layout : string option;
+      (** concrete layout name [R.layout.?] resolves to in this run —
+          the oracle replays a reflection-heavy app once per candidate;
+          [None] resolves to an id matching no layout *)
+  top_view : string option;  (** likewise for [R.id.?] *)
+}
 
-let default_options = { event_rounds = 3; max_depth = 64; max_steps = 200_000 }
+let default_options =
+  { event_rounds = 3; max_depth = 64; max_steps = 200_000; top_layout = None; top_view = None }
 
 let pp_role ppf = function
   | R_receiver -> Fmt.string ppf "receiver"
@@ -377,6 +387,22 @@ and exec_meth state ~depth ~owner (m : Jir.Ast.meth) this_value arg_values =
               run_body (index + 1) rest
           | Jir.Ast.Read_view_id (x, name) ->
               Hashtbl.replace env x (Heap.V_int (Layouts.Resource.view_id resources name));
+              run_body (index + 1) rest
+          | Jir.Ast.Read_layout_top x ->
+              let id =
+                match state.opts.top_layout with
+                | Some name -> Layouts.Resource.layout_id resources name
+                | None -> -1
+              in
+              Hashtbl.replace env x (Heap.V_int id);
+              run_body (index + 1) rest
+          | Jir.Ast.Read_view_top x ->
+              let id =
+                match state.opts.top_view with
+                | Some name -> Layouts.Resource.view_id resources name
+                | None -> -1
+              in
+              Hashtbl.replace env x (Heap.V_int id);
               run_body (index + 1) rest
           | Jir.Ast.Const_int (x, n) ->
               Hashtbl.replace env x (Heap.V_int n);

@@ -51,6 +51,13 @@ type options = {
   event_rounds : int;  (** how many rounds of GUI events to fire *)
   max_depth : int;  (** call-stack bound *)
   max_steps : int;  (** total statement bound *)
+  top_layout : string option;
+      (** concrete layout name [R.layout.?] resolves to in this run.
+          The soundness oracle replays a reflection-heavy app once per
+          candidate resolution; a sound static solution must cover
+          every such run.  [None] (the default) resolves to an id that
+          matches no layout. *)
+  top_view : string option;  (** likewise for [R.id.?] *)
 }
 
 val default_options : options

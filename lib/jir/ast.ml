@@ -23,6 +23,8 @@ type stmt =
   | Write_field of var * string * var  (** [x.f = y] *)
   | Read_layout_id of var * string  (** [x = R.layout.f] *)
   | Read_view_id of var * string  (** [x = R.id.f] *)
+  | Read_layout_top of var  (** [x = R.layout.?] — statically unknown layout id *)
+  | Read_view_top of var  (** [x = R.id.?] — statically unknown view id *)
   | Const_int of var * int  (** [x = n] *)
   | Const_null of var  (** [x = null] *)
   | Cast of var * string * var  (** [x = (C) y] *)
@@ -59,7 +61,13 @@ let key_of_meth m = { mk_name = m.m_name; mk_arity = List.length m.m_params }
 
 (** Variables appearing in a statement, defs first. *)
 let stmt_vars = function
-  | New (x, _) | Read_layout_id (x, _) | Read_view_id (x, _) | Const_int (x, _) | Const_null x ->
+  | New (x, _)
+  | Read_layout_id (x, _)
+  | Read_view_id (x, _)
+  | Read_layout_top x
+  | Read_view_top x
+  | Const_int (x, _)
+  | Const_null x ->
       [ x ]
   | Copy (x, y) | Read_field (x, y, _) | Cast (x, _, y) -> [ x; y ]
   | Write_field (x, _, y) -> [ x; y ]
@@ -74,6 +82,8 @@ let stmt_def = function
   | Read_field (x, _, _)
   | Read_layout_id (x, _)
   | Read_view_id (x, _)
+  | Read_layout_top x
+  | Read_view_top x
   | Const_int (x, _)
   | Const_null x
   | Cast (x, _, _) ->

@@ -14,6 +14,10 @@ let layout_id x name = Ast.Read_layout_id (x, name)
 
 let view_id x name = Ast.Read_view_id (x, name)
 
+let layout_top x = Ast.Read_layout_top x
+
+let view_id_top x = Ast.Read_view_top x
+
 let const x n = Ast.Const_int (x, n)
 
 let null x = Ast.Const_null x

@@ -25,6 +25,13 @@ val layout_id : string -> string -> Ast.stmt
 val view_id : string -> string -> Ast.stmt
 (** [view_id x "button"] is [x = R.id.button]. *)
 
+val layout_top : string -> Ast.stmt
+(** [layout_top x] is [x = R.layout.?] — a layout id the analysis
+    cannot resolve statically. *)
+
+val view_id_top : string -> Ast.stmt
+(** [view_id_top x] is [x = R.id.?]. *)
+
 val const : string -> int -> Ast.stmt
 
 val null : string -> Ast.stmt

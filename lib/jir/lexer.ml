@@ -23,6 +23,7 @@ type token =
   | COMMA
   | DOT
   | EQUALS
+  | QUESTION
 
 type pos = { line : int; col : int }
 
@@ -55,6 +56,7 @@ let pp_token ppf = function
   | COMMA -> Fmt.string ppf "','"
   | DOT -> Fmt.string ppf "'.'"
   | EQUALS -> Fmt.string ppf "'='"
+  | QUESTION -> Fmt.string ppf "'?'"
 
 let keyword_of_string = function
   | "class" -> Some KW_CLASS
@@ -199,6 +201,9 @@ let tokenize src =
         | '=' ->
             advance cur;
             emit EQUALS pos
+        | '?' ->
+            advance cur;
+            emit QUESTION pos
         | c when is_digit c -> emit (INT (lex_number cur pos)) pos
         | c when is_ident_start c ->
             let word = lex_word cur in

@@ -28,6 +28,7 @@ type token =
   | COMMA
   | DOT
   | EQUALS
+  | QUESTION  (** [R.layout.?] / [R.id.?]: statically unresolvable resource *)
 
 type pos = { line : int; col : int }
 

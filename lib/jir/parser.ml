@@ -104,12 +104,22 @@ let parse_rhs state x =
       expect state DOT "'.'";
       let category = ident state in
       expect state DOT "'.'";
-      let name = ident state in
-      match category with
-      | "layout" -> Ast.Read_layout_id (x, name)
-      | "id" -> Ast.Read_view_id (x, name)
-      | other ->
-          raise (Parse_error (Fmt.str "unknown resource category R.%s (want layout or id)" other, l.pos)))
+      (* [R.layout.?] / [R.id.?]: a resource id the analysis cannot
+         resolve statically (reflection, computed names). *)
+      if accept state QUESTION then
+        match category with
+        | "layout" -> Ast.Read_layout_top x
+        | "id" -> Ast.Read_view_top x
+        | other ->
+            raise
+              (Parse_error (Fmt.str "unknown resource category R.%s (want layout or id)" other, l.pos))
+      else
+        let name = ident state in
+        match category with
+        | "layout" -> Ast.Read_layout_id (x, name)
+        | "id" -> Ast.Read_view_id (x, name)
+        | other ->
+            raise (Parse_error (Fmt.str "unknown resource category R.%s (want layout or id)" other, l.pos)))
   | LPAREN ->
       let cls = ident state in
       expect state RPAREN "')'";

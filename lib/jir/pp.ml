@@ -13,6 +13,8 @@ let pp_stmt ppf = function
   | Ast.Write_field (x, f, y) -> Fmt.pf ppf "%s.%s = %s;" x f y
   | Ast.Read_layout_id (x, f) -> Fmt.pf ppf "%s = R.layout.%s;" x f
   | Ast.Read_view_id (x, f) -> Fmt.pf ppf "%s = R.id.%s;" x f
+  | Ast.Read_layout_top x -> Fmt.pf ppf "%s = R.layout.?;" x
+  | Ast.Read_view_top x -> Fmt.pf ppf "%s = R.id.?;" x
   | Ast.Const_int (x, n) -> Fmt.pf ppf "%s = %d;" x n
   | Ast.Const_null x -> Fmt.pf ppf "%s = null;" x
   | Ast.Cast (x, c, y) -> Fmt.pf ppf "%s = (%s) %s;" x c y

@@ -68,7 +68,11 @@ let infer ~hierarchy ~external_return ~owner (m : Ast.meth) =
     match stmt with
     | Ast.New (x, c) -> update x (Ast.Tclass c)
     | Ast.Cast (x, c, _) -> update x (Ast.Tclass c)
-    | Ast.Read_layout_id (x, _) | Ast.Read_view_id (x, _) | Ast.Const_int (x, _) ->
+    | Ast.Read_layout_id (x, _)
+    | Ast.Read_view_id (x, _)
+    | Ast.Read_layout_top x
+    | Ast.Read_view_top x
+    | Ast.Const_int (x, _) ->
         update x Ast.Tint
     | Ast.Const_null _ -> ()
     | Ast.Copy (x, y) -> ( match ty_of env y with Some ty -> update x ty | None -> ())

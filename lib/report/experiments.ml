@@ -424,6 +424,40 @@ let context_precision () =
    context-keyed interned engine)\n"
   ^ Table.render ~header rows
 
+(* Precision companion to Table 2: how much of the solution space the
+   unknown-id markers pollute.  Corpus apps never mint a ⊤ marker, so
+   XBMC is the 0% control row; the reflective family routes its
+   layout/id lookups through [R.layout.?]/[R.id.?] and shows the price
+   of soundness as the fraction of nonempty solution sets that carry
+   the imprecision taint. *)
+let top_pollution () =
+  let apps =
+    [
+      ("XBMC", Corpus.Gen.generate (Option.get (Corpus.Apps.by_name "XBMC")));
+      ("ReflHeavy", Corpus.Gen.reflective_app ~name:"ReflHeavy" ~layouts:3 ~seed:2014 ());
+      ("ReflWide", Corpus.Gen.reflective_app ~name:"ReflWide" ~layouts:6 ~seed:7 ());
+    ]
+  in
+  let header = [ "App"; "markers"; "nonempty sets"; "polluted"; "polluted %" ] in
+  let rows =
+    List.map
+      (fun (name, app) ->
+        let r = Gator.Analysis.analyze app in
+        let polluted, nonempty = Gator.Analysis.pollution r in
+        [
+          name;
+          (if Gator.Graph.has_top r.graph then "yes" else "no");
+          Table.cell_int nonempty;
+          Table.cell_int polluted;
+          Printf.sprintf "%.1f%%"
+            (100. *. float_of_int polluted /. Float.max 1.0 (float_of_int nonempty));
+        ])
+      apps
+  in
+  "Unknown-id pollution: solution sets tainted by a reflective (top) marker, read\n\
+   alongside Table 2's averages; corpus apps carry no markers, so XBMC is the 0% control\n"
+  ^ Table.render ~header rows
+
 let scale_spec (s : Corpus.Spec.t) k =
   {
     s with

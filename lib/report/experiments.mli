@@ -103,6 +103,13 @@ val context_precision : unit -> string
     helpers merge whole call groups without inlining) and on XBMC,
     with the context-keyed engine's minted context counts. *)
 
+val top_pollution : unit -> string
+(** Beyond-paper: the precision column sound mode adds next to
+    Table 2 — per app, the fraction of nonempty solution sets whose
+    values were matched through an unknown-id (⊤) marker.  Corpus
+    apps never mint a marker (XBMC is the 0% control); the reflective
+    family shows the pollution the sound over-approximation costs. *)
+
 val scalability : ?factors:int list -> unit -> string
 (** Beyond-paper: analysis wall-clock as the application grows — a
     mid-size corpus spec scaled by each factor.  Demonstrates the

@@ -169,6 +169,22 @@ let find t name =
   | Some entry -> Ok entry
   | None -> Error (P.E_unknown_app, Printf.sprintf "app %S is not loaded" name)
 
+(* A patch replaces the query handle wholesale (the new solved state
+   needs a new reverse index), but the [stats] reply is cumulative per
+   loaded app: snapshot the retiring handle's counters into the fresh
+   one so a patch never silently zeroes the totals a client is
+   watching.  [Query.stats] itself stays "since create" — the
+   accumulation across generations is a daemon-level contract. *)
+let carry_stats ~retiring ~fresh =
+  let open Gator.Query in
+  fresh.q_queries <- fresh.q_queries + retiring.q_queries;
+  fresh.q_memo_hits <- fresh.q_memo_hits + retiring.q_memo_hits;
+  fresh.q_expanded <- fresh.q_expanded + retiring.q_expanded;
+  fresh.q_edges <- fresh.q_edges + retiring.q_edges;
+  fresh.q_generator_hits <- fresh.q_generator_hits + retiring.q_generator_hits;
+  fresh.q_cycle_fallbacks <- fresh.q_cycle_fallbacks + retiring.q_cycle_fallbacks;
+  fresh.q_budget_fallbacks <- fresh.q_budget_fallbacks + retiring.q_budget_fallbacks
+
 let apply_patch t entry edits =
   match Corpus.Patch.of_json edits with
   | Error e -> Error (P.E_bad_params, Printf.sprintf "bad patch: %s" e)
@@ -177,9 +193,11 @@ let apply_patch t entry edits =
       | Error e -> Error (P.E_bad_params, Printf.sprintf "patch does not apply: %s" e)
       | Ok app ->
           let r, solved = Gator.Incremental.analyze_incremental ~config ~prev:entry.e_solved app in
+          let retiring = Gator.Query.stats entry.e_query in
           entry.e_app <- app;
           entry.e_solved <- solved;
           entry.e_query <- Gator.Query.create ~hierarchy:app.Framework.App.hierarchy solved;
+          carry_stats ~retiring ~fresh:(Gator.Query.stats entry.e_query);
           entry.e_generation <- entry.e_generation + 1;
           entry.e_patches <-
             entry.e_patches @ (match edits with J.List l -> l | e -> [ e ]);

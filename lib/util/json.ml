@@ -31,6 +31,41 @@ let escape buf s =
     | c when Char.code c < 0x20 ->
         Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c));
         incr i
+    | '\xed' when !i + 2 < n ->
+        (* 0xED leads U+D000..U+DFFF; the D800..DFFF half is CESU-8 —
+           our own parser's lenient encoding of an unpaired \uXXXX
+           surrogate.  Re-escape LONE surrogates so the text output is
+           valid UTF-8 and text -> value -> text is byte-stable.  A
+           true adjacent high+low pair must stay raw: escaping it
+           would make the parser recombine the pair into one astral
+           code point, different bytes from what we were given. *)
+        let cesu at =
+          if at + 2 < n then begin
+            let b1 = Char.code s.[at + 1] and b2 = Char.code s.[at + 2] in
+            if s.[at] = '\xed' && b1 land 0xC0 = 0x80 && b2 land 0xC0 = 0x80 then
+              let cp = 0xD000 lor ((b1 land 0x3F) lsl 6) lor (b2 land 0x3F) in
+              if cp >= 0xD800 then Some cp else None
+            else None
+          end
+          else None
+        in
+        (match cesu !i with
+        | Some cp ->
+            let paired_low =
+              cp <= 0xDBFF
+              && match cesu (!i + 3) with Some lo -> lo >= 0xDC00 | None -> false
+            in
+            if paired_low then begin
+              Buffer.add_string buf (String.sub s !i 6);
+              i := !i + 6
+            end
+            else begin
+              Buffer.add_string buf (Printf.sprintf "\\u%04x" cp);
+              i := !i + 3
+            end
+        | None ->
+            Buffer.add_char buf '\xed';
+            incr i)
     | c when Char.code c < 0xF0 ->
         (* ASCII and 2-/3-byte UTF-8 (the BMP) pass through raw *)
         Buffer.add_char buf c;

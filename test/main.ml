@@ -28,6 +28,7 @@ let () =
       ("server", Test_server.suite);
       ("interp", Test_interp.suite);
       ("oracle", Test_oracle.suite);
+      ("sound", Test_sound.suite);
       ("corpus", Test_corpus.suite);
       ("gen", Test_gen.suite);
       ("metrics", Test_metrics.suite);

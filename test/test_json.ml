@@ -90,6 +90,45 @@ let test_unpaired_surrogates () =
         (String.length s > 1 && s.[String.length s - 1] = 'A')
   | _ -> Alcotest.fail "expected a string"
 
+(* Byte-stability of the lenient surrogate handling, both directions.
+   The parser encodes an unpaired \uXXXX surrogate as CESU-8; the
+   writer must escape those three bytes back to \uXXXX (not leak them
+   as raw non-UTF-8 output), EXCEPT when a high+low pair sits adjacent
+   in the value — escaping that would make the parser recombine the
+   pair into one astral code point, different bytes from the input. *)
+let test_surrogate_byte_stability () =
+  let reparse text = parse_ok (J.to_string (parse_ok text)) in
+  (* text -> value -> text: a lone low surrogate re-escapes verbatim *)
+  Alcotest.check Alcotest.string "lone low re-escapes" {|"\udc00"|}
+    (J.to_string (parse_ok {|"\uDC00"|}));
+  Alcotest.check Alcotest.string "lone high re-escapes" {|"\ud83dx"|}
+    (J.to_string (parse_ok {|"\uD83Dx"|}));
+  (* and the reparse yields the same value bytes *)
+  Alcotest.check Alcotest.bool "lone low value stable" true
+    (reparse {|"\uDC00"|} = parse_ok {|"\uDC00"|});
+  Alcotest.check Alcotest.bool "two highs value stable" true
+    (reparse {|"\uD800\uD800"|} = parse_ok {|"\uD800\uD800"|});
+  Alcotest.check Alcotest.bool "two lows value stable" true
+    (reparse {|"\uDC00\uDC00"|} = parse_ok {|"\uDC00\uDC00"|});
+  (* value -> text -> value: CESU-8 bytes in a String survive *)
+  let lone_lo = "\xED\xB0\x80" (* CESU-8 U+DC00 *) in
+  let lone_hi = "\xED\xA0\xBD" (* CESU-8 U+D83D *) in
+  let cesu_pair = lone_hi ^ "\xED\xB8\x80" (* CESU-8 D83D DE00, adjacent *) in
+  List.iter
+    (fun s ->
+      Alcotest.check Alcotest.bool "value bytes stable" true
+        (parse_ok (J.to_string (J.String s)) = J.String s))
+    [ lone_lo; lone_hi; cesu_pair; "a" ^ lone_lo ^ "z"; lone_lo ^ lone_lo ];
+  (* the writer's output for lone surrogates is pure ASCII (no raw
+     CESU-8 leaks into the wire format) *)
+  String.iter
+    (fun c -> if Char.code c >= 0x80 then Alcotest.fail "raw byte leaked")
+    (J.to_string (J.String lone_lo));
+  (* real astral content still writes as a pair and recombines *)
+  let grin = "\xF0\x9F\x98\x80" in
+  Alcotest.check Alcotest.bool "astral still round-trips" true
+    (parse_ok (J.to_string (J.String grin)) = J.String grin)
+
 let json_gen =
   let open QCheck.Gen in
   let scalar =
@@ -182,6 +221,7 @@ let suite =
     Alcotest.test_case "numeric equality" `Quick test_numeric_equal;
     Alcotest.test_case "astral round-trip" `Quick test_astral_roundtrip;
     Alcotest.test_case "unpaired surrogates tolerated" `Quick test_unpaired_surrogates;
+    Alcotest.test_case "surrogate byte stability" `Quick test_surrogate_byte_stability;
     QCheck_alcotest.to_alcotest roundtrip_compact;
     QCheck_alcotest.to_alcotest roundtrip_pretty;
     Alcotest.test_case "export: ConnectBot document" `Quick test_export_connectbot;

@@ -223,12 +223,46 @@ let test_stats_counters () =
     (Query.points_to q (Node.N_field "no_such_field_zzz") = None);
   Alcotest.(check int) "unknown node minted nothing" before (Intern.node_count (Query.interner q))
 
+(* Counter semantics on a SHARED engine: monotone accumulation since
+   [create], never reset between queries.  A budget-starved query
+   leaves its fallback count behind — later default-budget queries on
+   the same handle add to the totals rather than clearing them (the
+   daemon relies on exactly this: its stats reply carries counters
+   across queries, and across patches by snapshotting; see
+   [test_server.ml]). *)
+let test_stats_accumulate_on_shared_engine () =
+  let app = Corpus.Gen.generate (Option.get (Corpus.Apps.by_name "XBMC")) in
+  let r, solved = Incremental.analyze_solved app in
+  let q = Query.create ~hierarchy:app.Framework.App.hierarchy solved in
+  let locations = Graph.locations r.Analysis.graph in
+  let snap () =
+    let s = Query.stats q in
+    (s.Query.q_queries, s.Query.q_expanded, s.Query.q_budget_fallbacks, s.Query.q_memo_hits)
+  in
+  (* round 1: budget-starved queries must record their fallbacks *)
+  List.iter (fun node -> ignore (Query.points_to ~budget:0 q node)) locations;
+  let q1, e1, b1, _ = snap () in
+  Alcotest.(check int) "round 1 queries" (List.length locations) q1;
+  Alcotest.(check int) "round 1 never expands" 0 e1;
+  Alcotest.(check bool) "round 1 budget fallbacks recorded" true (b1 > 0);
+  (* round 2, same handle at default budget: counters accumulate on
+     top of round 1 — queries double, fallback count stays (memoized
+     fallback rows answer from the memo, adding hits, not fallbacks) *)
+  List.iter (fun node -> ignore (Query.points_to q node)) locations;
+  let q2, e2, b2, m2 = snap () in
+  Alcotest.(check int) "queries accumulate" (2 * List.length locations) q2;
+  Alcotest.(check int) "fallbacks never reset" b1 b2;
+  Alcotest.(check bool) "memo hits grew" true (m2 > 0);
+  Alcotest.(check bool) "still no spontaneous reset" true (e2 >= e1)
+
 let suite =
   [
     Alcotest.test_case "ConnectBot: backward = forward at every budget" `Quick test_connectbot;
     Alcotest.test_case "cyclic app: backward = forward" `Quick test_cyclic;
     Alcotest.test_case "patched apps: warm state queries = cold forward" `Quick test_patched;
     Alcotest.test_case "query stats counters" `Quick test_stats_counters;
+    Alcotest.test_case "stats accumulate on a shared engine" `Quick
+      test_stats_accumulate_on_shared_engine;
     QCheck_alcotest.to_alcotest test_qcheck_random;
     QCheck_alcotest.to_alcotest test_qcheck_cyclic;
     Alcotest.test_case "corpus: backward = forward (all apps)" `Slow test_corpus;

@@ -516,9 +516,41 @@ let test_crash_recovery () =
       | None -> Alcotest.fail "load response has no ok payload");
       Alcotest.(check (list string)) "answers identical after corrupt state" before (answers t3))
 
+(* The stats reply is cumulative per loaded app: a patch replaces the
+   query handle (fresh memo over the new solved state) but must NOT
+   zero the counters a client is watching — the daemon snapshots the
+   retiring handle's totals into the fresh one. *)
+let test_stats_survive_patch () =
+  let t = mk_server () in
+  Alcotest.(check (option string)) "load ok" None (error_code (handle_json t (req_load "XBMC")));
+  let r, _ = Gator.Incremental.analyze_solved (xbmc ()) in
+  let probes =
+    match Gator.Graph.locations r.Gator.Analysis.graph with
+    | a :: b :: c :: _ -> [ a; b; c ]
+    | l -> l
+  in
+  List.iter (fun node -> ignore (handle_json t (req_points_to "XBMC" node))) probes;
+  let stat_field name =
+    match ok_payload (handle_json t (P.request_to_json (P.R_stats "XBMC"))) with
+    | Some (J.Obj fields) -> (
+        match List.assoc_opt name fields with
+        | Some (J.Int v) -> v
+        | _ -> Alcotest.failf "stats reply lacks %S" name)
+    | _ -> Alcotest.fail "stats reply not an object"
+  in
+  Alcotest.(check int) "queries before the patch" (List.length probes) (stat_field "queries");
+  let patched =
+    handle_json t (P.request_to_json (P.R_patch { app = "XBMC"; edits = patch_edits }))
+  in
+  Alcotest.(check (option int)) "patch bumps generation" (Some 1) (generation patched);
+  Alcotest.(check int) "queries survive the patch" (List.length probes) (stat_field "queries");
+  List.iter (fun node -> ignore (handle_json t (req_points_to "XBMC" node))) probes;
+  Alcotest.(check int) "and keep accumulating" (2 * List.length probes) (stat_field "queries")
+
 let suite =
   [
     Alcotest.test_case "dispatch: answers, envelopes, survival" `Quick test_dispatch;
+    Alcotest.test_case "stats survive a patch" `Quick test_stats_survive_patch;
     Alcotest.test_case "operand codecs round-trip" `Quick test_codecs;
     Alcotest.test_case "hostile frames against a live daemon" `Quick test_hostile_frames;
     Alcotest.test_case "crash recovery from snapshot state" `Quick test_crash_recovery;

@@ -19,53 +19,72 @@ let vbase = Layouts.Resource.view_base
 (* Watermark arithmetic on a small custom tier *)
 
 (* A 4-layout / 6-view frozen window: ids 0..3 are layout ids, 4..9
-   view ids, the watermark is 10, and the first private symbol of any
-   kind mints id 10. *)
+   view ids, the two unknown-id markers take 10 and 11 (and the ⊤ rid
+   sentinel takes rid 10), so the watermarks are 12/11 and the first
+   private symbol of either kind mints at its watermark. *)
 let test_watermark_boundary () =
   let sh = Intern.make_shared ~layout_ids:4 ~view_ids:6 in
-  Alcotest.(check (pair int int)) "tier counts" (10, 10) (Intern.shared_counts sh);
+  Alcotest.(check (pair int int)) "tier counts" (12, 11) (Intern.shared_counts sh);
   let it = Intern.create ~shared:sh () in
-  Alcotest.(check (pair int int)) "watermarks" (10, 10) (Intern.watermarks it);
-  Alcotest.check Alcotest.int "frozen tier pre-counts values" 10 (Intern.value_count it);
-  Alcotest.check Alcotest.int "frozen tier pre-counts rids" 10 (Intern.rid_count it);
+  Alcotest.(check (pair int int)) "watermarks" (12, 11) (Intern.watermarks it);
+  Alcotest.check Alcotest.int "frozen tier pre-counts values" 12 (Intern.value_count it);
+  Alcotest.check Alcotest.int "frozen tier pre-counts rids" 11 (Intern.rid_count it);
   (* frozen hits are pure arithmetic: base offset, no pool growth *)
   Alcotest.check Alcotest.int "first layout id" 0 (Intern.value it (Node.V_layout_id lbase));
   Alcotest.check Alcotest.int "last layout id" 3 (Intern.value it (Node.V_layout_id (lbase + 3)));
   Alcotest.check Alcotest.int "first view id" 4 (Intern.value it (Node.V_view_id vbase));
-  (* the last frozen id: the symbol sitting exactly on watermark - 1 *)
-  Alcotest.check Alcotest.int "last frozen id" 9 (Intern.value it (Node.V_view_id (vbase + 5)));
-  Alcotest.check Alcotest.int "no private values minted" 10 (Intern.value_count it);
+  (* the last view symbol of the frozen windows *)
+  Alcotest.check Alcotest.int "last frozen view id" 9 (Intern.value it (Node.V_view_id (vbase + 5)));
+  (* the ⊤ markers sit right after the windows — inside the frozen
+     tier, so interning them never mints, and their fixed offsets can
+     never collide with a window entry *)
+  Alcotest.check Alcotest.int "layout ⊤ marker id" 10 (Intern.value it Node.V_layout_top);
+  Alcotest.check Alcotest.int "view-id ⊤ marker id" 11 (Intern.value it Node.V_view_id_top);
+  Alcotest.check Alcotest.int "no private values minted" 12 (Intern.value_count it);
   (* one past the window: the first private id is the watermark *)
-  Alcotest.check Alcotest.int "first overflow id" 10 (Intern.value it (Node.V_view_id (vbase + 6)));
-  Alcotest.check Alcotest.int "overflow minted one value" 11 (Intern.value_count it);
+  Alcotest.check Alcotest.int "first overflow id" 12 (Intern.value it (Node.V_view_id (vbase + 6)));
+  Alcotest.check Alcotest.int "overflow minted one value" 13 (Intern.value_count it);
   (* a layout id outside the layout window is private too, even though
      it is numerically below the view window *)
-  Alcotest.check Alcotest.int "layout id past its window is private" 11
+  Alcotest.check Alcotest.int "layout id past its window is private" 13
     (Intern.value it (Node.V_layout_id (lbase + 4)));
   (* re-intern is stable across the boundary *)
   Alcotest.check Alcotest.int "frozen re-intern stable" 9
     (Intern.value it (Node.V_view_id (vbase + 5)));
-  Alcotest.check Alcotest.int "overflow re-intern stable" 10
+  Alcotest.check Alcotest.int "overflow re-intern stable" 12
     (Intern.value it (Node.V_view_id (vbase + 6)));
-  Alcotest.check Alcotest.int "still two private values" 12 (Intern.value_count it);
+  Alcotest.check Alcotest.int "marker re-intern stable" 10 (Intern.value it Node.V_layout_top);
+  Alcotest.check Alcotest.int "still two private values" 14 (Intern.value_count it);
   (* decode round-trips both tiers *)
   for vid = 0 to Intern.value_count it - 1 do
     let v = Intern.value_of it vid in
     Alcotest.check Alcotest.int (Printf.sprintf "value %d round-trips" vid) vid
       (Intern.value it v)
   done;
-  (* the rid pool follows the same windows *)
+  (* the rid pool follows the same windows, with the ⊤ sentinel raw id
+     frozen right after them *)
   Alcotest.check Alcotest.int "frozen rid" 2 (Intern.rid it (lbase + 2));
   Alcotest.check Alcotest.int "last frozen rid" 9 (Intern.rid it (vbase + 5));
-  Alcotest.check Alcotest.int "no private rids minted" 10 (Intern.rid_count it);
-  Alcotest.check Alcotest.int "overflow rid" 10 (Intern.rid it (vbase + 6));
-  Alcotest.check Alcotest.int "one private rid" 11 (Intern.rid_count it);
+  Alcotest.check Alcotest.int "⊤ sentinel rid" 10 (Intern.rid it Node.top_view_id_raw);
+  Alcotest.check Alcotest.int "no private rids minted" 11 (Intern.rid_count it);
+  Alcotest.check Alcotest.int "overflow rid" 11 (Intern.rid it (vbase + 6));
+  Alcotest.check Alcotest.int "one private rid" 12 (Intern.rid_count it);
   for rid = 0 to Intern.rid_count it - 1 do
     Alcotest.check Alcotest.int
       (Printf.sprintf "rid %d round-trips" rid)
       rid
       (Intern.rid it (Intern.rid_of it rid))
-  done
+  done;
+  (* degenerate windows: the markers survive even 0-sized windows
+     (nothing to collide with, ids 0/1 and rid 0) *)
+  let sh0 = Intern.make_shared ~layout_ids:0 ~view_ids:0 in
+  Alcotest.(check (pair int int)) "empty-window tier counts" (2, 1) (Intern.shared_counts sh0);
+  let it0 = Intern.create ~shared:sh0 () in
+  Alcotest.check Alcotest.int "empty-window layout ⊤" 0 (Intern.value it0 Node.V_layout_top);
+  Alcotest.check Alcotest.int "empty-window view-id ⊤" 1 (Intern.value it0 Node.V_view_id_top);
+  Alcotest.check Alcotest.int "empty-window ⊤ rid" 0 (Intern.rid it0 Node.top_view_id_raw);
+  Alcotest.check Alcotest.int "empty-window no value mints" 2 (Intern.value_count it0);
+  Alcotest.check Alcotest.int "empty-window no rid mints" 1 (Intern.rid_count it0)
 
 (* Non-minting lookups resolve frozen symbols on a fresh interner
    without growing anything. *)
@@ -79,8 +98,12 @@ let test_lookups_never_mint () =
     (Intern.find_value it (Node.V_view_id (vbase + 6)));
   Alcotest.(check (option int)) "rid_opt misses past the window" None
     (Intern.rid_opt it (vbase + 6));
-  Alcotest.check Alcotest.int "no values minted" 10 (Intern.value_count it);
-  Alcotest.check Alcotest.int "no rids minted" 10 (Intern.rid_count it)
+  Alcotest.(check (option int)) "find_value hits the ⊤ markers" (Some 10)
+    (Intern.find_value it Node.V_layout_top);
+  Alcotest.(check (option int)) "rid_opt hits the ⊤ sentinel" (Some 10)
+    (Intern.rid_opt it Node.top_view_id_raw);
+  Alcotest.check Alcotest.int "no values minted" 12 (Intern.value_count it);
+  Alcotest.check Alcotest.int "no rids minted" 11 (Intern.rid_count it)
 
 (* The id-stability argument: frozen ids are a pure function of the
    symbol, so every interner over the global tier — across graphs,
@@ -150,9 +173,9 @@ let test_corpus_apps_shared_private () =
    (its last symbol takes the last frozen id), and its sibling one id
    wider (its last symbol is the first private id). *)
 let test_watermark_boundary_app () =
-  let values, _ = Intern.shared_counts (Intern.shared_tier ()) in
+  let _, rids = Intern.shared_counts (Intern.shared_tier ()) in
   let base = Option.get (Corpus.Apps.by_name "ConnectBot") in
-  let window = values - Intern.default_layout_window in
+  let window = Intern.default_view_window in
   List.iter
     (fun view_ids ->
       (* enough layout nodes (each drawing a fresh id, no sharing) to
@@ -174,19 +197,20 @@ let test_watermark_boundary_app () =
          so inspect the interner behind an interned-engine analysis *)
       let r = Analysis.analyze ~config:(with_solver Config.Interned shared_config) app in
       let it = Graph.interner r.Analysis.graph in
-      (* the last id of the frozen view window is reachable either way *)
+      (* the last id of the frozen view window is reachable either way
+         (the ⊤ sentinel sits after it, at the last frozen rid) *)
       Alcotest.(check (option int)) "last frozen view id"
-        (Some (values - 1))
+        (Some (Intern.default_layout_window + window - 1))
         (Intern.rid_opt it (vbase + window - 1));
       let crossed = view_ids > window in
       Alcotest.check Alcotest.bool
         (Printf.sprintf "view_ids=%d %s the watermark" view_ids
            (if crossed then "crosses" else "stays below"))
         crossed
-        (Intern.rid_count it > values);
+        (Intern.rid_count it > rids);
       if crossed then
         (* the first symbol past the window got the first private id *)
-        Alcotest.(check (option int)) "first overflow view id" (Some values)
+        Alcotest.(check (option int)) "first overflow view id" (Some rids)
           (Intern.rid_opt it (vbase + window));
       check_shared_private spec.Corpus.Spec.sp_name app)
     [ window; window + 1 ]
